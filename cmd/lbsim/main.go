@@ -1,0 +1,375 @@
+// Command lbsim runs diffusion load balancing simulations and reproduces
+// the paper's experiments.
+//
+// Usage:
+//
+//	lbsim -list
+//	    List every registered experiment (one per paper table/figure).
+//
+//	lbsim -experiment fig1 [-full] [-seed N] [-out DIR] [-workers N]
+//	    Reproduce one paper artifact. -full uses the paper's original
+//	    sizes (slower); -out dumps CSV series and PNG/PGM frames.
+//
+//	lbsim -experiment all [-full] ...
+//	    Run every experiment in sequence.
+//
+//	lbsim -graph torus2d:100x100 -scheme sos -rounder randomized \
+//	      -rounds 1000 [-avg 1000] [-switch 500] [-csv out.csv]
+//	    Free-form run: any graph, scheme and rounder, with the paper's
+//	    three metrics recorded.
+//
+//	lbsim -graph hypercube:16 -spectrum
+//	    Print n, |E|, d, λ and β_opt for a graph.
+//
+// Graph syntax: torus2d:WxH | torus:S1xS2x... | hypercube:DIM |
+// regular:N:D | rgg:N | cycle:N | path:N | complete:N | grid:WxH | star:N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"diffusionlb"
+	"diffusionlb/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lbsim", flag.ContinueOnError)
+	var (
+		list       = fs.Bool("list", false, "list available experiments")
+		experiment = fs.String("experiment", "", "experiment id to run (or 'all')")
+		full       = fs.Bool("full", false, "use the paper's original sizes")
+		seed       = fs.Uint64("seed", 1, "master seed")
+		workers    = fs.Int("workers", 0, "worker goroutines per step (0 = sequential)")
+		outDir     = fs.String("out", "", "directory for CSV/PNG artifacts")
+		rounds     = fs.Int("rounds", 1000, "rounds for free-form runs (also overrides experiment rounds when set with -experiment)")
+		graphSpec  = fs.String("graph", "", "graph spec for free-form runs, e.g. torus2d:100x100")
+		scheme     = fs.String("scheme", "sos", "fos | sos")
+		rounder    = fs.String("rounder", "randomized", "randomized | floor | nearest | bernoulli | continuous | cumulative")
+		avg        = fs.Int64("avg", 1000, "average initial load (all placed on node 0)")
+		speedsSpec = fs.String("speeds", "", "processor speeds: twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED (empty = homogeneous)")
+		switchAt   = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never)")
+		every      = fs.Int("every", 0, "recording cadence (0 = auto)")
+		csvPath    = fs.String("csv", "", "write the recorded series to this CSV file")
+		spectrum   = fs.Bool("spectrum", false, "print spectral data for -graph and exit")
+		tableRows  = fs.Int("rows", 21, "max rows in printed tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %-14s %s\n", e.ID, e.Artifact, e.Title)
+		}
+		return nil
+
+	case *experiment != "":
+		p := experiments.Params{
+			Full:      *full,
+			Seed:      *seed,
+			Workers:   *workers,
+			OutDir:    *outDir,
+			TableRows: *tableRows,
+		}
+		if fs.Lookup("rounds") != nil && flagWasSet(fs, "rounds") {
+			p.RoundsOverride = *rounds
+		}
+		if *experiment == "all" {
+			for _, e := range experiments.All() {
+				if err := e.Run(os.Stdout, p); err != nil {
+					return fmt.Errorf("experiment %s: %w", e.ID, err)
+				}
+				fmt.Println()
+			}
+			return nil
+		}
+		e, ok := experiments.ByID(*experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *experiment)
+		}
+		return e.Run(os.Stdout, p)
+
+	case *graphSpec != "":
+		g, err := buildGraph(*graphSpec, *seed)
+		if err != nil {
+			return err
+		}
+		speeds, err := buildSpeeds(*speedsSpec, g.NumNodes(), *seed)
+		if err != nil {
+			return err
+		}
+		sys, err := diffusionlb.NewSystem(g, speeds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: n=%d |E|=%d d=%d lambda=%.10f beta_opt=%.10f",
+			g.Name(), g.NumNodes(), g.NumEdges(), g.MaxDegree(), sys.Lambda(), sys.Beta())
+		if speeds != nil {
+			fmt.Printf(" s_max=%.3f", speeds.Max())
+		}
+		fmt.Println()
+		if *spectrum {
+			return nil
+		}
+		return freeFormRun(sys, freeFormConfig{
+			scheme: *scheme, rounder: *rounder, rounds: *rounds, avg: *avg,
+			switchAt: *switchAt, every: *every, csvPath: *csvPath,
+			seed: *seed, workers: *workers, tableRows: *tableRows,
+			hetero: speeds != nil,
+		})
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -experiment or -graph")
+	}
+}
+
+// flagWasSet reports whether the named flag was explicitly provided.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+type freeFormConfig struct {
+	scheme, rounder, csvPath string
+	rounds                   int
+	avg                      int64
+	switchAt, every          int
+	seed                     uint64
+	workers                  int
+	tableRows                int
+	hetero                   bool
+}
+
+func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
+	var kind diffusionlb.Kind
+	switch strings.ToLower(cfg.scheme) {
+	case "fos":
+		kind = diffusionlb.FOS
+	case "sos":
+		kind = diffusionlb.SOS
+	default:
+		return fmt.Errorf("unknown scheme %q (fos|sos)", cfg.scheme)
+	}
+	n := sys.Graph().NumNodes()
+	x0, err := diffusionlb.PointLoad(n, cfg.avg*int64(n), 0)
+	if err != nil {
+		return err
+	}
+
+	var proc diffusionlb.Process
+	switch cfg.rounder {
+	case "continuous":
+		xf := make([]float64, n)
+		for i, v := range x0 {
+			xf[i] = float64(v)
+		}
+		proc, err = sys.NewContinuous(kind, xf)
+	case "cumulative":
+		proc, err = sys.NewCumulative(kind, x0)
+	default:
+		r, ok := diffusionlb.RounderByName(cfg.rounder)
+		if !ok {
+			return fmt.Errorf("unknown rounder %q", cfg.rounder)
+		}
+		proc, err = sys.NewDiscrete(kind, r, cfg.seed, x0)
+	}
+	if err != nil {
+		return err
+	}
+
+	every := cfg.every
+	if every <= 0 {
+		every = cfg.rounds / 100
+		if every < 1 {
+			every = 1
+		}
+	}
+	var policy diffusionlb.SwitchPolicy
+	if cfg.switchAt > 0 {
+		policy = diffusionlb.SwitchAtRound{Round: cfg.switchAt}
+	}
+	ms := diffusionlb.DefaultMetrics()
+	if cfg.hetero {
+		ms = append(ms, diffusionlb.MetricHeteroMaxMinusTarget())
+	}
+	runner := &diffusionlb.Runner{Proc: proc, Every: every, Policy: policy, Metrics: ms}
+	res, err := runner.Run(cfg.rounds)
+	if err != nil {
+		return err
+	}
+	if res.SwitchRound >= 0 {
+		fmt.Printf("switched to FOS at round %d\n", res.SwitchRound)
+	}
+	if err := res.Series.WriteTable(os.Stdout, cfg.tableRows); err != nil {
+		return err
+	}
+	if cfg.csvPath != "" {
+		f, err := os.Create(cfg.csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Series.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("series written to %s\n", cfg.csvPath)
+	}
+	return nil
+}
+
+// buildSpeeds parses the -speeds spec ("" = homogeneous/nil).
+func buildSpeeds(spec string, n int, seed uint64) (*diffusionlb.Speeds, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	num := func(i int) (float64, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("speeds spec %q: missing argument %d", spec, i)
+		}
+		return strconv.ParseFloat(parts[i], 64)
+	}
+	switch parts[0] {
+	case "twoclass":
+		frac, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		speed, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		return diffusionlb.TwoClassSpeeds(n, frac, speed, seed)
+	case "range":
+		max, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return diffusionlb.UniformRangeSpeeds(n, max, seed)
+	case "powerlaw":
+		alpha, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		max, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		return diffusionlb.PowerLawSpeeds(n, alpha, max, seed)
+	case "single":
+		idx, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		speed, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		return diffusionlb.SingleFastSpeed(n, int(idx), speed)
+	default:
+		return nil, fmt.Errorf("unknown speeds spec %q (twoclass|range|powerlaw|single)", spec)
+	}
+}
+
+// buildGraph parses the -graph spec.
+func buildGraph(spec string, seed uint64) (*diffusionlb.Graph, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	dims := func(s string) ([]int, error) {
+		parts := strings.FieldsFunc(s, func(r rune) bool { return r == 'x' || r == 'X' || r == ':' })
+		out := make([]int, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("bad dimension %q in %q", p, spec)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	switch strings.ToLower(kind) {
+	case "torus2d":
+		d, err := dims(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(d) != 2 {
+			return nil, fmt.Errorf("torus2d needs WxH, got %q", rest)
+		}
+		return diffusionlb.Torus2D(d[0], d[1])
+	case "torus":
+		d, err := dims(rest)
+		if err != nil {
+			return nil, err
+		}
+		return diffusionlb.Torus(d...)
+	case "hypercube":
+		d, err := dims(rest)
+		if err != nil || len(d) != 1 {
+			return nil, fmt.Errorf("hypercube needs DIM, got %q", rest)
+		}
+		return diffusionlb.Hypercube(d[0])
+	case "regular":
+		d, err := dims(rest)
+		if err != nil || len(d) != 2 {
+			return nil, fmt.Errorf("regular needs N:D, got %q", rest)
+		}
+		return diffusionlb.RandomRegular(d[0], d[1], seed)
+	case "rgg":
+		d, err := dims(rest)
+		if err != nil || len(d) != 1 {
+			return nil, fmt.Errorf("rgg needs N, got %q", rest)
+		}
+		g, _, err := diffusionlb.RandomGeometric(d[0], seed, diffusionlb.GeometricOptions{})
+		return g, err
+	case "cycle":
+		d, err := dims(rest)
+		if err != nil || len(d) != 1 {
+			return nil, fmt.Errorf("cycle needs N, got %q", rest)
+		}
+		return diffusionlb.Cycle(d[0])
+	case "path":
+		d, err := dims(rest)
+		if err != nil || len(d) != 1 {
+			return nil, fmt.Errorf("path needs N, got %q", rest)
+		}
+		return diffusionlb.Path(d[0])
+	case "complete":
+		d, err := dims(rest)
+		if err != nil || len(d) != 1 {
+			return nil, fmt.Errorf("complete needs N, got %q", rest)
+		}
+		return diffusionlb.Complete(d[0])
+	case "grid":
+		d, err := dims(rest)
+		if err != nil || len(d) != 2 {
+			return nil, fmt.Errorf("grid needs WxH, got %q", rest)
+		}
+		return diffusionlb.Grid2D(d[0], d[1])
+	case "star":
+		d, err := dims(rest)
+		if err != nil || len(d) != 1 {
+			return nil, fmt.Errorf("star needs N, got %q", rest)
+		}
+		return diffusionlb.Star(d[0])
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}

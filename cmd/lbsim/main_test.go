@@ -1,0 +1,145 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestBuildGraphSpecs(t *testing.T) {
+	tests := []struct {
+		spec      string
+		wantNodes int
+		wantErr   bool
+	}{
+		{"torus2d:8x6", 48, false},
+		{"torus:3x3x3", 27, false},
+		{"hypercube:5", 32, false},
+		{"regular:20:4", 20, false},
+		{"rgg:100", 100, false},
+		{"cycle:9", 9, false},
+		{"path:5", 5, false},
+		{"complete:6", 6, false},
+		{"grid:4x3", 12, false},
+		{"star:11", 11, false},
+		{"torus2d:8", 0, true},
+		{"hypercube:", 0, true},
+		{"bogus:5", 0, true},
+		{"torus2d:axb", 0, true},
+		{"regular:20", 0, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.spec, func(t *testing.T) {
+			g, err := buildGraph(tc.spec, 1)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("buildGraph(%q) should fail", tc.spec)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumNodes() != tc.wantNodes {
+				t.Errorf("buildGraph(%q) has %d nodes, want %d", tc.spec, g.NumNodes(), tc.wantNodes)
+			}
+		})
+	}
+}
+
+func TestFlagWasSet(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	a := fs.Int("a", 1, "")
+	fs.Int("b", 2, "")
+	if err := fs.Parse([]string{"-a", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if *a != 5 {
+		t.Fatal("parse failed")
+	}
+	if !flagWasSet(fs, "a") {
+		t.Error("a was set")
+	}
+	if flagWasSet(fs, "b") {
+		t.Error("b was not set")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpectrum(t *testing.T) {
+	if err := run([]string{"-graph", "cycle:12", "-spectrum"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFreeForm(t *testing.T) {
+	if err := run([]string{"-graph", "torus2d:8x8", "-scheme", "sos",
+		"-rounder", "randomized", "-rounds", "50", "-switch", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	// Continuous and cumulative variants.
+	if err := run([]string{"-graph", "cycle:10", "-scheme", "fos",
+		"-rounder", "continuous", "-rounds", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", "cycle:10", "-scheme", "sos",
+		"-rounder", "cumulative", "-rounds", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSpeeds(t *testing.T) {
+	if sp, err := buildSpeeds("", 10, 1); err != nil || sp != nil {
+		t.Errorf("empty spec should give nil speeds, got %v, %v", sp, err)
+	}
+	cases := []struct {
+		spec    string
+		wantMax float64
+	}{
+		{"twoclass:0.5:4", 4},
+		{"range:6", 6},
+		{"powerlaw:2.5:8", 8},
+		{"single:3:5", 5},
+	}
+	for _, tc := range cases {
+		sp, err := buildSpeeds(tc.spec, 50, 1)
+		if err != nil {
+			t.Errorf("buildSpeeds(%q): %v", tc.spec, err)
+			continue
+		}
+		if sp.Max() > tc.wantMax+1e-9 {
+			t.Errorf("buildSpeeds(%q): max %g > %g", tc.spec, sp.Max(), tc.wantMax)
+		}
+	}
+	for _, bad := range []string{"twoclass", "twoclass:0.5", "bogus:1", "range:x"} {
+		if _, err := buildSpeeds(bad, 10, 1); err == nil {
+			t.Errorf("buildSpeeds(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRunFreeFormHeterogeneous(t *testing.T) {
+	if err := run([]string{"-graph", "torus2d:8x8", "-speeds", "twoclass:0.25:3",
+		"-scheme", "fos", "-rounds", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-experiment", "nope"},
+		{"-graph", "torus2d:4x4", "-scheme", "third-order"},
+		{"-graph", "torus2d:4x4", "-rounder", "dice"},
+		{"-graph", "martian:4"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

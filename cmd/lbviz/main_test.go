@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFrames(t *testing.T) {
+	got, err := parseFrames("5, 10,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 5 || got[2] != 20 {
+		t.Errorf("parseFrames = %v", got)
+	}
+	for _, bad := range []string{"", "0", "10,5", "a,b", "3,3"} {
+		if _, err := parseFrames(bad); err == nil {
+			t.Errorf("parseFrames(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRunRendersFrames(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-side", "16", "-frames", "5,10", "-out", dir,
+		"-ascii=false", "-switch", "8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"frame_0005.png", "frame_0010.png", "frame_0005.pgm"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := [][]string{
+		{"-frames", "10,5"},
+		{"-shading", "psychedelic"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

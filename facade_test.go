@@ -1,0 +1,198 @@
+package diffusionlb_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"diffusionlb"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The full public workflow: graph → system → process → runner →
+	// series, using only the facade package.
+	g, err := diffusionlb.Torus2D(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := diffusionlb.NewSystem(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph() != g || sys.Operator() == nil {
+		t.Fatal("system accessors broken")
+	}
+	if sys.Lambda() <= 0 || sys.Lambda() >= 1 {
+		t.Fatalf("lambda = %g outside (0,1)", sys.Lambda())
+	}
+	if sys.Beta() < 1 || sys.Beta() >= 2 {
+		t.Fatalf("beta = %g outside [1,2)", sys.Beta())
+	}
+
+	n := g.NumNodes()
+	x0, err := diffusionlb.PointLoad(n, 1000*int64(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := sys.NewDiscrete(diffusionlb.SOS, diffusionlb.RandomizedRounder{}, 9, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &diffusionlb.Runner{Proc: proc, Every: 5}
+	res, err := runner.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := res.Series.Last("max_minus_avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final > 50 {
+		t.Errorf("SOS failed to balance a 16x16 torus: final max-avg %g", final)
+	}
+	var buf bytes.Buffer
+	if err := res.Series.WriteTable(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "max_minus_avg") {
+		t.Error("table output missing metric header")
+	}
+}
+
+func TestFacadeContinuousAndCumulative(t *testing.T) {
+	g, err := diffusionlb.Cycle(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := diffusionlb.NewSystem(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xf := make([]float64, 24)
+	xf[0] = 2400
+	cont, err := sys.NewContinuous(diffusionlb.SOS, xf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffusionlb.Run(cont, 100)
+	if math.Abs(cont.ConservationError()) > 1e-6 {
+		t.Errorf("continuous drift %g", cont.ConservationError())
+	}
+	x0 := make([]int64, 24)
+	x0[0] = 2400
+	cum, err := sys.NewCumulative(diffusionlb.SOS, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffusionlb.Run(cum, 100)
+	if cum.TotalLoad() != 2400 {
+		t.Errorf("cumulative total = %d", cum.TotalLoad())
+	}
+}
+
+func TestFacadeHeterogeneous(t *testing.T) {
+	g, err := diffusionlb.RandomRegular(64, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds, err := diffusionlb.TwoClassSpeeds(64, 0.5, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := diffusionlb.NewSystem(g, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, err := diffusionlb.ProportionalLoad(64*100, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := sys.NewDiscrete(diffusionlb.FOS, nil, 2, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, ok := diffusionlb.RunUntil(proc, 500, diffusionlb.ProportionallyConvergedWithin(8))
+	if !ok {
+		t.Fatalf("heterogeneous run failed to stay/settle near proportional (after %d rounds)", rounds)
+	}
+}
+
+func TestFacadeVisualization(t *testing.T) {
+	x := make([]int64, 8*8)
+	x[0] = 640
+	frame, err := diffusionlb.RenderInt(x, 8, 8, diffusionlb.ShadeAdaptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.MeanGray() <= 0 || frame.MeanGray() > 255 {
+		t.Errorf("mean gray %g out of range", frame.MeanGray())
+	}
+	xf := make([]float64, 8*8)
+	xf[0] = 640
+	if _, err := diffusionlb.RenderFloat(xf, 8, 8, diffusionlb.ShadeThreshold, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRounders(t *testing.T) {
+	for _, name := range []string{"randomized", "floor", "nearest", "bernoulli"} {
+		if _, ok := diffusionlb.RounderByName(name); !ok {
+			t.Errorf("rounder %q not exposed", name)
+		}
+	}
+	if b, err := diffusionlb.BetaOpt(0.99); err != nil || b <= 1.7 {
+		t.Errorf("BetaOpt(0.99) = %g, %v", b, err)
+	}
+}
+
+func TestFacadeGraphBuilders(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func() (*diffusionlb.Graph, error)
+	}{
+		{"torus", func() (*diffusionlb.Graph, error) { return diffusionlb.Torus(4, 4, 4) }},
+		{"hypercube", func() (*diffusionlb.Graph, error) { return diffusionlb.Hypercube(6) }},
+		{"path", func() (*diffusionlb.Graph, error) { return diffusionlb.Path(9) }},
+		{"complete", func() (*diffusionlb.Graph, error) { return diffusionlb.Complete(7) }},
+		{"star", func() (*diffusionlb.Graph, error) { return diffusionlb.Star(7) }},
+		{"grid", func() (*diffusionlb.Graph, error) { return diffusionlb.Grid2D(4, 5) }},
+		{"lollipop", func() (*diffusionlb.Graph, error) { return diffusionlb.Lollipop(4, 9) }},
+		{"gnp", func() (*diffusionlb.Graph, error) { return diffusionlb.ErdosRenyi(30, 0.3, 3) }},
+	}
+	for _, tc := range builders {
+		g, err := tc.build()
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	b := diffusionlb.NewGraphBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build("custom"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSpeedGenerators(t *testing.T) {
+	if sp := diffusionlb.HomogeneousSpeeds(5); !sp.IsHomogeneous() {
+		t.Error("HomogeneousSpeeds broken")
+	}
+	if _, err := diffusionlb.NewSpeeds([]float64{1, 2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := diffusionlb.UniformRangeSpeeds(10, 4, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := diffusionlb.PowerLawSpeeds(10, 2, 8, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := diffusionlb.SingleFastSpeed(10, 0, 5); err != nil {
+		t.Error(err)
+	}
+}

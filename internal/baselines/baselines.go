@@ -1,0 +1,289 @@
+// Package baselines implements the two non-diffusion discrete load
+// balancing algorithms the paper positions itself against (Section II):
+//
+//   - MatchingBalancer — dimension-exchange balancing on a fresh random
+//     matching every round (Ghosh and Muthukrishnan [17]): matched pairs
+//     split their load evenly, odd token decided by a coin flip.
+//   - RandomWalkBalancer — the random-walk approach of Elsässer and
+//     Sauerwald [13] in its natural simplified form: every node knows the
+//     target load ⌈x̄⌉ and, each round, sends every token above the target
+//     to a uniformly random neighbor; tokens settle when they reach an
+//     underloaded node. This reaches a constant discrepancy quickly but —
+//     exactly the paper's criticism — moves vastly more tokens than
+//     diffusion, which the Traffic counters make measurable.
+//
+// Both types implement core.Process so they plug into the sim.Runner and
+// the experiment harness. They are first-order, memoryless protocols:
+// Kind reports core.FOS and SetKind is a no-op.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/randx"
+	"diffusionlb/internal/spectral"
+)
+
+// MatchingBalancer balances across a fresh uniform random matching each
+// round. Unlike diffusion it is not a simultaneous-neighbors scheme: each
+// node talks to at most one partner per round.
+type MatchingBalancer struct {
+	op   *spectral.Operator
+	seed uint64
+
+	x     []int64
+	edges [][2]int // cached undirected edge list
+	perm  []int32  // scratch: random edge order
+	match []int32  // scratch: partner per node (-1 = unmatched)
+
+	round        int
+	minLoad      int64
+	minSet       bool
+	tokensMoved  int64
+	edgeMessages int64
+}
+
+var _ core.Process = (*MatchingBalancer)(nil)
+
+// NewMatchingBalancer builds the balancer. The operator supplies the graph
+// (its α coefficients are unused).
+func NewMatchingBalancer(op *spectral.Operator, seed uint64, initial []int64) (*MatchingBalancer, error) {
+	n := op.Graph().NumNodes()
+	if len(initial) != n {
+		return nil, fmt.Errorf("baselines: %d initial loads for %d nodes", len(initial), n)
+	}
+	m := &MatchingBalancer{
+		op:    op,
+		seed:  seed,
+		x:     make([]int64, n),
+		edges: op.Graph().Edges(),
+		perm:  make([]int32, op.Graph().NumEdges()),
+		match: make([]int32, n),
+	}
+	copy(m.x, initial)
+	return m, nil
+}
+
+// Step samples a random matching (greedy over a uniformly shuffled edge
+// order) and balances each matched pair.
+func (m *MatchingBalancer) Step() {
+	rng := randx.NewStream(m.seed, uint64(m.round))
+	randx.Perm(rng, m.perm)
+	for i := range m.match {
+		m.match[i] = -1
+	}
+	for _, ei := range m.perm {
+		e := m.edges[ei]
+		u, v := e[0], e[1]
+		if m.match[u] >= 0 || m.match[v] >= 0 {
+			continue
+		}
+		m.match[u] = int32(v)
+		m.match[v] = int32(u)
+		du := m.x[u] - m.x[v]
+		if du == 0 {
+			continue
+		}
+		// Move half the difference from the heavier to the lighter node;
+		// an odd leftover token moves with probability 1/2.
+		if du < 0 {
+			u, v = v, u
+			du = -du
+		}
+		move := du / 2
+		if du%2 == 1 && rng.IntN(2) == 1 {
+			move++
+		}
+		if move > 0 {
+			m.x[u] -= move
+			m.x[v] += move
+			m.tokensMoved += move
+			m.edgeMessages++
+		}
+	}
+	m.round++
+	mn := m.x[0]
+	for _, v := range m.x[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	if !m.minSet || mn < m.minLoad {
+		m.minLoad = mn
+		m.minSet = true
+	}
+}
+
+// Round returns completed rounds.
+func (m *MatchingBalancer) Round() int { return m.round }
+
+// Kind reports FOS: the protocol is first-order (memoryless).
+func (m *MatchingBalancer) Kind() core.Kind { return core.FOS }
+
+// SetKind is a no-op; matching balancing has no second-order variant here.
+func (m *MatchingBalancer) SetKind(core.Kind) {}
+
+// Operator returns the operator supplying the graph.
+func (m *MatchingBalancer) Operator() *spectral.Operator { return m.op }
+
+// Loads returns the integer loads.
+func (m *MatchingBalancer) Loads() core.LoadView { return core.LoadView{Int: m.x} }
+
+// LoadsInt returns the raw integer loads.
+func (m *MatchingBalancer) LoadsInt() []int64 { return m.x }
+
+// MinTransient returns the minimum load ever observed (the protocol sends
+// only load it holds, so transient == end-of-round here).
+func (m *MatchingBalancer) MinTransient() float64 {
+	if !m.minSet {
+		return math.Inf(1)
+	}
+	return float64(m.minLoad)
+}
+
+// NegativeTransientRounds is always 0: pairs never overdraw.
+func (m *MatchingBalancer) NegativeTransientRounds() int { return 0 }
+
+// Traffic returns cumulative tokens moved and pairwise transfers.
+func (m *MatchingBalancer) Traffic() (tokens, messages int64) {
+	return m.tokensMoved, m.edgeMessages
+}
+
+// TotalLoad returns Σ x_i (conserved exactly).
+func (m *MatchingBalancer) TotalLoad() int64 {
+	var s int64
+	for _, v := range m.x {
+		s += v
+	}
+	return s
+}
+
+// RandomWalkBalancer sends every token above the known target ⌈x̄⌉ to a
+// uniformly random neighbor each round.
+type RandomWalkBalancer struct {
+	op     *spectral.Operator
+	seed   uint64
+	target int64
+
+	x     []int64
+	delta []int64 // scratch: per-node incoming tokens
+
+	round        int
+	tokensMoved  int64
+	edgeMessages int64
+}
+
+var _ core.Process = (*RandomWalkBalancer)(nil)
+
+// NewRandomWalkBalancer builds the balancer; the target load ⌈x̄⌉ is
+// derived from the initial total (the global knowledge assumed by the
+// random-walk literature).
+func NewRandomWalkBalancer(op *spectral.Operator, seed uint64, initial []int64) (*RandomWalkBalancer, error) {
+	n := op.Graph().NumNodes()
+	if len(initial) != n {
+		return nil, fmt.Errorf("baselines: %d initial loads for %d nodes", len(initial), n)
+	}
+	var total int64
+	for _, v := range initial {
+		total += v
+	}
+	target := total / int64(n)
+	if total%int64(n) != 0 {
+		target++
+	}
+	r := &RandomWalkBalancer{
+		op:     op,
+		seed:   seed,
+		target: target,
+		x:      make([]int64, n),
+		delta:  make([]int64, n),
+	}
+	copy(r.x, initial)
+	return r, nil
+}
+
+// Target returns the per-node target load ⌈x̄⌉.
+func (r *RandomWalkBalancer) Target() int64 { return r.target }
+
+// Step moves every token above the target one uniform random hop.
+func (r *RandomWalkBalancer) Step() {
+	g := r.op.Graph()
+	n := g.NumNodes()
+	for i := range r.delta {
+		r.delta[i] = 0
+	}
+	rng := randx.NewStream(r.seed, uint64(r.round))
+	for i := 0; i < n; i++ {
+		excess := r.x[i] - r.target
+		if excess <= 0 {
+			continue
+		}
+		nb := g.Neighbors(i)
+		// Each excess token walks independently. For very large excess,
+		// batch tokens per neighbor with a multinomial draw approximated
+		// by repeated uniform choices (exact distribution, O(excess)).
+		sentTo := make(map[int32]int64, len(nb))
+		for tok := int64(0); tok < excess; tok++ {
+			sentTo[nb[rng.IntN(len(nb))]]++
+		}
+		for j, cnt := range sentTo {
+			r.delta[j] += cnt
+			r.tokensMoved += cnt
+			r.edgeMessages++
+		}
+		r.x[i] = r.target
+	}
+	for i := 0; i < n; i++ {
+		r.x[i] += r.delta[i]
+	}
+	r.round++
+}
+
+// Round returns completed rounds.
+func (r *RandomWalkBalancer) Round() int { return r.round }
+
+// Kind reports FOS: the protocol is first-order (memoryless).
+func (r *RandomWalkBalancer) Kind() core.Kind { return core.FOS }
+
+// SetKind is a no-op.
+func (r *RandomWalkBalancer) SetKind(core.Kind) {}
+
+// Operator returns the operator supplying the graph.
+func (r *RandomWalkBalancer) Operator() *spectral.Operator { return r.op }
+
+// Loads returns the integer loads.
+func (r *RandomWalkBalancer) Loads() core.LoadView { return core.LoadView{Int: r.x} }
+
+// LoadsInt returns the raw integer loads.
+func (r *RandomWalkBalancer) LoadsInt() []int64 { return r.x }
+
+// MinTransient: nodes only send tokens they hold; loads never go negative.
+func (r *RandomWalkBalancer) MinTransient() float64 {
+	mn := r.x[0]
+	for _, v := range r.x[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	return float64(mn)
+}
+
+// NegativeTransientRounds is always 0.
+func (r *RandomWalkBalancer) NegativeTransientRounds() int { return 0 }
+
+// Traffic returns cumulative tokens moved and (node, neighbor) transfer
+// messages.
+func (r *RandomWalkBalancer) Traffic() (tokens, messages int64) {
+	return r.tokensMoved, r.edgeMessages
+}
+
+// TotalLoad returns Σ x_i (conserved exactly).
+func (r *RandomWalkBalancer) TotalLoad() int64 {
+	var s int64
+	for _, v := range r.x {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,234 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/metrics"
+	"diffusionlb/internal/spectral"
+)
+
+func setup(t *testing.T, w, h int, avg int64) (*spectral.Operator, []int64) {
+	t.Helper()
+	g, err := graph.Torus2D(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := spectral.NewOperator(g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, err := metrics.PointLoad(g.NumNodes(), avg*int64(g.NumNodes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op, x0
+}
+
+func TestMatchingBalancerConvergesAndConserves(t *testing.T) {
+	op, x0 := setup(t, 8, 8, 100)
+	m, err := NewMatchingBalancer(op, 5, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.TotalLoad()
+	rounds, ok := core.RunUntil(m, 5000, core.ConvergedWithin(8))
+	if !ok {
+		t.Fatalf("matching balancer did not converge; discrepancy %g",
+			metrics.Discrepancy(m.LoadsInt()))
+	}
+	if m.TotalLoad() != want {
+		t.Error("conservation violated")
+	}
+	if m.NegativeTransientRounds() != 0 || m.MinTransient() < 0 {
+		t.Error("matching balancing must never go negative")
+	}
+	tokens, messages := m.Traffic()
+	if tokens <= 0 || messages <= 0 || tokens < messages {
+		t.Errorf("traffic accounting broken: tokens=%d messages=%d", tokens, messages)
+	}
+	t.Logf("matching: converged in %d rounds, %d tokens over %d transfers", rounds, tokens, messages)
+}
+
+func TestMatchingBalancerMatchingIsValid(t *testing.T) {
+	// After one step the partner map must be symmetric and edge-respecting.
+	op, x0 := setup(t, 6, 6, 50)
+	m, err := NewMatchingBalancer(op, 3, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step()
+	g := op.Graph()
+	for u, v := range m.match {
+		if v < 0 {
+			continue
+		}
+		if m.match[v] != int32(u) {
+			t.Fatalf("matching not symmetric at %d<->%d", u, v)
+		}
+		if !g.HasEdge(u, int(v)) {
+			t.Fatalf("matched non-adjacent pair %d,%d", u, v)
+		}
+	}
+}
+
+func TestMatchingBalancerDeterministic(t *testing.T) {
+	op, x0 := setup(t, 6, 6, 200)
+	run := func() []int64 {
+		m, err := NewMatchingBalancer(op, 9, x0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.Run(m, 50)
+		out := make([]int64, len(m.LoadsInt()))
+		copy(out, m.LoadsInt())
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("matching balancer not deterministic per seed")
+		}
+	}
+}
+
+func TestRandomWalkBalancerConvergesFastButMovesMore(t *testing.T) {
+	op, x0 := setup(t, 8, 8, 100)
+	rw, err := NewRandomWalkBalancer(op, 7, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Target() != 100 {
+		t.Fatalf("target = %d, want 100", rw.Target())
+	}
+	want := rw.TotalLoad()
+	// Converges to max <= target quickly (every overloaded node flushes
+	// all excess every round).
+	rounds, ok := core.RunUntil(rw, 3000, func(p core.Process) bool {
+		return metrics.MaxLoad(rw.LoadsInt()) <= float64(rw.Target())+1
+	})
+	if !ok {
+		t.Fatalf("random-walk balancer did not flatten; max=%g", metrics.MaxLoad(rw.LoadsInt()))
+	}
+	if rw.TotalLoad() != want {
+		t.Error("conservation violated")
+	}
+	rwTokens, _ := rw.Traffic()
+
+	// Diffusion (FOS randomized) on the same instance for the paper's
+	// traffic comparison: the random-walk scheme must move strictly more
+	// token-hops to reach a comparable state.
+	proc, err := core.NewDiscrete(core.Config{Op: op, Kind: core.FOS}, core.RandomizedRounder{}, 7, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.RunUntil(proc, 3000, core.ConvergedWithin(8))
+	fosTokens, _ := proc.Traffic()
+	t.Logf("random-walk: %d rounds, %d token-hops; FOS: %d token-hops", rounds, rwTokens, fosTokens)
+	if rwTokens <= fosTokens {
+		t.Errorf("expected random walks (%d) to move more token-hops than diffusion (%d)",
+			rwTokens, fosTokens)
+	}
+}
+
+func TestRandomWalkNeverNegative(t *testing.T) {
+	op, x0 := setup(t, 6, 6, 10)
+	rw, err := NewRandomWalkBalancer(op, 1, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(rw, 200)
+	if rw.MinTransient() < 0 || rw.NegativeTransientRounds() != 0 {
+		t.Error("random-walk balancer must never go negative")
+	}
+}
+
+func TestBaselinesProcessContract(t *testing.T) {
+	op, x0 := setup(t, 4, 4, 10)
+	m, err := NewMatchingBalancer(op, 1, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewRandomWalkBalancer(op, 1, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []core.Process{m, rw} {
+		if p.Kind() != core.FOS {
+			t.Error("baselines report FOS")
+		}
+		p.SetKind(core.SOS) // must be a harmless no-op
+		if p.Kind() != core.FOS {
+			t.Error("SetKind must be a no-op")
+		}
+		if p.Operator() != op {
+			t.Error("operator accessor broken")
+		}
+		if p.Loads().Int == nil {
+			t.Error("baselines are integer processes")
+		}
+		p.Step()
+		if p.Round() != 1 {
+			t.Error("round counting broken")
+		}
+	}
+	if !math.IsInf(mustMatching(t, op, x0).MinTransient(), 1) {
+		t.Error("MinTransient before any round should be +Inf for the matching balancer")
+	}
+}
+
+func mustMatching(t *testing.T, op *spectral.Operator, x0 []int64) *MatchingBalancer {
+	t.Helper()
+	m, err := NewMatchingBalancer(op, 2, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBaselinesValidation(t *testing.T) {
+	op, _ := setup(t, 4, 4, 10)
+	if _, err := NewMatchingBalancer(op, 1, make([]int64, 3)); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := NewRandomWalkBalancer(op, 1, make([]int64, 3)); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+// Property: both baselines conserve load exactly from arbitrary starts.
+func TestPropertyBaselinesConserve(t *testing.T) {
+	g, err := graph.Cycle(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := spectral.NewOperator(g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, raw [12]uint8) bool {
+		x0 := make([]int64, 12)
+		var total int64
+		for i, v := range raw {
+			x0[i] = int64(v)
+			total += int64(v)
+		}
+		m, err := NewMatchingBalancer(op, seed, x0)
+		if err != nil {
+			return false
+		}
+		core.Run(m, 20)
+		rw, err := NewRandomWalkBalancer(op, seed, x0)
+		if err != nil {
+			return false
+		}
+		core.Run(rw, 20)
+		return m.TotalLoad() == total && rw.TotalLoad() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

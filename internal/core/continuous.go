@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"diffusionlb/internal/spectral"
+)
+
+// Continuous is the idealized diffusion process: loads are arbitrarily
+// divisible float64 values and the exact scheduled flow is sent over every
+// edge. It corresponds to the paper's "idealized scheme" (Figures 3 and 6)
+// and serves as the reference process C for deviation measurements.
+type Continuous struct {
+	op      *spectral.Operator
+	kind    Kind
+	beta    float64
+	workers int
+
+	x     []float64 // loads at the beginning of the current round
+	next  []float64 // scratch for x(t+1)
+	flows []float64 // y(t-1) per arc; valid iff flowsValid
+	z     []float64 // scratch: x_i/s_i
+	// flowsValid records whether flows holds the previous round's flows;
+	// an SOS round with invalid memory runs the FOS recurrence (this is
+	// exactly the scheme's t=0 rule, and it reapplies after a SetKind).
+	flowsValid bool
+
+	round              int
+	minTransient       float64
+	negTransientRounds int
+	initialTotal       float64
+}
+
+var _ Process = (*Continuous)(nil)
+
+// NewContinuous builds a continuous process with the given initial loads
+// (copied).
+func NewContinuous(cfg Config, initial []float64) (*Continuous, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Op.Graph().NumNodes()
+	if len(initial) != n {
+		return nil, fmt.Errorf("%w: %d initial loads for %d nodes", ErrBadConfig, len(initial), n)
+	}
+	c := &Continuous{
+		op:           cfg.Op,
+		kind:         cfg.Kind,
+		beta:         cfg.Beta,
+		workers:      cfg.Workers,
+		x:            make([]float64, n),
+		next:         make([]float64, n),
+		z:            make([]float64, n),
+		flows:        make([]float64, cfg.Op.Graph().NumArcs()),
+		minTransient: math.Inf(1),
+	}
+	copy(c.x, initial)
+	for _, v := range c.x {
+		c.initialTotal += v
+	}
+	return c, nil
+}
+
+// Step executes one synchronous continuous round.
+func (c *Continuous) Step() {
+	g := graphOf(c.op)
+	sp := speedsOf(c.op)
+	n := g.NumNodes()
+	offsets, arcs := g.Offsets(), g.Arcs()
+	alpha := c.op.Alphas()
+
+	// Normalized loads z_i = x_i/s_i (the heterogeneous flow potential).
+	homog := sp.IsHomogeneous()
+	if homog {
+		copy(c.z, c.x)
+	} else {
+		parallelFor(n, c.workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.z[i] = c.x[i] / sp.Of(i)
+			}
+		})
+	}
+
+	secondOrder := c.kind == SOS && c.flowsValid
+	beta := c.beta
+	sigma := beta - 1
+
+	// Per-arc flows. Each node computes its own outgoing arcs; the formula
+	// is exactly antisymmetric in IEEE arithmetic, so arc and mate agree
+	// without communication.
+	parallelFor(n, c.workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			zi := c.z[i]
+			for a := offsets[i]; a < offsets[i+1]; a++ {
+				grad := alpha[a] * (zi - c.z[arcs[a]])
+				if secondOrder {
+					c.flows[a] = sigma*c.flows[a] + beta*grad
+				} else {
+					c.flows[a] = grad
+				}
+			}
+		}
+	})
+
+	// Apply flows, tracking the transient load x̆_i = x_i − Σ_{y>0} y.
+	chunks := numChunks(n, c.workers)
+	minT := make([]float64, chunks)
+	negT := make([]bool, chunks)
+	for i := range minT {
+		minT[i] = math.Inf(1)
+	}
+	parallelFor(n, c.workers, func(chunk, lo, hi int) {
+		localMin := math.Inf(1)
+		for i := lo; i < hi; i++ {
+			var outSum, sentSum float64
+			for a := offsets[i]; a < offsets[i+1]; a++ {
+				f := c.flows[a]
+				outSum += f
+				if f > 0 {
+					sentSum += f
+				}
+			}
+			if tr := c.x[i] - sentSum; tr < localMin {
+				localMin = tr
+			}
+			c.next[i] = c.x[i] - outSum
+		}
+		minT[chunk] = localMin
+		negT[chunk] = localMin < 0
+	})
+	for ch := 0; ch < chunks; ch++ {
+		if minT[ch] < c.minTransient {
+			c.minTransient = minT[ch]
+		}
+	}
+	anyNeg := false
+	for _, b := range negT {
+		anyNeg = anyNeg || b
+	}
+	if anyNeg {
+		c.negTransientRounds++
+	}
+
+	c.x, c.next = c.next, c.x
+	if c.kind == SOS {
+		c.flowsValid = true
+	}
+	c.round++
+}
+
+// Round returns the number of completed rounds.
+func (c *Continuous) Round() int { return c.round }
+
+// Kind returns the current scheme order.
+func (c *Continuous) Kind() Kind { return c.kind }
+
+// SetKind switches the scheme for subsequent rounds. Switching to SOS
+// (re)starts its flow memory with an FOS round.
+func (c *Continuous) SetKind(k Kind) {
+	if k == c.kind {
+		return
+	}
+	c.kind = k
+	c.flowsValid = false
+}
+
+// Operator returns the diffusion operator.
+func (c *Continuous) Operator() *spectral.Operator { return c.op }
+
+// Loads returns the current load vector as a float view.
+func (c *Continuous) Loads() LoadView { return LoadView{Float: c.x} }
+
+// LoadsFloat returns the raw float load slice (read-only view).
+func (c *Continuous) LoadsFloat() []float64 { return c.x }
+
+// Flows returns the per-arc flows sent in the last completed round
+// (read-only view; undefined before the first round).
+func (c *Continuous) Flows() []float64 { return c.flows }
+
+// MinTransient returns the smallest transient load observed so far
+// (+Inf before the first round).
+func (c *Continuous) MinTransient() float64 { return c.minTransient }
+
+// NegativeTransientRounds counts rounds with a negative transient load.
+func (c *Continuous) NegativeTransientRounds() int { return c.negTransientRounds }
+
+// ConservationError returns Σx(t) − Σx(0), the accumulated floating-point
+// drift of the idealized scheme (exactly the right plot of Figure 6).
+func (c *Continuous) ConservationError() float64 {
+	var total float64
+	for _, v := range c.x {
+		total += v
+	}
+	return total - c.initialTotal
+}

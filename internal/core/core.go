@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contribution: first- and
+// second-order diffusion load balancing (FOS/SOS) on homogeneous and
+// heterogeneous networks, in both the continuous (idealized, divisible-load)
+// and the discrete (atomic-token) setting, together with the randomized
+// rounding framework of Section III-B that turns any linear continuous
+// scheme into a discrete one.
+//
+// The engines operate directly on the CSR arc layout of internal/graph and
+// use the diffusion coefficients of a spectral.Operator (α_ij together with
+// node speeds), so one code path covers all four combinations
+// {FOS, SOS} × {homogeneous, heterogeneous}:
+//
+//	FOS:  y_ij(t) = α_ij (x_i(t)/s_i − x_j(t)/s_j)                  (eq. 1/31)
+//	SOS:  y_ij(t) = (β−1) y_ij(t−1) + β α_ij (x_i(t)/s_i − x_j(t)/s_j),
+//	      with an FOS step at t = 0                                  (eq. 3)
+//
+// A discrete process D with rounding scheme R_D computes the continuous
+// scheduled flow Ŷ(t) = C(x_D(t), y_D(t−1)) from its own integer state and
+// rounds it: y_D(t) = R_D(Ŷ(t)) (Definition 1). The package provides the
+// paper's randomized rounding plus deterministic floor ("always round
+// down"), round-to-nearest (the arbitrary rounding of Theorem 8), and
+// independent Bernoulli rounding as baselines, and additionally the
+// cumulative-flow discretization of Akbari–Berenbrink–Sauerwald [2] as the
+// stateful O(d)-deviation comparator discussed in Section II.
+//
+// Negative load (Section V): both engines track the transient load x̆_i(t) —
+// the load of node i after all outgoing flows of round t are sent but before
+// any incoming flow is received — so that the minimum-initial-load bounds of
+// Observation 5 and Theorems 10/11 can be checked experimentally.
+//
+// Determinism: every randomized rounding decision of round t at node i draws
+// from an independent PCG stream seeded by (masterSeed, t, i). Results are
+// therefore bit-identical for any worker count, which the engine tests
+// verify.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/spectral"
+)
+
+// Kind selects the diffusion scheme order.
+type Kind int
+
+// Scheme kinds. The zero value is invalid so that a Config must choose
+// explicitly.
+const (
+	// FOS is the first order scheme (eq. 1).
+	FOS Kind = iota + 1
+	// SOS is the second order scheme (eq. 3) with an FOS first round.
+	SOS
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case FOS:
+		return "FOS"
+	case SOS:
+		return "SOS"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Errors shared by the engine constructors.
+var (
+	// ErrBadConfig reports an invalid engine configuration.
+	ErrBadConfig = errors.New("core: bad configuration")
+)
+
+// Config configures a diffusion engine.
+type Config struct {
+	// Op supplies the graph, speeds and α coefficients. Required.
+	Op *spectral.Operator
+	// Kind selects FOS or SOS. Required.
+	Kind Kind
+	// Beta is the second-order parameter β ∈ (0, 2); required for SOS,
+	// ignored for FOS. Use spectral.BetaOpt(λ) for the optimal value.
+	Beta float64
+	// Workers bounds the number of goroutines used per step. 0 or 1 means
+	// sequential. Results are identical for every value.
+	Workers int
+}
+
+func (c Config) validate() error {
+	if c.Op == nil {
+		return fmt.Errorf("%w: nil operator", ErrBadConfig)
+	}
+	switch c.Kind {
+	case FOS:
+	case SOS:
+		if c.Beta <= 0 || c.Beta >= 2 {
+			return fmt.Errorf("%w: SOS needs beta in (0,2), got %g", ErrBadConfig, c.Beta)
+		}
+	default:
+		return fmt.Errorf("%w: unknown scheme kind %d", ErrBadConfig, int(c.Kind))
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: negative worker count", ErrBadConfig)
+	}
+	return nil
+}
+
+// LoadView exposes the current load vector of a process. Exactly one of the
+// fields is non-nil; both are read-only views that are invalidated by the
+// next Step.
+type LoadView struct {
+	Int   []int64
+	Float []float64
+}
+
+// Process is the common interface of all balancing engines (continuous,
+// discrete, cumulative baseline). Implementations are not safe for
+// concurrent use; a Process is driven by one goroutine (internally it may
+// parallelize a step).
+type Process interface {
+	// Step executes one synchronous round.
+	Step()
+	// Round returns the number of completed rounds.
+	Round() int
+	// Kind returns the current scheme order (hybrid runs mutate it).
+	Kind() Kind
+	// SetKind switches the scheme order for subsequent rounds; switching to
+	// SOS (re)starts it with an FOS round, mirroring the scheme definition.
+	SetKind(Kind)
+	// Operator returns the diffusion operator the process runs on.
+	Operator() *spectral.Operator
+	// Loads returns the current load vector.
+	Loads() LoadView
+	// MinTransient returns the smallest transient load x̆_i(t) observed in
+	// any completed round (and +Inf-equivalent before the first round; see
+	// implementations). Section V.
+	MinTransient() float64
+	// NegativeTransientRounds returns the number of completed rounds in
+	// which some node's transient load was negative.
+	NegativeTransientRounds() int
+}
+
+// graphOf is a small helper used across the engine implementations.
+func graphOf(op *spectral.Operator) *graph.Graph { return op.Graph() }
+
+// speedsOf is a small helper used across the engine implementations.
+func speedsOf(op *spectral.Operator) *hetero.Speeds { return op.Speeds() }

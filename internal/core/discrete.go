@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"diffusionlb/internal/randx"
+	"diffusionlb/internal/spectral"
+)
+
+// Discrete is a discrete diffusion process: loads are atomic int64 tokens.
+// Each round it computes the continuous scheduled flows
+// Ŷ(t) = C(x_D(t), y_D(t−1)) from its own integer state (Definition 1) and
+// rounds them per node with the configured Rounder.
+//
+// The process is stateless in the paper's sense: round t depends only on
+// x_D(t) and the integer flows actually sent in round t−1.
+type Discrete struct {
+	op      *spectral.Operator
+	kind    Kind
+	beta    float64
+	workers int
+	rounder Rounder
+	seed    uint64
+
+	x         []int64   // loads at the beginning of the current round
+	flows     []int64   // y_D of the last completed round, per arc
+	scheduled []float64 // Ŷ(t) per arc, scratch
+	z         []float64 // normalized loads x_i/s_i, scratch
+	// flowsValid mirrors Continuous: SOS memory validity.
+	flowsValid bool
+
+	round              int
+	minTransient       int64
+	minTransientSet    bool
+	negTransientRounds int
+	minEndOfRound      int64 // minimum end-of-round load ever observed
+	minEndSet          bool
+	tokensMoved        int64 // Σ over rounds of all positive flows
+	edgeMessages       int64 // directed transfers (arcs with positive flow)
+
+	// per-worker scratch for compacting a node's positive flows
+	scratchVals [][]float64
+	scratchOut  [][]int64
+	scratchArcs [][]int32
+	// per-worker reusable RNG: the PCG is re-seeded per node from
+	// (seed, round, node), so streams stay deterministic while avoiding a
+	// generator allocation per node per round.
+	scratchPCG []*rand.PCG
+	scratchRNG []*rand.Rand
+}
+
+var _ Process = (*Discrete)(nil)
+
+// NewDiscrete builds a discrete process from cfg, a rounder (nil means the
+// paper's RandomizedRounder), a master seed for the rounding streams, and
+// the initial integer loads (copied).
+func NewDiscrete(cfg Config, rounder Rounder, seed uint64, initial []int64) (*Discrete, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rounder == nil {
+		rounder = RandomizedRounder{}
+	}
+	n := cfg.Op.Graph().NumNodes()
+	if len(initial) != n {
+		return nil, fmt.Errorf("%w: %d initial loads for %d nodes", ErrBadConfig, len(initial), n)
+	}
+	maxDeg := cfg.Op.Graph().MaxDegree()
+	chunks := numChunks(n, cfg.Workers)
+	d := &Discrete{
+		op:          cfg.Op,
+		kind:        cfg.Kind,
+		beta:        cfg.Beta,
+		workers:     cfg.Workers,
+		rounder:     rounder,
+		seed:        seed,
+		x:           make([]int64, n),
+		flows:       make([]int64, cfg.Op.Graph().NumArcs()),
+		scheduled:   make([]float64, cfg.Op.Graph().NumArcs()),
+		z:           make([]float64, n),
+		scratchVals: make([][]float64, chunks),
+		scratchOut:  make([][]int64, chunks),
+		scratchArcs: make([][]int32, chunks),
+	}
+	d.scratchPCG = make([]*rand.PCG, chunks)
+	d.scratchRNG = make([]*rand.Rand, chunks)
+	for c := 0; c < chunks; c++ {
+		d.scratchVals[c] = make([]float64, maxDeg)
+		d.scratchOut[c] = make([]int64, maxDeg)
+		d.scratchArcs[c] = make([]int32, maxDeg)
+		d.scratchPCG[c] = rand.NewPCG(0, 0)
+		d.scratchRNG[c] = rand.New(d.scratchPCG[c])
+	}
+	copy(d.x, initial)
+	return d, nil
+}
+
+// Step executes one synchronous discrete round.
+func (d *Discrete) Step() {
+	g := graphOf(d.op)
+	sp := speedsOf(d.op)
+	n := g.NumNodes()
+	offsets, arcs, mate := g.Offsets(), g.Arcs(), g.MateIndex()
+	alpha := d.op.Alphas()
+
+	// Phase 0: normalized loads z_i = x_i/s_i.
+	homog := sp.IsHomogeneous()
+	parallelFor(n, d.workers, func(_, lo, hi int) {
+		if homog {
+			for i := lo; i < hi; i++ {
+				d.z[i] = float64(d.x[i])
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				d.z[i] = float64(d.x[i]) / sp.Of(i)
+			}
+		}
+	})
+
+	// Phase 1: scheduled flows Ŷ(t) per arc. Antisymmetric by IEEE
+	// arithmetic, so each node fills its own arc range independently.
+	secondOrder := d.kind == SOS && d.flowsValid
+	beta := d.beta
+	sigma := beta - 1
+	parallelFor(n, d.workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			zi := d.z[i]
+			for a := offsets[i]; a < offsets[i+1]; a++ {
+				grad := alpha[a] * (zi - d.z[arcs[a]])
+				if secondOrder {
+					d.scheduled[a] = sigma*float64(d.flows[a]) + beta*grad
+				} else {
+					d.scheduled[a] = grad
+				}
+			}
+		}
+	})
+
+	// Phase 2: rounding. Node i owns arc a=(i→j) iff Ŷ_a > 0, or Ŷ_a == 0
+	// and i < j; the owner writes the integer flow to both a and mate(a),
+	// so every arc is written exactly once and no clearing pass is needed.
+	round := uint64(d.round)
+	seed := d.seed
+	needRNG := !d.rounder.Deterministic()
+	parallelFor(n, d.workers, func(chunk, lo, hi int) {
+		vals := d.scratchVals[chunk]
+		out := d.scratchOut[chunk]
+		arcIdx := d.scratchArcs[chunk]
+		pcg, rng := d.scratchPCG[chunk], d.scratchRNG[chunk]
+		for i := lo; i < hi; i++ {
+			cnt := 0
+			for a := offsets[i]; a < offsets[i+1]; a++ {
+				y := d.scheduled[a]
+				if y > 0 {
+					vals[cnt] = y
+					out[cnt] = 0
+					arcIdx[cnt] = a
+					cnt++
+				} else if y == 0 && int32(i) < arcs[a] {
+					d.flows[a] = 0
+					d.flows[mate[a]] = 0
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			if needRNG {
+				pcg.Seed(randx.PCGPair(seed, round, uint64(i)))
+			}
+			d.rounder.RoundNode(vals[:cnt], out[:cnt], rng)
+			for k := 0; k < cnt; k++ {
+				a := arcIdx[k]
+				d.flows[a] = out[k]
+				d.flows[mate[a]] = -out[k]
+			}
+		}
+	})
+
+	// Phase 3: apply flows; track transient and end-of-round minima plus
+	// traffic (tokens moved, directed edge messages).
+	chunks := numChunks(n, d.workers)
+	minT := make([]int64, chunks)
+	minE := make([]int64, chunks)
+	moved := make([]int64, chunks)
+	msgs := make([]int64, chunks)
+	for c := range minT {
+		minT[c] = math.MaxInt64
+		minE[c] = math.MaxInt64
+	}
+	parallelFor(n, d.workers, func(chunk, lo, hi int) {
+		localT, localE := int64(math.MaxInt64), int64(math.MaxInt64)
+		var localMoved, localMsgs int64
+		for i := lo; i < hi; i++ {
+			var outSum, sentSum int64
+			for a := offsets[i]; a < offsets[i+1]; a++ {
+				f := d.flows[a]
+				outSum += f
+				if f > 0 {
+					sentSum += f
+					localMsgs++
+				}
+			}
+			localMoved += sentSum
+			if tr := d.x[i] - sentSum; tr < localT {
+				localT = tr
+			}
+			nx := d.x[i] - outSum
+			d.x[i] = nx
+			if nx < localE {
+				localE = nx
+			}
+		}
+		minT[chunk] = localT
+		minE[chunk] = localE
+		moved[chunk] = localMoved
+		msgs[chunk] = localMsgs
+	})
+	anyNeg := false
+	for c := 0; c < chunks; c++ {
+		d.tokensMoved += moved[c]
+		d.edgeMessages += msgs[c]
+		if !d.minTransientSet || minT[c] < d.minTransient {
+			d.minTransient = minT[c]
+			d.minTransientSet = true
+		}
+		if !d.minEndSet || minE[c] < d.minEndOfRound {
+			d.minEndOfRound = minE[c]
+			d.minEndSet = true
+		}
+		if minT[c] < 0 {
+			anyNeg = true
+		}
+	}
+	if anyNeg {
+		d.negTransientRounds++
+	}
+
+	if d.kind == SOS {
+		d.flowsValid = true
+	}
+	d.round++
+}
+
+// Round returns the number of completed rounds.
+func (d *Discrete) Round() int { return d.round }
+
+// Kind returns the current scheme order.
+func (d *Discrete) Kind() Kind { return d.kind }
+
+// SetKind switches the scheme for subsequent rounds; switching (back) to
+// SOS restarts its memory with an FOS round.
+func (d *Discrete) SetKind(k Kind) {
+	if k == d.kind {
+		return
+	}
+	d.kind = k
+	d.flowsValid = false
+}
+
+// Operator returns the diffusion operator.
+func (d *Discrete) Operator() *spectral.Operator { return d.op }
+
+// Loads returns the current integer load vector.
+func (d *Discrete) Loads() LoadView { return LoadView{Int: d.x} }
+
+// LoadsInt returns the raw integer load slice (read-only view).
+func (d *Discrete) LoadsInt() []int64 { return d.x }
+
+// Flows returns the integer per-arc flows of the last completed round
+// (read-only view; zero before the first round).
+func (d *Discrete) Flows() []int64 { return d.flows }
+
+// ScheduledFlows returns the per-arc continuous scheduled flows Ŷ of the
+// last completed round (read-only view), i.e. what the rounding saw.
+func (d *Discrete) ScheduledFlows() []float64 { return d.scheduled }
+
+// Rounder returns the rounding scheme in use.
+func (d *Discrete) Rounder() Rounder { return d.rounder }
+
+// Seed returns the master seed of the rounding streams.
+func (d *Discrete) Seed() uint64 { return d.seed }
+
+// MinTransient returns the smallest transient load x̆ observed so far
+// (+Inf before the first round).
+func (d *Discrete) MinTransient() float64 {
+	if !d.minTransientSet {
+		return math.Inf(1)
+	}
+	return float64(d.minTransient)
+}
+
+// MinTransientInt returns the exact integer minimum transient load and
+// whether any round has completed.
+func (d *Discrete) MinTransientInt() (int64, bool) { return d.minTransient, d.minTransientSet }
+
+// MinEndOfRound returns the smallest end-of-round load observed so far.
+func (d *Discrete) MinEndOfRound() (int64, bool) { return d.minEndOfRound, d.minEndSet }
+
+// NegativeTransientRounds counts rounds with a negative transient load.
+func (d *Discrete) NegativeTransientRounds() int { return d.negTransientRounds }
+
+// Checkpoint captures the process state needed to resume the run exactly:
+// the current loads, the last round's integer flows (the SOS memory), and
+// the round counter. Diagnostics counters (minima, traffic) are included
+// so a resumed run reports the same aggregates.
+type Checkpoint struct {
+	Round              int
+	Kind               Kind
+	FlowsValid         bool
+	Loads              []int64
+	Flows              []int64
+	MinTransient       int64
+	MinTransientSet    bool
+	NegTransientRounds int
+	MinEndOfRound      int64
+	MinEndSet          bool
+	TokensMoved        int64
+	EdgeMessages       int64
+}
+
+// Checkpoint returns a deep copy of the resumable state. Combined with the
+// counter-based rounding streams (seeded by round number), Restore yields
+// a bit-identical continuation — long paper-scale runs can be split across
+// process lifetimes.
+func (d *Discrete) Checkpoint() Checkpoint {
+	cp := Checkpoint{
+		Round:              d.round,
+		Kind:               d.kind,
+		FlowsValid:         d.flowsValid,
+		Loads:              make([]int64, len(d.x)),
+		Flows:              make([]int64, len(d.flows)),
+		MinTransient:       d.minTransient,
+		MinTransientSet:    d.minTransientSet,
+		NegTransientRounds: d.negTransientRounds,
+		MinEndOfRound:      d.minEndOfRound,
+		MinEndSet:          d.minEndSet,
+		TokensMoved:        d.tokensMoved,
+		EdgeMessages:       d.edgeMessages,
+	}
+	copy(cp.Loads, d.x)
+	copy(cp.Flows, d.flows)
+	return cp
+}
+
+// Restore replaces the process state with a checkpoint taken from a
+// process over the same graph (and the same seed, for the continuation to
+// be identical).
+func (d *Discrete) Restore(cp Checkpoint) error {
+	if len(cp.Loads) != len(d.x) || len(cp.Flows) != len(d.flows) {
+		return fmt.Errorf("%w: checkpoint shape %d/%d does not match process %d/%d",
+			ErrBadConfig, len(cp.Loads), len(cp.Flows), len(d.x), len(d.flows))
+	}
+	switch cp.Kind {
+	case FOS, SOS:
+	default:
+		return fmt.Errorf("%w: checkpoint has invalid kind %d", ErrBadConfig, int(cp.Kind))
+	}
+	d.round = cp.Round
+	d.kind = cp.Kind
+	d.flowsValid = cp.FlowsValid
+	copy(d.x, cp.Loads)
+	copy(d.flows, cp.Flows)
+	d.minTransient = cp.MinTransient
+	d.minTransientSet = cp.MinTransientSet
+	d.negTransientRounds = cp.NegTransientRounds
+	d.minEndOfRound = cp.MinEndOfRound
+	d.minEndSet = cp.MinEndSet
+	d.tokensMoved = cp.TokensMoved
+	d.edgeMessages = cp.EdgeMessages
+	return nil
+}
+
+// Traffic returns the cumulative communication cost of the run so far:
+// tokens is the total number of token transfers (each token crossing one
+// edge counts once) and messages is the number of directed edge transfers
+// (rounds × arcs that carried at least one token). The paper uses this
+// cost to argue for diffusion over random-walk schemes (Section II).
+func (d *Discrete) Traffic() (tokens, messages int64) {
+	return d.tokensMoved, d.edgeMessages
+}
+
+// TotalLoad returns Σ x_i, which every step conserves exactly.
+func (d *Discrete) TotalLoad() int64 {
+	var s int64
+	for _, v := range d.x {
+		s += v
+	}
+	return s
+}

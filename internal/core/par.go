@@ -1,0 +1,66 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor splits [0, n) into contiguous chunks and runs body(chunk,
+// start, end) on up to workers goroutines. Chunk boundaries depend only on n
+// and the worker count, and chunk indices are dense 0..chunks-1 so callers
+// can keep per-chunk partial results and combine them in chunk order,
+// keeping floating-point reductions deterministic for a fixed worker count.
+//
+// workers <= 1 runs inline (no goroutines), which is also the code path the
+// race detector exercises most cheaply.
+func parallelFor(n, workers int, body func(chunk, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Small inputs are not worth the goroutine fan-out.
+	if workers == 1 || n < 4096 {
+		body(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	idx := 0
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(c, s, e int) {
+			defer wg.Done()
+			body(c, s, e)
+		}(idx, start, end)
+		idx++
+	}
+	wg.Wait()
+}
+
+// numChunks returns the number of chunks parallelFor will produce for the
+// given n and workers, so callers can size partial-result slices.
+func numChunks(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n < 4096 {
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	return (n + chunk - 1) / chunk
+}

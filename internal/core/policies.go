@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"diffusionlb/internal/metrics"
+)
+
+// SwitchPolicy decides when a hybrid run should switch from SOS to FOS.
+// The paper (Section VI-A) observes that discrete SOS stalls at a small
+// constant imbalance and proposes switching to FOS once that plateau is
+// reached; it also notes that the maximum local load difference is a good
+// switching signal because it is locally computable.
+//
+// Policies may keep state across rounds; Decide is called after every
+// completed round with the process to inspect.
+type SwitchPolicy interface {
+	// Decide reports whether the process should switch to FOS now.
+	Decide(p Process) bool
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// SwitchAtRound switches unconditionally after a fixed number of completed
+// rounds (the paper's Figures 4/5/8 use 2500/3000 and 300..900).
+type SwitchAtRound struct{ Round int }
+
+// Decide implements SwitchPolicy.
+func (s SwitchAtRound) Decide(p Process) bool { return p.Round() >= s.Round }
+
+// Name implements SwitchPolicy.
+func (s SwitchAtRound) Name() string { return fmt.Sprintf("at-round-%d", s.Round) }
+
+// SwitchOnLocalDiff switches once the maximum local load difference drops
+// to Threshold or below — the locally-computable signal the paper
+// recommends for distributed deployments.
+type SwitchOnLocalDiff struct{ Threshold float64 }
+
+// Decide implements SwitchPolicy.
+func (s SwitchOnLocalDiff) Decide(p Process) bool {
+	g := p.Operator().Graph()
+	lv := p.Loads()
+	if lv.Int != nil {
+		return metrics.MaxLocalDiff(g, lv.Int) <= s.Threshold
+	}
+	return metrics.MaxLocalDiff(g, lv.Float) <= s.Threshold
+}
+
+// Name implements SwitchPolicy.
+func (s SwitchOnLocalDiff) Name() string { return fmt.Sprintf("local-diff<=%g", s.Threshold) }
+
+// SwitchOnPotentialStall switches when the 2-norm potential has improved by
+// less than Factor (e.g. 0.01 = 1%) over the last Window rounds — the
+// "end of the exponential decay phase" signal visible in Figure 1.
+type SwitchOnPotentialStall struct {
+	Window int
+	Factor float64
+
+	history []float64
+}
+
+// Decide implements SwitchPolicy.
+func (s *SwitchOnPotentialStall) Decide(p Process) bool {
+	lv := p.Loads()
+	var phi float64
+	if lv.Int != nil {
+		phi = metrics.Potential(lv.Int, p.Operator().Speeds())
+	} else {
+		phi = metrics.Potential(lv.Float, p.Operator().Speeds())
+	}
+	s.history = append(s.history, phi)
+	w := s.Window
+	if w <= 0 {
+		w = 50
+	}
+	if len(s.history) <= w {
+		return false
+	}
+	old := s.history[len(s.history)-1-w]
+	if old <= 0 {
+		return true
+	}
+	improvement := (old - phi) / old
+	return improvement < s.Factor
+}
+
+// Name implements SwitchPolicy.
+func (s *SwitchOnPotentialStall) Name() string {
+	return fmt.Sprintf("potential-stall(w=%d,f=%g)", s.Window, s.Factor)
+}
+
+// NeverSwitch is the identity policy (pure SOS or pure FOS run).
+type NeverSwitch struct{}
+
+// Decide implements SwitchPolicy.
+func (NeverSwitch) Decide(Process) bool { return false }
+
+// Name implements SwitchPolicy.
+func (NeverSwitch) Name() string { return "never" }
+
+// RunHybrid drives p for maxRounds rounds, switching p to FOS the first
+// time policy fires. It returns the round at which the switch happened, or
+// -1 if it never did. A nil policy never switches.
+func RunHybrid(p Process, policy SwitchPolicy, maxRounds int) (switchRound int) {
+	switchRound = -1
+	for r := 0; r < maxRounds; r++ {
+		p.Step()
+		if switchRound < 0 && policy != nil && p.Kind() == SOS && policy.Decide(p) {
+			p.SetKind(FOS)
+			switchRound = p.Round()
+		}
+	}
+	return switchRound
+}
+
+// Run drives p for rounds rounds.
+func Run(p Process, rounds int) {
+	for r := 0; r < rounds; r++ {
+		p.Step()
+	}
+}
+
+// RunUntil drives p until pred returns true or maxRounds is reached,
+// returning the number of rounds executed and whether pred fired.
+func RunUntil(p Process, maxRounds int, pred func(Process) bool) (rounds int, ok bool) {
+	for r := 0; r < maxRounds; r++ {
+		p.Step()
+		if pred(p) {
+			return r + 1, true
+		}
+	}
+	return maxRounds, false
+}
+
+// ConvergedWithin returns a predicate that fires when the discrepancy
+// (max − min load) is at most eps — a convenient RunUntil condition.
+func ConvergedWithin(eps float64) func(Process) bool {
+	return func(p Process) bool {
+		lv := p.Loads()
+		if lv.Int != nil {
+			return metrics.Discrepancy(lv.Int) <= eps
+		}
+		return metrics.Discrepancy(lv.Float) <= eps
+	}
+}
+
+// ProportionallyConvergedWithin is the heterogeneous analogue: fires when
+// the speed-normalized discrepancy max x_i/s_i − min x_i/s_i is at most eps.
+func ProportionallyConvergedWithin(eps float64) func(Process) bool {
+	return func(p Process) bool {
+		sp := p.Operator().Speeds()
+		lv := p.Loads()
+		if lv.Int != nil {
+			return metrics.HeteroNormalizedDiscrepancy(lv.Int, sp) <= eps
+		}
+		return metrics.HeteroNormalizedDiscrepancy(lv.Float, sp) <= eps
+	}
+}

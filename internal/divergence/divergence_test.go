@@ -1,0 +1,432 @@
+package divergence
+
+import (
+	"math"
+	"testing"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/eigen"
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/metrics"
+	"diffusionlb/internal/numeric"
+	"diffusionlb/internal/spectral"
+)
+
+func opFor(t *testing.T, g *graph.Graph, sp *hetero.Speeds) *spectral.Operator {
+	t.Helper()
+	op, err := spectral.NewOperator(g, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func betaOptFor(t *testing.T, op *spectral.Operator) float64 {
+	t.Helper()
+	lam, _, err := op.SecondEigenvalue(spectral.PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := spectral.BetaOpt(lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return beta
+}
+
+func TestQSequenceFOSIsMatrixPower(t *testing.T) {
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := opFor(t, g, nil)
+	q, err := NewQSequence(op, core.FOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := op.Dense()
+	want := m.Clone()
+	for tt := 1; tt <= 6; tt++ {
+		got, err := q.Q(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, _ := numeric.MaxAbsDiff(got, want); d > 1e-12 {
+			t.Fatalf("Q(%d) differs from M^%d by %g", tt, tt, d)
+		}
+		want, err = numeric.Mul(m, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQSequenceSOSRecursion(t *testing.T) {
+	// Spot check: Q(2) = βM·(βM) + (1−β)·I.
+	g, err := graph.Torus2D(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := opFor(t, g, nil)
+	const beta = 1.5
+	q, err := NewQSequence(op, core.SOS, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := op.Dense()
+	q2, err := q.Q(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := numeric.Mul(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := beta * beta * mm.At(i, j)
+			if i == j {
+				want += 1 - beta
+			}
+			if math.Abs(q2.At(i, j)-want) > 1e-12 {
+				t.Fatalf("Q(2)[%d][%d] = %g, want %g", i, j, q2.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestLemma7EqualColumnSums(t *testing.T) {
+	// Lemma 7(3): Q(t) has equal column sums, including heterogeneous M.
+	g, err := graph.RandomRegular(16, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := hetero.UniformRange(16, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spc := range []*hetero.Speeds{nil, sp} {
+		op := opFor(t, g, spc)
+		q, err := NewQSequence(op, core.SOS, 1.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := 0; tt <= 12; tt++ {
+			spread, err := q.ColumnSumSpread(tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spread > 1e-9 {
+				t.Fatalf("Q(%d) column sums spread %g, want 0 (Lemma 7(3))", tt, spread)
+			}
+		}
+	}
+}
+
+func TestLemma7EigenvalueBound(t *testing.T) {
+	// Lemma 7(1)/(2): eigenvectors of M are eigenvectors of Q(t); with
+	// β = β_opt all non-principal eigenvalues of Q(t) are bounded by
+	// (√(β−1))^t·(t+1).
+	g, err := graph.Torus2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := opFor(t, g, nil)
+	beta := betaOptFor(t, op)
+	q, err := NewQSequence(op, core.SOS, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := op.Dense()
+	dec, err := eigen.Jacobi(m, 0, 0) // homogeneous torus: M symmetric
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Rows
+	for tt := 1; tt <= 25; tt++ {
+		qt, err := q.Q(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := math.Pow(math.Sqrt(beta-1), float64(tt)) * float64(tt+1)
+		for j := 0; j < n; j++ {
+			v := dec.Vector(j)
+			qv, err := qt.MulVec(v, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Rayleigh quotient = eigenvalue of Q(t) for this eigenvector.
+			var num float64
+			for i := range v {
+				num += qv[i] * v[i]
+			}
+			// Check eigenvector property: Q(t)v ∥ v.
+			var residual float64
+			for i := range v {
+				if r := math.Abs(qv[i] - num*v[i]); r > residual {
+					residual = r
+				}
+			}
+			if residual > 1e-8 {
+				t.Fatalf("t=%d: eigenvector %d of M is not an eigenvector of Q(t) (residual %g)",
+					tt, j, residual)
+			}
+			if math.Abs(dec.Values[j]-1) < 1e-9 {
+				continue // principal eigenvalue is exempt (Lemma 7(2))
+			}
+			if math.Abs(num) > bound+1e-9 {
+				t.Fatalf("t=%d: |γ_%d| = %g exceeds Lemma 7(2) bound %g", tt, j, math.Abs(num), bound)
+			}
+		}
+	}
+}
+
+func TestLemma7NormBound(t *testing.T) {
+	// Lemma 7(4): ‖Q_k,·(t) − (s_k/s)·q(t)‖² <= 2·s_max·(β−1)^t·(t+1)².
+	g, err := graph.Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := hetero.New([]float64{1, 2, 1, 3, 1, 2, 1, 3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := opFor(t, g, sp)
+	beta := betaOptFor(t, op)
+	q, err := NewQSequence(op, core.SOS, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10
+	sSum := sp.Sum()
+	for tt := 1; tt <= 40; tt++ {
+		qt, err := q.Q(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colSums := qt.ColumnSums()
+		qOfT := colSums[0] // equal by Lemma 7(3)
+		bound := 2 * sp.Max() * math.Pow(beta-1, float64(tt)) * float64(tt+1) * float64(tt+1)
+		for k := 0; k < n; k++ {
+			var norm2 float64
+			for i := 0; i < n; i++ {
+				d := qt.At(k, i) - sp.Of(k)/sSum*qOfT
+				norm2 += d * d
+			}
+			if norm2 > bound*(1+1e-9)+1e-12 {
+				t.Fatalf("t=%d k=%d: ‖a‖² = %g exceeds Lemma 7(4) bound %g", tt, k, norm2, bound)
+			}
+		}
+	}
+}
+
+func TestVerifyLemma2Exact(t *testing.T) {
+	// The telescoping identity must hold to floating-point accuracy on
+	// real randomized runs, for FOS and SOS, homogeneous and heterogeneous.
+	g, err := graph.Torus2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := hetero.TwoClass(16, 0.5, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, err := metrics.PointLoad(16, 16*200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spc := range []*hetero.Speeds{nil, sp} {
+		op := opFor(t, g, spc)
+		beta := betaOptFor(t, op)
+		for _, kind := range []core.Kind{core.FOS, core.SOS} {
+			for _, rounder := range []core.Rounder{core.RandomizedRounder{}, core.FloorRounder{}, core.NearestRounder{}} {
+				res, err := VerifyLemma2(op, kind, beta, rounder, 77, x0, 30)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The identity is exact; allow only float accumulation noise
+				// relative to the deviation scale.
+				tol := 1e-7 * (1 + res.MaxDeviation)
+				if res.MaxAbsError > tol {
+					t.Errorf("%v/%s hetero=%v: Lemma 2 residual %g (deviation scale %g)",
+						kind, rounder.Name(), !spc.IsHomogeneous(), res.MaxAbsError, res.MaxDeviation)
+				}
+			}
+		}
+	}
+}
+
+func TestUpsilonCompleteGraph(t *testing.T) {
+	// On K_n with α = 1/n, one FOS round balances everything:
+	// M = J/n, so M(î−ĵ) = 0 and only the s=1 term contributes.
+	// Υ² = Σ_i max_j (δ_ki − δ_kj)² = 1 + (n−1) · max over j... computed
+	// directly: for row k, node i=k contributes 1, every i≠k contributes
+	// max_j (0 − δ_kj)² = 1 iff k ∈ N(i) (always on K_n). So Υ = √n.
+	g, err := graph.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := opFor(t, g, nil)
+	q, err := NewQSequence(op, core.FOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups, _, err := Upsilon(q, UpsilonOptions{MaxRounds: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ups-math.Sqrt(6)) > 1e-9 {
+		t.Errorf("Upsilon(K_6) = %g, want √6 = %g", ups, math.Sqrt(6))
+	}
+}
+
+func TestUpsilonGrowsWithMixingTime(t *testing.T) {
+	// Within one graph family (fixed degree), slower mixing means a larger
+	// refined local divergence: a long cycle must beat a short one.
+	upsOf := func(n int) float64 {
+		g, err := graph.Cycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := opFor(t, g, nil)
+		q, err := NewQSequence(op, core.FOS, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups, _, err := Upsilon(q, UpsilonOptions{MaxRounds: 20000, Tol: 1e-13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ups
+	}
+	short, long := upsOf(8), upsOf(32)
+	if long <= short {
+		t.Errorf("Upsilon(cycle32) = %g should exceed Upsilon(cycle8) = %g", long, short)
+	}
+}
+
+func TestUpsilonSubsetNodes(t *testing.T) {
+	g, err := graph.Cycle(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := opFor(t, g, nil)
+	q, err := NewQSequence(op, core.FOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex transitivity: any single node gives the same value as all.
+	all, _, err := Upsilon(q, UpsilonOptions{MaxRounds: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _, err := Upsilon(q, UpsilonOptions{MaxRounds: 3000, Nodes: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(all-one) > 1e-6*(1+all) {
+		t.Errorf("vertex-transitive graph: Upsilon all=%g vs single=%g", all, one)
+	}
+	if _, _, err := Upsilon(q, UpsilonOptions{Nodes: []int{99}}); err == nil {
+		t.Error("out-of-range node must error")
+	}
+}
+
+func TestNegativeLoadBounds(t *testing.T) {
+	if got := Observation5Bound(100, 7); got != -70 {
+		t.Errorf("Observation5Bound = %g, want -70", got)
+	}
+	b10 := Theorem10Bound(100, 7, 0.99)
+	if b10 >= Observation5Bound(100, 7) {
+		t.Error("Theorem 10 transient bound must be deeper than the end-of-round bound")
+	}
+	b11 := Theorem11Bound(100, 7, 0.99, 4)
+	if b11 >= b10 {
+		t.Error("Theorem 11 (discrete) bound must be deeper than Theorem 10")
+	}
+	if MinInitialLoadForSafety(100, 7, 0.99) != -b10 {
+		t.Error("MinInitialLoadForSafety should negate the Theorem 10 bound")
+	}
+	if Delta0([]int64{10, 0, 0, 0, 0}) != 8 {
+		t.Errorf("Delta0 = %g, want 8", Delta0([]int64{10, 0, 0, 0, 0}))
+	}
+	if Delta0(nil) != 0 {
+		t.Error("Delta0(nil) should be 0")
+	}
+}
+
+func TestContinuousSOSRespectsObservation5(t *testing.T) {
+	// End-of-round loads of continuous SOS with β_opt never drop below
+	// −√n·Δ(0) (Observation 5).
+	g, err := graph.Torus2D(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := opFor(t, g, nil)
+	beta := betaOptFor(t, op)
+	n := 36
+	x0 := make([]float64, n)
+	x0[0] = 1000 * float64(n)
+	proc, err := core.NewContinuous(core.Config{Op: op, Kind: core.SOS, Beta: beta}, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta0 := 1000*float64(n) - 1000
+	bound := Observation5Bound(n, delta0)
+	for round := 0; round < 600; round++ {
+		proc.Step()
+		if mn := metrics.MinLoad(proc.LoadsFloat()); mn < bound-1e-6 {
+			t.Fatalf("round %d: min end-of-round load %g violates Observation 5 bound %g",
+				round+1, mn, bound)
+		}
+	}
+	// Transient loads must respect the (weaker) Theorem 10 bound.
+	lam, _, err := op.SecondEigenvalue(spectral.PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.MinTransient() < Theorem10Bound(n, delta0, lam)-1e-6 {
+		t.Errorf("min transient %g violates Theorem 10 bound %g",
+			proc.MinTransient(), Theorem10Bound(n, delta0, lam))
+	}
+}
+
+func TestTheorem8Bound(t *testing.T) {
+	// d·√(n·s_max)/(1−λ): monotone in every argument.
+	base := Theorem8Bound(4, 100, 1, 0.9)
+	if math.Abs(base-400) > 1e-9 {
+		t.Errorf("Theorem8Bound = %g, want 400", base)
+	}
+	if Theorem8Bound(8, 100, 1, 0.9) <= base {
+		t.Error("bound must grow with degree")
+	}
+	if Theorem8Bound(4, 100, 4, 0.9) <= base {
+		t.Error("bound must grow with s_max")
+	}
+	if Theorem8Bound(4, 100, 1, 0.99) <= base {
+		t.Error("bound must grow as lambda approaches 1")
+	}
+}
+
+func TestQSequenceValidation(t *testing.T) {
+	g, err := graph.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := opFor(t, g, nil)
+	if _, err := NewQSequence(op, core.SOS, 2.5); err == nil {
+		t.Error("beta out of range must be rejected")
+	}
+	q, err := NewQSequence(op, core.SOS, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Q(-1); err == nil {
+		t.Error("negative round must error")
+	}
+	if c, err := q.Contribution(0, 1, 2, 0); err != nil || c != 0 {
+		t.Error("contribution at t=0 must be 0")
+	}
+}

@@ -1,0 +1,294 @@
+package eigen
+
+import (
+	"math"
+	"testing"
+
+	"diffusionlb/internal/numeric"
+	"diffusionlb/internal/randx"
+)
+
+func TestJacobiDiagonal(t *testing.T) {
+	a := numeric.NewDense(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	dec, err := Jacobi(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if math.Abs(dec.Values[i]-v) > 1e-12 {
+			t.Fatalf("values = %v, want %v", dec.Values, want)
+		}
+	}
+}
+
+func TestJacobiKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1)/√2,
+	// (1,-1)/√2.
+	a := numeric.NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	dec, err := Jacobi(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.Values[0]-3) > 1e-12 || math.Abs(dec.Values[1]-1) > 1e-12 {
+		t.Fatalf("values = %v", dec.Values)
+	}
+	v0 := dec.Vector(0)
+	if math.Abs(math.Abs(v0[0])-math.Sqrt(0.5)) > 1e-10 || math.Abs(v0[0]-v0[1]) > 1e-10 {
+		t.Errorf("leading eigenvector = %v", v0)
+	}
+}
+
+func TestJacobiReconstruction(t *testing.T) {
+	// Random symmetric matrix: A == V diag(λ) Vᵀ and VᵀV == I.
+	const n = 20
+	rng := randx.New(5)
+	a := numeric.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.Float64()*2 - 1
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	dec, err := Jacobi(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orthonormality.
+	v := dec.Vectors
+	vt := v.Transpose()
+	prod, err := numeric.Mul(vt, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := numeric.Identity(n)
+	if d, _ := numeric.MaxAbsDiff(prod, id); d > 1e-9 {
+		t.Errorf("VᵀV differs from I by %g", d)
+	}
+	// Reconstruction.
+	lam := numeric.NewDense(n, n)
+	for i, val := range dec.Values {
+		lam.Set(i, i, val)
+	}
+	vl, err := numeric.Mul(v, lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := numeric.Mul(vl, vt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := numeric.MaxAbsDiff(rec, a); d > 1e-9 {
+		t.Errorf("V diag Vᵀ differs from A by %g", d)
+	}
+	// Sorted descending.
+	for i := 1; i < n; i++ {
+		if dec.Values[i] > dec.Values[i-1]+1e-12 {
+			t.Errorf("eigenvalues not sorted: %v", dec.Values)
+		}
+	}
+}
+
+func TestJacobiRejectsNonSymmetric(t *testing.T) {
+	a := numeric.NewDense(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	if _, err := Jacobi(a, 0, 0); err == nil {
+		t.Error("non-symmetric input must be rejected")
+	}
+}
+
+func TestCoefficientsSolveLinearSystem(t *testing.T) {
+	// For any x, V·a = x must hold with a = Coefficients(x).
+	const n = 12
+	rng := randx.New(21)
+	a := numeric.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.Float64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	dec, err := Jacobi(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*10 - 5
+	}
+	coef, err := dec.Coefficients(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dec.Vectors.MulVec(coef, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-9 {
+			t.Fatalf("V·a != x at %d: %g vs %g", i, back[i], x[i])
+		}
+	}
+}
+
+func TestTorusBasisOrthonormal(t *testing.T) {
+	for _, wh := range [][2]int{{4, 4}, {5, 3}, {6, 5}} {
+		b, err := NewTorusBasis(wh[0], wh[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Project a random vector and reconstruct it.
+		rng := randx.New(uint64(wh[0]*100 + wh[1]))
+		x := make([]float64, b.N())
+		for i := range x {
+			x[i] = rng.Float64()*20 - 10
+		}
+		coeffs, err := b.Coefficients(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := b.Reconstruct(coeffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				t.Fatalf("torus %v: reconstruction error at %d: %g vs %g", wh, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestTorusBasisEigenvectorProperty(t *testing.T) {
+	// Every basis vector must satisfy M·v = μ·v for the 4-regular torus
+	// diffusion matrix M = I − (1/5)L, verified by explicit stencil
+	// application.
+	const w, h = 5, 4
+	b, err := NewTorusBasis(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyM := func(x []float64) []float64 {
+		out := make([]float64, len(x))
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				i := y*w + xx
+				sum := 0.0
+				for _, j := range []int{
+					y*w + (xx+1)%w,
+					y*w + (xx+w-1)%w,
+					((y+1)%h)*w + xx,
+					((y+h-1)%h)*w + xx,
+				} {
+					sum += x[i] - x[j]
+				}
+				out[i] = x[i] - sum/5
+			}
+		}
+		return out
+	}
+	// Build each eigenvector via Reconstruct of a unit coefficient matrix.
+	for kx := 0; kx < w; kx++ {
+		for ky := 0; ky < h; ky++ {
+			coeffs := make([][]float64, w)
+			for i := range coeffs {
+				coeffs[i] = make([]float64, h)
+			}
+			coeffs[kx][ky] = 1
+			v, err := b.Reconstruct(coeffs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv := applyM(v)
+			mu := b.Mu(kx, ky)
+			for i := range v {
+				if math.Abs(mv[i]-mu*v[i]) > 1e-10 {
+					t.Fatalf("mode (%d,%d): (Mv)[%d]=%g, μ·v=%g", kx, ky, i, mv[i], mu*v[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTorusBasisRanks(t *testing.T) {
+	b, err := NewTorusBasis(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := b.Modes()
+	if modes[0].KX != 0 || modes[0].KY != 0 || math.Abs(modes[0].Mu-1) > 1e-15 {
+		t.Fatalf("rank-1 mode should be constant: %+v", modes[0])
+	}
+	// The four degenerate λ₂ modes occupy ranks 2..5 on a square torus.
+	lam2 := modes[1].Mu
+	for pos := 1; pos <= 4; pos++ {
+		if math.Abs(modes[pos].Mu-lam2) > 1e-12 {
+			t.Errorf("rank %d eigenvalue %g, want degenerate %g", pos+1, modes[pos].Mu, lam2)
+		}
+	}
+	if math.Abs(modes[5].Mu-lam2) < 1e-12 {
+		t.Error("rank 6 should leave the λ₂ eigenspace on a square torus")
+	}
+	// Rank lookup agrees with order.
+	for pos, m := range modes {
+		if b.Rank(m.KX, m.KY) != pos+1 {
+			t.Fatalf("Rank(%d,%d) = %d, want %d", m.KX, m.KY, b.Rank(m.KX, m.KY), pos+1)
+		}
+	}
+}
+
+func TestTorusImpactPointLoad(t *testing.T) {
+	// A point load at node 0 has symmetric spread: cosine modes dominate,
+	// sine coefficients vanish at t=0 projection of the delta at origin.
+	b, err := NewTorusBasis(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 64)
+	x[0] = 6400
+	rep, err := b.Impact(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxAbsCoeff <= 0 {
+		t.Fatal("point load must excite non-constant modes")
+	}
+	if rep.LeadingRank < 2 {
+		t.Errorf("leading rank = %d, want >= 2", rep.LeadingRank)
+	}
+	// Balanced load ⇒ all non-constant coefficients vanish.
+	for i := range x {
+		x[i] = 17
+	}
+	rep2, err := b.Impact(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.MaxAbsCoeff > 1e-9 {
+		t.Errorf("balanced load has leading coefficient %g, want ~0", rep2.MaxAbsCoeff)
+	}
+}
+
+func TestSymmetrizedDiffusionHomogeneous(t *testing.T) {
+	m := numeric.Identity(3)
+	b, err := SymmetrizedDiffusion(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := numeric.MaxAbsDiff(m, b); d != 0 {
+		t.Error("homogeneous symmetrization must be a copy")
+	}
+	if _, err := SymmetrizedDiffusion(m, []float64{1, 2}); err == nil {
+		t.Error("speed length mismatch must error")
+	}
+}

@@ -1,0 +1,234 @@
+// Package experiments contains one registered, runnable experiment per
+// table and figure of the paper's evaluation (Section VI), plus two
+// experiments that make Section V (negative load) and Sections III/IV
+// (deviation bounds) measurable even though the paper gives no figure for
+// them.
+//
+// Every experiment prints the same series the paper plots, as an aligned
+// text table (and optionally CSV / PNG artifacts into Params.OutDir). By
+// default experiments run at laptop-scale sizes whose behaviour matches the
+// paper's shapes; Params.Full restores the paper's sizes (10⁶-node tori and
+// random graphs, 2²⁰-node hypercubes), which need minutes, not hours.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/metrics"
+	"diffusionlb/internal/sim"
+	"diffusionlb/internal/spectral"
+)
+
+// Params configures an experiment run.
+type Params struct {
+	// Full switches to the paper's original sizes.
+	Full bool
+	// Seed seeds every randomized component (default 1).
+	Seed uint64
+	// Workers bounds per-step parallelism (0 = sequential).
+	Workers int
+	// OutDir, when non-empty, receives CSV series and PNG/PGM frames.
+	OutDir string
+	// TableRows caps the rows of printed tables (default 21).
+	TableRows int
+	// RoundsOverride, when > 0, replaces the experiment's default round
+	// count (both scaled and full).
+	RoundsOverride int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.TableRows == 0 {
+		p.TableRows = 21
+	}
+	return p
+}
+
+// rounds picks the experiment's round budget.
+func (p Params) rounds(scaled, full int) int {
+	if p.RoundsOverride > 0 {
+		return p.RoundsOverride
+	}
+	if p.Full {
+		return full
+	}
+	return scaled
+}
+
+// Experiment is a runnable reproduction of one paper artifact.
+type Experiment struct {
+	// ID is the registry key (e.g. "fig1", "table1", "negload").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Artifact names the paper table/figure it reproduces.
+	Artifact string
+	// Run executes the experiment, writing its report to w.
+	Run func(w io.Writer, p Params) error
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// --- shared construction helpers ---
+
+// system bundles a graph with its diffusion operator and spectral data.
+type system struct {
+	g      *graph.Graph
+	op     *spectral.Operator
+	lambda float64
+	beta   float64
+}
+
+// newSystem builds the operator and determines λ and β_opt, preferring
+// analytic spectra where available.
+func newSystem(g *graph.Graph, sp *hetero.Speeds, analyticLambda float64) (*system, error) {
+	op, err := spectral.NewOperator(g, sp, nil)
+	if err != nil {
+		return nil, err
+	}
+	lam := analyticLambda
+	if lam <= 0 {
+		lam, _, err = op.SecondEigenvalue(spectral.PowerOptions{Tol: 1e-10})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: lambda for %s: %w", g.Name(), err)
+		}
+	}
+	beta, err := spectral.BetaOpt(lam)
+	if err != nil {
+		return nil, err
+	}
+	return &system{g: g, op: op, lambda: lam, beta: beta}, nil
+}
+
+func torusSystem(w, h int) (*system, error) {
+	g, err := graph.Torus2D(w, h)
+	if err != nil {
+		return nil, err
+	}
+	lam, err := spectral.AnalyticTorus2DLambda(w, h)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(g, nil, lam)
+}
+
+// pointLoadDiscrete builds the paper's default initialization: avg·n tokens
+// on node v0 = 0.
+func pointLoadDiscrete(n int, avg int64) ([]int64, error) {
+	return metrics.PointLoad(n, avg*int64(n), 0)
+}
+
+// toFloat converts an integer load vector.
+func toFloat(x []int64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// discreteSOS / discreteFOS / continuousOf are small constructors shared by
+// the figure experiments.
+func (s *system) discrete(kind core.Kind, p Params, x0 []int64) (*core.Discrete, error) {
+	cfg := core.Config{Op: s.op, Kind: kind, Beta: s.beta, Workers: p.Workers}
+	return core.NewDiscrete(cfg, core.RandomizedRounder{}, p.Seed, x0)
+}
+
+func (s *system) continuous(kind core.Kind, p Params, x0 []float64) (*core.Continuous, error) {
+	cfg := core.Config{Op: s.op, Kind: kind, Beta: s.beta, Workers: p.Workers}
+	return core.NewContinuous(cfg, x0)
+}
+
+// writeSeries prints the table and optionally dumps CSV into OutDir.
+func writeSeries(w io.Writer, p Params, name string, series *sim.Series) error {
+	if _, err := fmt.Fprintf(w, "\n[%s]\n", name); err != nil {
+		return err
+	}
+	if err := series.WriteTable(w, p.TableRows); err != nil {
+		return err
+	}
+	if p.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(p.OutDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(p.OutDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := series.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// merged zips several series (sharing identical round grids) into one table
+// with prefixed column names.
+func merged(prefixes []string, series []*sim.Series) (*sim.Series, error) {
+	if len(prefixes) != len(series) || len(series) == 0 {
+		return nil, fmt.Errorf("experiments: merged needs matching prefixes/series")
+	}
+	base := series[0]
+	var names []string
+	for si, s := range series {
+		if s.Len() != base.Len() {
+			return nil, fmt.Errorf("experiments: series %d has %d rows, want %d", si, s.Len(), base.Len())
+		}
+		for _, n := range s.Names() {
+			names = append(names, prefixes[si]+n)
+		}
+	}
+	out := sim.NewSeries(names...)
+	for row := 0; row < base.Len(); row++ {
+		var vals []float64
+		for si, s := range series {
+			if s.Round(row) != base.Round(row) {
+				return nil, fmt.Errorf("experiments: series %d row %d has round %d, want %d",
+					si, row, s.Round(row), base.Round(row))
+			}
+			vals = append(vals, s.Row(row)...)
+		}
+		if err := out.Append(base.Round(row), vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// header prints a standard experiment banner.
+func header(w io.Writer, e Experiment, detail string) error {
+	_, err := fmt.Fprintf(w, "=== %s — %s ===\n%s\n%s\n", e.ID, e.Artifact, e.Title, detail)
+	return err
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diffusionlb/internal/sim"
+)
+
+// fastParams keeps the integration runs quick; the shapes asserted below
+// survive the reduced round budget.
+func fastParams() Params {
+	return Params{Seed: 1, RoundsOverride: 150, TableRows: 8}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must be covered.
+	want := []string{
+		"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"negload", "deviation", "traffic", "hetero",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	// All() is sorted and each entry is well formed.
+	prev := ""
+	for _, e := range All() {
+		if e.ID <= prev {
+			t.Errorf("All() not sorted at %q", e.ID)
+		}
+		prev = e.ID
+		if e.Title == "" || e.Artifact == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTable1(&buf, Params{Seed: 1, TableRows: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Analytic rows must reproduce the paper's β digits.
+	for _, snippet := range []string{"1.9920836447", "1.9235874877", "1.4026054847", "Hypercube", "Random Graph (CM)"} {
+		if !strings.Contains(out, snippet) {
+			t.Errorf("table1 output missing %q:\n%s", snippet, out)
+		}
+	}
+}
+
+func TestFig1ShapeSOSBeatsFOS(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("fig1")
+	if err := e.Run(&buf, fastParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sos_max_minus_avg") || !strings.Contains(out, "fos_max_minus_avg") {
+		t.Fatalf("fig1 output missing series:\n%s", out)
+	}
+}
+
+func TestFig5HybridBeatsPureSOS(t *testing.T) {
+	// The paper's headline shape: after the switch the hybrid's remaining
+	// imbalance is no worse than pure SOS. Use enough rounds for the
+	// plateau to form on the 100x100 torus.
+	var buf bytes.Buffer
+	e, _ := ByID("fig5")
+	p := Params{Seed: 1, RoundsOverride: 700, TableRows: 5}
+	if err := e.Run(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "the switch drops the plateau") {
+		t.Errorf("fig5 missing summary line:\n%s", buf.String())
+	}
+}
+
+func TestFig9ProducesFrames(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	e, _ := ByID("fig9")
+	p := fastParams()
+	p.OutDir = dir
+	if err := e.Run(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig9_round*.png"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 5 {
+		t.Errorf("expected 5 PNG frames, got %d", len(matches))
+	}
+	for _, m := range matches {
+		info, err := os.Stat(m)
+		if err != nil || info.Size() == 0 {
+			t.Errorf("frame %s unreadable or empty", m)
+		}
+	}
+}
+
+func TestNegloadRuns(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("negload")
+	if err := e.Run(&buf, fastParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, snippet := range []string{"Observation 5", "Theorem 10", "min transient"} {
+		if !strings.Contains(out, snippet) {
+			t.Errorf("negload output missing %q", snippet)
+		}
+	}
+}
+
+func TestDeviationWithinBounds(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("deviation")
+	if err := e.Run(&buf, Params{Seed: 1, RoundsOverride: 120, TableRows: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every row must report "within true" — the measured deviation always
+	// sits below the Υ-based bound.
+	if strings.Contains(out, "false") {
+		t.Errorf("a measured deviation exceeded its bound:\n%s", out)
+	}
+}
+
+func TestMergedValidation(t *testing.T) {
+	a := sim.NewSeries("x")
+	_ = a.Append(0, 1)
+	_ = a.Append(5, 2)
+	b := sim.NewSeries("y")
+	_ = b.Append(0, 3)
+	_ = b.Append(5, 4)
+	m, err := merged([]string{"a_", "b_"}, []*sim.Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Names(); len(got) != 2 || got[0] != "a_x" || got[1] != "b_y" {
+		t.Errorf("merged names = %v", got)
+	}
+	// Mismatched lengths must error.
+	c := sim.NewSeries("z")
+	_ = c.Append(0, 9)
+	if _, err := merged([]string{"a_", "c_"}, []*sim.Series{a, c}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	// Mismatched rounds must error.
+	d := sim.NewSeries("w")
+	_ = d.Append(0, 1)
+	_ = d.Append(6, 2)
+	if _, err := merged([]string{"a_", "d_"}, []*sim.Series{a, d}); err == nil {
+		t.Error("round mismatch must error")
+	}
+}
+
+func TestCSVDumping(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	e, _ := ByID("fig2")
+	p := fastParams()
+	p.OutDir = dir
+	if err := e.Run(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2_initial_load_sweep.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(data), "\n", 2)[0]
+	if !strings.HasPrefix(head, "round,") || !strings.Contains(head, "avg10_max_minus_avg") {
+		t.Errorf("CSV header wrong: %q", head)
+	}
+}
+
+// TestAllExperimentsRun sweeps every registered experiment at a tiny round
+// budget; it is the regression net that keeps each artifact regenerable.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	p := Params{Seed: 1, RoundsOverride: 60, TableRows: 4}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(&buf, p); err != nil {
+				t.Fatalf("experiment %s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.Artifact) {
+				t.Errorf("experiment %s output missing artifact banner", e.ID)
+			}
+			if len(out) < 200 {
+				t.Errorf("experiment %s output suspiciously short (%d bytes)", e.ID, len(out))
+			}
+		})
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Seed != 1 || p.TableRows != 21 {
+		t.Errorf("defaults = %+v", p)
+	}
+	if got := (Params{RoundsOverride: 7}).rounds(100, 200); got != 7 {
+		t.Errorf("override rounds = %d", got)
+	}
+	if got := (Params{Full: true}).rounds(100, 200); got != 200 {
+		t.Errorf("full rounds = %d", got)
+	}
+	if got := (Params{}).rounds(100, 200); got != 100 {
+		t.Errorf("scaled rounds = %d", got)
+	}
+}

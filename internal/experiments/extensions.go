@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"diffusionlb/internal/baselines"
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "traffic",
+		Artifact: "Section II (extension; no paper figure)",
+		Title:    "Communication cost: diffusion (FOS/SOS) vs random matchings [17] vs random walks [13] — rounds, token-hops and edge messages to balance",
+		Run:      runTraffic,
+	})
+	register(Experiment{
+		ID:       "hetero",
+		Artifact: "Section II-c (extension; the paper's simulations are homogeneous-only)",
+		Title:    "Heterogeneous networks: speed-proportional balancing with FOS and SOS on torus and expander",
+		Run:      runHetero,
+	})
+}
+
+// trafficProcess is what the traffic experiment needs from a balancer.
+type trafficProcess interface {
+	core.Process
+	Traffic() (tokens, messages int64)
+	LoadsInt() []int64
+}
+
+func runTraffic(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	e, _ := ByID("traffic")
+	side := 32
+	maxRounds := p.rounds(4000, 4000)
+	if p.Full {
+		side = 100
+	}
+	sys, err := torusSystem(side, side)
+	if err != nil {
+		return err
+	}
+	if err := header(w, e, fmt.Sprintf("torus %dx%d, avg load 1000 at v0; run until discrepancy <= 8 (cap %d rounds)",
+		side, side, maxRounds)); err != nil {
+		return err
+	}
+	n := sys.g.NumNodes()
+	x0, err := pointLoadDiscrete(n, 1000)
+	if err != nil {
+		return err
+	}
+
+	build := []struct {
+		name string
+		make func() (trafficProcess, error)
+	}{
+		{"FOS randomized", func() (trafficProcess, error) {
+			return sys.discrete(core.FOS, p, x0)
+		}},
+		{"SOS randomized", func() (trafficProcess, error) {
+			return sys.discrete(core.SOS, p, x0)
+		}},
+		{"random matching [17]", func() (trafficProcess, error) {
+			return baselines.NewMatchingBalancer(sys.op, p.Seed, x0)
+		}},
+		{"random walks [13]", func() (trafficProcess, error) {
+			return baselines.NewRandomWalkBalancer(sys.op, p.Seed, x0)
+		}},
+	}
+	fmt.Fprintf(w, "\n%-22s %8s %6s %16s %16s %14s\n",
+		"algorithm", "rounds", "done", "token-hops", "edge messages", "final disc")
+	for _, b := range build {
+		proc, err := b.make()
+		if err != nil {
+			return err
+		}
+		rounds, ok := core.RunUntil(proc, maxRounds, core.ConvergedWithin(8))
+		tokens, messages := proc.Traffic()
+		fmt.Fprintf(w, "%-22s %8d %6v %16d %16d %14.0f\n",
+			b.name, rounds, ok, tokens, messages, metrics.Discrepancy(proc.LoadsInt()))
+	}
+	_, err = fmt.Fprintln(w, "\nshape check: SOS needs the fewest rounds and edge messages; random walks cap the maximum quickly but fill underloaded regions slowly and move an order of magnitude more token-hops — the Section II criticism of [13] made measurable")
+	return err
+}
+
+func runHetero(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	e, _ := ByID("hetero")
+	side := 32
+	rounds := p.rounds(1500, 1500)
+	if p.Full {
+		side = 100
+	}
+	if err := header(w, e, fmt.Sprintf("torus %dx%d and CM expander, two-class and power-law speeds, avg load 1000", side, side)); err != nil {
+		return err
+	}
+
+	type caseDef struct {
+		label string
+		build func() (*graph.Graph, error)
+		speed func(n int) (*hetero.Speeds, error)
+	}
+	cases := []caseDef{
+		{"torus two-class s∈{1,4}",
+			func() (*graph.Graph, error) { return graph.Torus2D(side, side) },
+			func(n int) (*hetero.Speeds, error) { return hetero.TwoClass(n, 0.25, 4, p.Seed) }},
+		{"torus power-law s_max=16",
+			func() (*graph.Graph, error) { return graph.Torus2D(side, side) },
+			func(n int) (*hetero.Speeds, error) { return hetero.PowerLaw(n, 2.2, 16, p.Seed) }},
+		{"CM d=10 two-class s∈{1,4}",
+			func() (*graph.Graph, error) { return graph.RandomRegular(side*side, 10, p.Seed) },
+			func(n int) (*hetero.Speeds, error) { return hetero.TwoClass(n, 0.25, 4, p.Seed) }},
+	}
+
+	fmt.Fprintf(w, "\n%-28s %5s %12s %10s %12s %14s %16s\n",
+		"case", "kind", "lambda", "beta", "rounds", "norm disc", "max |x−target|")
+	for _, c := range cases {
+		g, err := c.build()
+		if err != nil {
+			return err
+		}
+		sp, err := c.speed(g.NumNodes())
+		if err != nil {
+			return err
+		}
+		sys, err := newSystem(g, sp, 0)
+		if err != nil {
+			return err
+		}
+		x0, err := pointLoadDiscrete(g.NumNodes(), 1000)
+		if err != nil {
+			return err
+		}
+		for _, kind := range []core.Kind{core.FOS, core.SOS} {
+			proc, err := sys.discrete(kind, p, x0)
+			if err != nil {
+				return err
+			}
+			ranRounds, _ := core.RunUntil(proc, rounds, core.ProportionallyConvergedWithin(8))
+			normDisc := metrics.HeteroNormalizedDiscrepancy(proc.LoadsInt(), sp)
+			// Worst absolute distance from the proportional target.
+			var worst float64
+			total := metrics.Total(proc.LoadsInt())
+			for i, v := range proc.LoadsInt() {
+				d := float64(v) - total*sp.Of(i)/sp.Sum()
+				if d < 0 {
+					d = -d
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+			fmt.Fprintf(w, "%-28s %5v %12.8f %10.6f %12d %14.2f %16.2f\n",
+				c.label, kind, sys.lambda, sys.beta, ranRounds, normDisc, worst)
+		}
+	}
+	_, err := fmt.Fprintln(w, "\nshape check: both schemes settle at speed-proportional loads within a few tokens per unit speed; SOS converges in fewer rounds where 1−λ is small (torus) and matches FOS on the expander")
+	return err
+}

@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMaxLocalDiff(t *testing.T) {
+	g := pathGraph(t, 4)
+	if got := MaxLocalDiff(g, []int64{0, 5, 5, 20}); got != 15 {
+		t.Errorf("MaxLocalDiff = %g, want 15", got)
+	}
+	if got := MaxLocalDiff(g, []float64{1.5, 1.5, 1.5, 1.5}); got != 0 {
+		t.Errorf("balanced MaxLocalDiff = %g, want 0", got)
+	}
+}
+
+func TestGlobalMetrics(t *testing.T) {
+	x := []int64{2, 8, 5, 5}
+	if got := Average(x); got != 5 {
+		t.Errorf("Average = %g", got)
+	}
+	if got := Total(x); got != 20 {
+		t.Errorf("Total = %g", got)
+	}
+	if got := MaxMinusAvg(x); got != 3 {
+		t.Errorf("MaxMinusAvg = %g, want 3", got)
+	}
+	if got := MinLoad(x); got != 2 {
+		t.Errorf("MinLoad = %g", got)
+	}
+	if got := MaxLoad(x); got != 8 {
+		t.Errorf("MaxLoad = %g", got)
+	}
+	if got := Discrepancy(x); got != 6 {
+		t.Errorf("Discrepancy = %g", got)
+	}
+	if MaxMinusAvg([]int64{}) != 0 || Discrepancy([]float64{}) != 0 {
+		t.Error("empty vectors must yield 0")
+	}
+}
+
+func TestPotential(t *testing.T) {
+	// Homogeneous: Σ (x−x̄)² = (2−5)²+(8−5)²+0+0 = 18.
+	if got := Potential([]int64{2, 8, 5, 5}, nil); got != 18 {
+		t.Errorf("Potential = %g, want 18", got)
+	}
+	// Heterogeneous: speeds (1,3), total 8, targets (2,6).
+	sp, err := hetero.New([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Potential([]int64{4, 4}, sp); got != 8 {
+		t.Errorf("hetero Potential = %g, want (4−2)²+(4−6)²=8", got)
+	}
+	// Balanced proportional load has zero potential.
+	if got := Potential([]int64{2, 6}, sp); got != 0 {
+		t.Errorf("proportional Potential = %g, want 0", got)
+	}
+}
+
+func TestHeteroMetrics(t *testing.T) {
+	sp, err := hetero.New([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := HeteroMaxMinusTarget([]int64{4, 4}, sp); got != 2 {
+		t.Errorf("HeteroMaxMinusTarget = %g, want 2", got)
+	}
+	if got := HeteroNormalizedDiscrepancy([]int64{4, 4}, sp); math.Abs(got-(4-4.0/3.0)) > 1e-12 {
+		t.Errorf("HeteroNormalizedDiscrepancy = %g, want %g", got, 4-4.0/3.0)
+	}
+	// Homogeneous fallback path.
+	if got := HeteroMaxMinusTarget([]int64{1, 5}, nil); got != 2 {
+		t.Errorf("homogeneous fallback = %g, want 2", got)
+	}
+}
+
+func TestDeviationNorms(t *testing.T) {
+	a := []int64{1, 2, 3}
+	b := []float64{1.5, 2, 1}
+	inf, err := DeviationInf(a, b)
+	if err != nil || inf != 2 {
+		t.Errorf("DeviationInf = %g, %v; want 2", inf, err)
+	}
+	l2, err := Deviation2(a, b)
+	if err != nil || math.Abs(l2-math.Sqrt(0.25+0+4)) > 1e-12 {
+		t.Errorf("Deviation2 = %g, %v", l2, err)
+	}
+	if _, err := DeviationInf([]int64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestCountersAndNegatives(t *testing.T) {
+	x := []int64{10, 0, -3, 4, 4}
+	if got := CountAbove(x, 3); got != 1 {
+		t.Errorf("CountAbove = %d, want 1 (avg=3, only 10 exceeds 3+3)", got)
+	}
+	if got := NegativeCount(x); got != 1 {
+		t.Errorf("NegativeCount = %d, want 1", got)
+	}
+}
+
+func TestPointLoad(t *testing.T) {
+	x, err := PointLoad(5, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[2] != 1000 || x[0] != 0 || len(x) != 5 {
+		t.Errorf("PointLoad = %v", x)
+	}
+	if _, err := PointLoad(5, 10, 7); err == nil {
+		t.Error("out-of-range node must fail")
+	}
+	if _, err := PointLoad(0, 10, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+}
+
+func TestUniformRandomLoad(t *testing.T) {
+	// Small totals: token-by-token path.
+	x, err := UniformRandomLoad(10, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range x {
+		if v < 0 {
+			t.Fatal("negative load generated")
+		}
+		sum += v
+	}
+	if sum != 100 {
+		t.Errorf("total = %d, want 100", sum)
+	}
+	// Large totals: bulk path.
+	y, err := UniformRandomLoad(10, 100000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum = 0
+	for _, v := range y {
+		if v < 0 {
+			t.Fatal("bulk path generated negative load")
+		}
+		sum += v
+	}
+	if sum != 100000 {
+		t.Errorf("bulk total = %d, want 100000", sum)
+	}
+	// Determinism.
+	z, err := UniformRandomLoad(10, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != z[i] {
+			t.Fatal("UniformRandomLoad must be deterministic per seed")
+		}
+	}
+}
+
+func TestBalancedPlusSpike(t *testing.T) {
+	x, err := BalancedPlusSpike(4, 10, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 110, 10, 10}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("BalancedPlusSpike = %v", x)
+		}
+	}
+}
+
+func TestProportionalLoad(t *testing.T) {
+	sp, err := hetero.New([]float64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ProportionalLoad(100, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range x {
+		sum += v
+	}
+	if sum != 100 {
+		t.Errorf("total = %d, want exactly 100", sum)
+	}
+	if x[1] != 50 || x[0] != 25 || x[2] != 25 {
+		t.Errorf("ProportionalLoad = %v, want [25 50 25]", x)
+	}
+	// Non-divisible case still sums exactly.
+	y, err := ProportionalLoad(101, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum = 0
+	for _, v := range y {
+		sum += v
+	}
+	if sum != 101 {
+		t.Errorf("total = %d, want exactly 101", sum)
+	}
+}
+
+// Property: generated initial distributions always sum to the requested
+// total and are non-negative.
+func TestPropertyDistributionsSumExactly(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, totalRaw uint16) bool {
+		n := 1 + int(nRaw)%64
+		total := int64(totalRaw)
+		x, err := UniformRandomLoad(n, total, seed)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, v := range x {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Discrepancy >= MaxMinusAvg >= 0 for any non-empty vector.
+func TestPropertyMetricOrdering(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]int64, len(raw))
+		for i, v := range raw {
+			x[i] = int64(v)
+		}
+		d := Discrepancy(x)
+		m := MaxMinusAvg(x)
+		return d >= m-1e-9 && m >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

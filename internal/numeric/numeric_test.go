@@ -1,0 +1,249 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"unit", []float64{1, 0}, []float64{0, 1}, 0},
+		{"simple", []float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{"negative", []float64{-1, 2}, []float64{3, -4}, -11},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Dot(tc.a, tc.b); got != tc.want {
+				t.Errorf("Dot(%v, %v) = %g, want %g", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if got := Norm2(v); got != 5 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := NormInf(v); got != 4 {
+		t.Errorf("NormInf = %g, want 4", got)
+	}
+	if got := NormInf(nil); got != 0 {
+		t.Errorf("NormInf(nil) = %g, want 0", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); got != 3 {
+		t.Errorf("Sum = %g, want 3", got)
+	}
+	if got := SumInt64([]int64{5, -2, 7}); got != 10 {
+		t.Errorf("SumInt64 = %d, want 10", got)
+	}
+}
+
+func TestAXPYAndScale(t *testing.T) {
+	y := []float64{1, 1, 1}
+	AXPY(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY result %v, want %v", y, want)
+		}
+	}
+	Scale(0.5, y)
+	want = []float64{1.5, 2.5, 3.5}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Scale result %v, want %v", y, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	n := Normalize(v)
+	if n != 5 {
+		t.Errorf("Normalize returned %g, want 5", n)
+	}
+	if math.Abs(Norm2(v)-1) > 1e-15 {
+		t.Errorf("normalized vector has norm %g", Norm2(v))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Error("Normalize(zero) should return 0")
+	}
+}
+
+func TestToFloat(t *testing.T) {
+	got := ToFloat([]int64{1, -2, 3}, nil)
+	want := []float64{1, -2, 3}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ToFloat = %v, want %v", got, want)
+		}
+	}
+	// Reuse path.
+	dst := make([]float64, 3)
+	got2 := ToFloat([]int64{7, 8, 9}, dst)
+	if &got2[0] != &dst[0] {
+		t.Error("ToFloat did not reuse correctly sized dst")
+	}
+}
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 7 {
+		t.Fatalf("unexpected entries: %v", m.Data)
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 7 {
+		t.Fatalf("Row(1) = %v", row)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(4)
+	v := []float64{1, 2, 3, 4}
+	got, err := id.MulVec(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("I*v = %v", got)
+		}
+	}
+	if _, err := id.MulVec([]float64{1}, nil); err == nil {
+		t.Error("MulVec with wrong length should error")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := NewDense(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul = %v, want %v", c.Data, want)
+			}
+		}
+	}
+	bad := NewDense(3, 1)
+	if _, err := Mul(a, bad); err == nil {
+		t.Error("Mul with mismatched shapes should error")
+	}
+}
+
+func TestAddScaledTransposeColumnSums(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 1, 2)
+	b := Identity(2)
+	c, err := AddScaled(a, 3, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 3 || c.At(0, 1) != 2 || c.At(1, 1) != 3 {
+		t.Fatalf("AddScaled = %v", c.Data)
+	}
+	tr := c.Transpose()
+	if tr.At(1, 0) != 2 {
+		t.Fatalf("Transpose = %v", tr.Data)
+	}
+	sums := c.ColumnSums()
+	if sums[0] != 3 || sums[1] != 5 {
+		t.Fatalf("ColumnSums = %v", sums)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := Identity(2)
+	b := Identity(2)
+	b.Set(1, 0, -0.25)
+	d, err := MaxAbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.25 {
+		t.Errorf("MaxAbsDiff = %g, want 0.25", d)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestDotPropertyBilinear(t *testing.T) {
+	f := func(a, b, c []float64, s float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if len(c) < n {
+			n = len(c)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b, c = a[:n], b[:n], c[:n]
+		for _, v := range append(append(append([]float64{}, a...), b...), c...) {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true // skip degenerate samples
+			}
+		}
+		if math.IsNaN(s) || math.Abs(s) > 1e6 {
+			return true
+		}
+		lhs := Dot(a, b) + s*Dot(c, b)
+		sum := make([]float64, n)
+		copy(sum, a)
+		AXPY(s, c, sum)
+		rhs := Dot(sum, b)
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(lhs)+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1, 1+1e-13, 1e-12) {
+		t.Error("ApproxEqual should accept tiny relative error")
+	}
+	if ApproxEqual(1, 2, 1e-12) {
+		t.Error("ApproxEqual should reject large error")
+	}
+}

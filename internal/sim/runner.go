@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/metrics"
+)
+
+// Metric samples one scalar per recorded round from a running process.
+type Metric interface {
+	// Name is the column name in the recorded series.
+	Name() string
+	// Compute samples the metric from the process.
+	Compute(p core.Process) float64
+}
+
+// metricFunc adapts a closure into a Metric.
+type metricFunc struct {
+	name string
+	fn   func(core.Process) float64
+}
+
+func (m metricFunc) Name() string                   { return m.name }
+func (m metricFunc) Compute(p core.Process) float64 { return m.fn(p) }
+
+// MetricFunc builds a Metric from a name and a closure.
+func MetricFunc(name string, fn func(core.Process) float64) Metric {
+	return metricFunc{name: name, fn: fn}
+}
+
+// intsOrFloats applies the right generic metric to the process load view.
+func intsOrFloats(p core.Process, fi func([]int64) float64, ff func([]float64) float64) float64 {
+	lv := p.Loads()
+	if lv.Int != nil {
+		return fi(lv.Int)
+	}
+	return ff(lv.Float)
+}
+
+// MaxMinusAvg is φ_global = max load − average load (metric 2, Section VI).
+func MaxMinusAvg() Metric {
+	return MetricFunc("max_minus_avg", func(p core.Process) float64 {
+		return intsOrFloats(p, metrics.MaxMinusAvg[int64], metrics.MaxMinusAvg[float64])
+	})
+}
+
+// MaxLocalDiff is φ_local = max load difference across an edge (metric 1).
+func MaxLocalDiff() Metric {
+	return MetricFunc("max_local_diff", func(p core.Process) float64 {
+		g := p.Operator().Graph()
+		lv := p.Loads()
+		if lv.Int != nil {
+			return metrics.MaxLocalDiff(g, lv.Int)
+		}
+		return metrics.MaxLocalDiff(g, lv.Float)
+	})
+}
+
+// PotentialPerN is φ_t/n, the 2-norm potential of [19] divided by n as the
+// paper plots it (metric 3).
+func PotentialPerN() Metric {
+	return MetricFunc("potential_per_n", func(p core.Process) float64 {
+		sp := p.Operator().Speeds()
+		n := float64(p.Operator().Graph().NumNodes())
+		return intsOrFloats(p,
+			func(x []int64) float64 { return metrics.Potential(x, sp) / n },
+			func(x []float64) float64 { return metrics.Potential(x, sp) / n })
+	})
+}
+
+// Discrepancy is max − min load.
+func Discrepancy() Metric {
+	return MetricFunc("discrepancy", func(p core.Process) float64 {
+		return intsOrFloats(p, metrics.Discrepancy[int64], metrics.Discrepancy[float64])
+	})
+}
+
+// MinLoad is the minimum end-of-round load (negative-load diagnostics).
+func MinLoad() Metric {
+	return MetricFunc("min_load", func(p core.Process) float64 {
+		return intsOrFloats(p, metrics.MinLoad[int64], metrics.MinLoad[float64])
+	})
+}
+
+// MinTransient is the running minimum transient load x̆ (Section V).
+func MinTransient() Metric {
+	return MetricFunc("min_transient", func(p core.Process) float64 {
+		v := p.MinTransient()
+		if math.IsInf(v, 1) {
+			return 0
+		}
+		return v
+	})
+}
+
+// TotalLoad is Σ x_i, for conservation plots (Figure 6, right).
+func TotalLoad() Metric {
+	return MetricFunc("total_load", func(p core.Process) float64 {
+		return intsOrFloats(p, metrics.Total[int64], metrics.Total[float64])
+	})
+}
+
+// HeteroMaxMinusTarget is the speed-proportional φ_global.
+func HeteroMaxMinusTarget() Metric {
+	return MetricFunc("max_minus_target", func(p core.Process) float64 {
+		sp := p.Operator().Speeds()
+		return intsOrFloats(p,
+			func(x []int64) float64 { return metrics.HeteroMaxMinusTarget(x, sp) },
+			func(x []float64) float64 { return metrics.HeteroMaxMinusTarget(x, sp) })
+	})
+}
+
+// DeviationFrom records ‖x_P − x_ref‖_∞ against a reference process that
+// the caller steps in lockstep (e.g. the idealized continuous run).
+func DeviationFrom(ref core.Process, name string) Metric {
+	return MetricFunc(name, func(p core.Process) float64 {
+		a, b := p.Loads(), ref.Loads()
+		var dev float64
+		var err error
+		switch {
+		case a.Int != nil && b.Float != nil:
+			dev, err = metrics.DeviationInf(a.Int, b.Float)
+		case a.Int != nil && b.Int != nil:
+			dev, err = metrics.DeviationInf(a.Int, b.Int)
+		case a.Float != nil && b.Float != nil:
+			dev, err = metrics.DeviationInf(a.Float, b.Float)
+		default:
+			dev, err = metrics.DeviationInf(a.Float, b.Int)
+		}
+		if err != nil {
+			return math.NaN()
+		}
+		return dev
+	})
+}
+
+// TokensMoved samples the cumulative token-hop counter of processes that
+// expose Traffic() (the discrete engines and the baselines); it reports 0
+// for processes without traffic accounting.
+func TokensMoved() Metric {
+	return MetricFunc("token_hops", func(p core.Process) float64 {
+		if tp, ok := p.(interface{ Traffic() (int64, int64) }); ok {
+			tok, _ := tp.Traffic()
+			return float64(tok)
+		}
+		return 0
+	})
+}
+
+// DefaultMetrics is the trio the paper plots in Figure 1: max−avg, max
+// local difference, potential/n.
+func DefaultMetrics() []Metric {
+	return []Metric{MaxMinusAvg(), MaxLocalDiff(), PotentialPerN()}
+}
+
+// Runner drives a process and records metrics.
+type Runner struct {
+	// Proc is the process to drive. Required.
+	Proc core.Process
+	// Metrics are the columns to record; DefaultMetrics() if nil.
+	Metrics []Metric
+	// Every is the recording cadence in rounds (default 1).
+	Every int
+	// Policy optionally switches the scheme to FOS mid-run (hybrid).
+	Policy core.SwitchPolicy
+	// Lockstep processes are stepped once per round before sampling; use
+	// for reference processes consumed by DeviationFrom.
+	Lockstep []core.Process
+	// OnRound, when set, is called after each round (after any lockstep
+	// steps), e.g. to dump visualization frames.
+	OnRound func(round int, p core.Process)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Series holds the recorded metric table.
+	Series *Series
+	// SwitchRound is the round at which the hybrid policy fired (-1 if
+	// never).
+	SwitchRound int
+	// Rounds is the total number of rounds executed.
+	Rounds int
+}
+
+// Run executes the configured number of rounds and returns the recording.
+func (r *Runner) Run(rounds int) (*Result, error) {
+	if r.Proc == nil {
+		return nil, errors.New("sim: Runner.Proc is nil")
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("sim: negative round count %d", rounds)
+	}
+	ms := r.Metrics
+	if ms == nil {
+		ms = DefaultMetrics()
+	}
+	every := r.Every
+	if every <= 0 {
+		every = 1
+	}
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name()
+	}
+	series := NewSeries(names...)
+	res := &Result{Series: series, SwitchRound: -1}
+
+	record := func(round int) error {
+		row := make([]float64, len(ms))
+		for i, m := range ms {
+			row[i] = m.Compute(r.Proc)
+		}
+		return series.Append(round, row...)
+	}
+	// Round 0 snapshot (initial state).
+	if err := record(0); err != nil {
+		return nil, err
+	}
+	for round := 1; round <= rounds; round++ {
+		r.Proc.Step()
+		for _, ref := range r.Lockstep {
+			ref.Step()
+		}
+		if r.Policy != nil && res.SwitchRound < 0 && r.Proc.Kind() == core.SOS && r.Policy.Decide(r.Proc) {
+			r.Proc.SetKind(core.FOS)
+			res.SwitchRound = round
+		}
+		if r.OnRound != nil {
+			r.OnRound(round, r.Proc)
+		}
+		if round%every == 0 || round == rounds {
+			if err := record(round); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Rounds = rounds
+	return res, nil
+}

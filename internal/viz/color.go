@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// ColorFrame is a rendered signed view of a load field: overloaded nodes
+// shade toward red, underloaded toward blue, balanced nodes are white.
+// This extends the paper's grayscale renders (which fold the sign away)
+// and makes the SOS overshoot — nodes alternating between surplus and
+// deficit — directly visible in the frames.
+type ColorFrame struct {
+	W, H int
+	// Signed holds the normalized deviation per node in [-1, 1]
+	// (negative = below average).
+	Signed []float64
+}
+
+// RenderColor shades the load field x of a w×h torus with a diverging
+// palette. For Threshold mode, limit is the token distance mapped to full
+// saturation; Adaptive normalizes by the frame's own extreme.
+func RenderColor[T int64 | float64](x []T, w, h int, mode Shading, limit float64) (*ColorFrame, error) {
+	if w <= 0 || h <= 0 || len(x) != w*h {
+		return nil, fmt.Errorf("%w: %d loads for %dx%d", ErrBadFrame, len(x), w, h)
+	}
+	var sum float64
+	for _, v := range x {
+		sum += float64(v)
+	}
+	avg := sum / float64(len(x))
+
+	var scale float64
+	switch mode {
+	case Adaptive:
+		for _, v := range x {
+			if d := math.Abs(float64(v) - avg); d > scale {
+				scale = d
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+	case Threshold:
+		scale = limit
+		if scale <= 0 {
+			scale = 10
+		}
+	default:
+		return nil, fmt.Errorf("viz: unknown shading mode %d", mode)
+	}
+
+	f := &ColorFrame{W: w, H: h, Signed: make([]float64, w*h)}
+	for i, v := range x {
+		d := (float64(v) - avg) / scale
+		if d > 1 {
+			d = 1
+		}
+		if d < -1 {
+			d = -1
+		}
+		f.Signed[i] = d
+	}
+	return f, nil
+}
+
+// At returns the RGBA color of node (x, y): white at 0, saturating to red
+// for +1 and blue for −1.
+func (f *ColorFrame) At(x, y int) color.RGBA {
+	d := f.Signed[y*f.W+x]
+	switch {
+	case d >= 0:
+		v := uint8(255*(1-d) + 0.5)
+		return color.RGBA{R: 255, G: v, B: v, A: 255}
+	default:
+		v := uint8(255*(1+d) + 0.5)
+		return color.RGBA{R: v, G: v, B: 255, A: 255}
+	}
+}
+
+// WritePNG encodes the frame as an RGBA PNG.
+func (f *ColorFrame) WritePNG(w io.Writer) error {
+	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			img.SetRGBA(x, y, f.At(x, y))
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// SurplusFraction returns the fraction of nodes with positive deviation —
+// 0.5 means surplus and deficit regions are in balance.
+func (f *ColorFrame) SurplusFraction() float64 {
+	pos := 0
+	for _, d := range f.Signed {
+		if d > 0 {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(f.Signed))
+}

@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+)
+
+func TestRenderColorSigns(t *testing.T) {
+	// avg = 5 exactly: node 0 at +10 saturates red, node 3 at −10 goes
+	// full blue, the rest sit exactly on the average (white).
+	x := []int64{15, 5, 5, -5, 5, 5, 5, 5}
+	f, err := RenderColor(x, 4, 2, Threshold, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Signed[0] != 1 {
+		t.Errorf("hot node signed = %g, want +1 (saturated)", f.Signed[0])
+	}
+	if f.Signed[3] >= 0 {
+		t.Errorf("cold node signed = %g, want negative", f.Signed[3])
+	}
+	hot := f.At(0, 0)
+	if hot.R != 255 || hot.G != 0 || hot.B != 0 {
+		t.Errorf("saturated hot color = %v, want pure red", hot)
+	}
+	cold := f.At(3, 0)
+	if cold.B != 255 || cold.R >= 255 {
+		t.Errorf("cold color = %v, want blueish", cold)
+	}
+	balanced := f.At(1, 0)
+	if balanced.R != 255 || balanced.G < 240 || balanced.B < 240 {
+		t.Errorf("balanced color = %v, want near-white", balanced)
+	}
+}
+
+func TestRenderColorAdaptive(t *testing.T) {
+	x := []float64{10, 0, 0, 0}
+	f, err := RenderColor(x, 2, 2, Adaptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Signed[0] != 1 {
+		t.Errorf("adaptive max deviation should normalize to 1, got %g", f.Signed[0])
+	}
+	// Balanced field: all zeros.
+	y := []float64{3, 3, 3, 3}
+	g, err := RenderColor(y, 2, 2, Adaptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range g.Signed {
+		if d != 0 {
+			t.Errorf("balanced signed[%d] = %g", i, d)
+		}
+	}
+}
+
+func TestRenderColorErrors(t *testing.T) {
+	if _, err := RenderColor([]int64{1}, 2, 2, Adaptive, 0); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := RenderColor([]int64{1, 2, 3, 4}, 2, 2, Shading(0), 0); err == nil {
+		t.Error("bad shading must error")
+	}
+}
+
+func TestColorPNGRoundTrip(t *testing.T) {
+	x := make([]int64, 12*6)
+	x[0] = 500
+	f, err := RenderColor(x, 12, 6, Adaptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := img.Bounds(); b.Dx() != 12 || b.Dy() != 6 {
+		t.Errorf("decoded bounds %v", b)
+	}
+}
+
+func TestSurplusFraction(t *testing.T) {
+	x := []int64{9, 1, 1, 9} // avg 5: two above, two below
+	f, err := RenderColor(x, 2, 2, Threshold, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.SurplusFraction(); got != 0.5 {
+		t.Errorf("SurplusFraction = %g, want 0.5", got)
+	}
+}

@@ -1,0 +1,155 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+)
+
+func TestRenderAdaptive(t *testing.T) {
+	// 2x2 field: one hot node, three at zero; avg = 25.
+	x := []int64{100, 0, 0, 0}
+	f, err := Render(x, 2, 2, Adaptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 deviates by 75 (the max) -> black; others deviate 25 -> 2/3 white.
+	if f.Gray[0] != 0 {
+		t.Errorf("hot node gray = %d, want 0", f.Gray[0])
+	}
+	for i := 1; i < 4; i++ {
+		if f.Gray[i] < 160 || f.Gray[i] > 180 {
+			t.Errorf("cold node %d gray = %d, want ~170", i, f.Gray[i])
+		}
+	}
+}
+
+func TestRenderBalancedIsWhite(t *testing.T) {
+	x := []float64{5, 5, 5, 5, 5, 5}
+	f, err := Render(x, 3, 2, Adaptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range f.Gray {
+		if g != 255 {
+			t.Errorf("balanced pixel %d = %d, want 255", i, g)
+		}
+	}
+	if f.MeanGray() != 255 {
+		t.Errorf("MeanGray = %g", f.MeanGray())
+	}
+}
+
+func TestRenderThreshold(t *testing.T) {
+	// avg = 10; limit 10: node at 30 deviates 20 -> saturated black,
+	// node at 15 deviates 5 -> half gray.
+	x := []int64{30, 15, 0, 10, 10, 10, 10, 10, 10, 5, 10, 0}
+	f, err := Render(x, 4, 3, Threshold, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Gray[0] != 0 {
+		t.Errorf("saturated node gray = %d, want 0", f.Gray[0])
+	}
+	if f.Gray[1] < 120 || f.Gray[1] > 135 {
+		t.Errorf("half-deviation node gray = %d, want ~128", f.Gray[1])
+	}
+	if f.Gray[3] != 255 {
+		t.Errorf("on-average node gray = %d, want 255", f.Gray[3])
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render([]int64{1, 2, 3}, 2, 2, Adaptive, 0); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Render([]int64{1, 2, 3, 4}, 2, 2, Shading(99), 0); err == nil {
+		t.Error("unknown shading must error")
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	x := make([]int64, 16*8)
+	x[0] = 1000
+	f, err := Render(x, 16, 8, Adaptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := img.Bounds(); b.Dx() != 16 || b.Dy() != 8 {
+		t.Errorf("decoded bounds = %v", b)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	x := []int64{0, 10, 10, 0}
+	f, err := Render(x, 2, 2, Adaptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P2\n2 2\n255\n") {
+		t.Errorf("PGM header wrong: %q", out)
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 5 {
+		t.Errorf("PGM has %d lines, want 5", len(lines))
+	}
+}
+
+func TestASCII(t *testing.T) {
+	x := make([]int64, 32*32)
+	x[0] = 100000
+	f, err := Render(x, 32, 32, Adaptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := f.ASCII(16)
+	// Note: the lightest ramp glyph is a space, so trim only newlines.
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 8 { // 16 cols, aspect-halved rows
+		t.Errorf("ASCII has %d lines, want 8", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 16 {
+			t.Errorf("ASCII line width %d, want 16", len(l))
+		}
+	}
+	// The hot corner must be darker than the far field.
+	if art[0] == art[len(art)/2] {
+		t.Error("hot corner should differ from the bulk")
+	}
+}
+
+func TestMeanGrayIncreasesWithSmoothing(t *testing.T) {
+	// A field with one spike has lower mean gray (more dark pixels after
+	// normalization) than the same total load spread over four nodes.
+	spike := make([]int64, 64)
+	spike[0] = 6400
+	spread := make([]int64, 64)
+	for i := 0; i < 32; i++ {
+		spread[i] = 200
+	}
+	f1, err := Render(spike, 8, 8, Threshold, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Render(spread, 8, 8, Threshold, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.MeanGray() >= f2.MeanGray() {
+		t.Errorf("spike mean gray %g should be below spread %g", f1.MeanGray(), f2.MeanGray())
+	}
+}
