@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test test-short race-sweep fmt-check vet verify bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# The sweep engine is the only package that fans out goroutines across
+# scenario cells; run it under the race detector explicitly.
+race-sweep:
+	$(GO) test -race -short ./internal/sweep/... ./internal/experiments/
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# verify is the CI entry point: formatting, static checks, a full build
+# (including the examples/ packages, which have no tests of their own) and
+# the short test suite plus the race pass on the concurrent packages.
+verify: fmt-check vet build test-short race-sweep
+	@echo verify OK
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -9,8 +9,10 @@
 package diffusionlb_test
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"diffusionlb"
@@ -19,6 +21,7 @@ import (
 	"diffusionlb/internal/metrics"
 	"diffusionlb/internal/randx"
 	"diffusionlb/internal/spectral"
+	"diffusionlb/internal/sweep"
 )
 
 // benchParams keeps experiment benchmarks short: same topologies, fewer
@@ -109,6 +112,47 @@ func benchComparisonCore(b *testing.B, g *diffusionlb.Graph, rounds, switchAt in
 			}
 			diffusionlb.RunHybrid(proc, cfg.policy, rounds)
 		}
+	}
+}
+
+// --- sweep-orchestration benchmarks ---
+
+// BenchmarkTable1BetaOptWorkers regenerates Table I with the row cells
+// forced serial vs fanned out across all cores: the random-graph rows
+// (construction + power iteration) dominate and overlap under the pool.
+func BenchmarkTable1BetaOptWorkers(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := benchParams()
+			p.CellWorkers = workers
+			runExperiment(b, "table1", p)
+		})
+	}
+}
+
+// BenchmarkSweepWorkers is the acceptance benchmark for the sweep engine:
+// a 16-cell replicate sweep executed with 1 worker vs one per core. The
+// aggregated output is bitwise identical across worker counts (pinned by
+// TestDeterminismAcrossWorkers); only the wall clock should change.
+func BenchmarkSweepWorkers(b *testing.B) {
+	spec := sweep.Spec{
+		Graphs:     []string{"torus2d:48x48"},
+		Schemes:    []string{"sos", "fos"},
+		Rounders:   []string{"randomized"},
+		Replicates: 8,
+		Rounds:     300,
+		Every:      30,
+		BaseSeed:   1,
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(context.Background(), spec, sweep.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

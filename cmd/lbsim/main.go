@@ -9,9 +9,19 @@
 //	lbsim -experiment fig1 [-full] [-seed N] [-out DIR] [-workers N]
 //	    Reproduce one paper artifact. -full uses the paper's original
 //	    sizes (slower); -out dumps CSV series and PNG/PGM frames.
+//	    -workers bounds how many scenario cells run concurrently
+//	    (0 = one per CPU).
 //
 //	lbsim -experiment all [-full] ...
 //	    Run every experiment in sequence.
+//
+//	lbsim -sweep -graph torus2d:64x64,hypercube:10 -scheme sos,fos \
+//	      -rounder randomized -replicates 8 -rounds 500 [-beta 0,1.8] \
+//	      [-speeds twoclass:0.25:4] [-workers N] [-format table|csv|json]
+//	    Expand the cross product of the comma-separated axes into
+//	    independent cells, run them on the bounded worker pool, and print
+//	    replicate-aggregated mean/std/min/max series. Output is bitwise
+//	    identical for every -workers value.
 //
 //	lbsim -graph torus2d:100x100 -scheme sos -rounder randomized \
 //	      -rounds 1000 [-avg 1000] [-switch 500] [-csv out.csv]
@@ -26,14 +36,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"diffusionlb"
 	"diffusionlb/internal/experiments"
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/sweep"
 )
 
 func main() {
@@ -46,23 +61,28 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lbsim", flag.ContinueOnError)
 	var (
-		list       = fs.Bool("list", false, "list available experiments")
-		experiment = fs.String("experiment", "", "experiment id to run (or 'all')")
-		full       = fs.Bool("full", false, "use the paper's original sizes")
-		seed       = fs.Uint64("seed", 1, "master seed")
-		workers    = fs.Int("workers", 0, "worker goroutines per step (0 = sequential)")
-		outDir     = fs.String("out", "", "directory for CSV/PNG artifacts")
-		rounds     = fs.Int("rounds", 1000, "rounds for free-form runs (also overrides experiment rounds when set with -experiment)")
-		graphSpec  = fs.String("graph", "", "graph spec for free-form runs, e.g. torus2d:100x100")
-		scheme     = fs.String("scheme", "sos", "fos | sos")
-		rounder    = fs.String("rounder", "randomized", "randomized | floor | nearest | bernoulli | continuous | cumulative")
-		avg        = fs.Int64("avg", 1000, "average initial load (all placed on node 0)")
-		speedsSpec = fs.String("speeds", "", "processor speeds: twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED (empty = homogeneous)")
-		switchAt   = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never)")
-		every      = fs.Int("every", 0, "recording cadence (0 = auto)")
-		csvPath    = fs.String("csv", "", "write the recorded series to this CSV file")
-		spectrum   = fs.Bool("spectrum", false, "print spectral data for -graph and exit")
-		tableRows  = fs.Int("rows", 21, "max rows in printed tables")
+		list        = fs.Bool("list", false, "list available experiments")
+		experiment  = fs.String("experiment", "", "experiment id to run (or 'all')")
+		full        = fs.Bool("full", false, "use the paper's original sizes")
+		seed        = fs.Uint64("seed", 1, "master seed")
+		workers     = fs.Int("workers", 0, "concurrent scenario cells in -experiment and -sweep modes (0 = one per CPU)")
+		stepWorkers = fs.Int("stepworkers", 0, "worker goroutines per simulation step (0 = sequential)")
+		outDir      = fs.String("out", "", "directory for CSV/PNG artifacts")
+		rounds      = fs.Int("rounds", 1000, "rounds for free-form/sweep runs (also overrides experiment rounds when set with -experiment)")
+		sweepMode   = fs.Bool("sweep", false, "run the cross product of -graph/-scheme/-rounder/-beta/-speeds axes and aggregate replicates")
+		graphSpec   = fs.String("graph", "", "graph spec, e.g. torus2d:100x100 (comma-separated list in -sweep mode)")
+		scheme      = fs.String("scheme", "sos", "fos | sos (comma-separated list in -sweep mode)")
+		rounder     = fs.String("rounder", "randomized", "randomized | floor | nearest | bernoulli | continuous | cumulative (comma-separated list in -sweep mode)")
+		betas       = fs.String("beta", "", "sweep mode: comma-separated SOS beta overrides (0 = beta_opt)")
+		replicates  = fs.Int("replicates", 1, "sweep mode: independently seeded runs per cell")
+		format      = fs.String("format", "table", "sweep mode output: table | csv | json")
+		avg         = fs.Int64("avg", 1000, "average initial load (all placed on node 0)")
+		speedsSpec  = fs.String("speeds", "", "processor speeds: twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED (empty = homogeneous; comma-separated list in -sweep mode)")
+		switchAt    = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never)")
+		every       = fs.Int("every", 0, "recording cadence (0 = auto)")
+		csvPath     = fs.String("csv", "", "write the recorded series to this CSV file")
+		spectrum    = fs.Bool("spectrum", false, "print spectral data for -graph and exit")
+		tableRows   = fs.Int("rows", 21, "max rows in printed tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,11 +97,12 @@ func run(args []string) error {
 
 	case *experiment != "":
 		p := experiments.Params{
-			Full:      *full,
-			Seed:      *seed,
-			Workers:   *workers,
-			OutDir:    *outDir,
-			TableRows: *tableRows,
+			Full:        *full,
+			Seed:        *seed,
+			Workers:     *stepWorkers,
+			CellWorkers: *workers,
+			OutDir:      *outDir,
+			TableRows:   *tableRows,
 		}
 		if fs.Lookup("rounds") != nil && flagWasSet(fs, "rounds") {
 			p.RoundsOverride = *rounds
@@ -100,6 +121,49 @@ func run(args []string) error {
 			return fmt.Errorf("unknown experiment %q (use -list)", *experiment)
 		}
 		return e.Run(os.Stdout, p)
+
+	case *sweepMode:
+		betaVals, err := parseFloats(*betas)
+		if err != nil {
+			return err
+		}
+		spec := sweep.Spec{
+			Graphs:      splitList(*graphSpec),
+			Schemes:     splitList(*scheme),
+			Rounders:    splitList(*rounder),
+			Speeds:      splitList(*speedsSpec),
+			Betas:       betaVals,
+			Replicates:  *replicates,
+			Rounds:      *rounds,
+			Every:       *every,
+			Avg:         *avg,
+			SwitchAt:    *switchAt,
+			BaseSeed:    *seed,
+			StepWorkers: *stepWorkers,
+		}
+		if len(spec.Graphs) == 0 {
+			return fmt.Errorf("-sweep needs at least one -graph spec")
+		}
+		// Ctrl-C cancels the sweep: in-flight cells finish, queued cells
+		// never start.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		res, err := sweep.Run(ctx, spec, sweep.Options{Workers: *workers})
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "json":
+			return res.WriteJSON(os.Stdout)
+		case "csv":
+			return res.WriteCSV(os.Stdout)
+		case "table":
+			fmt.Printf("sweep: %d cells (%d groups x %d replicates), %d rounds\n",
+				spec.NumCells(), spec.NumCells()/max(1, *replicates), *replicates, *rounds)
+			return res.WriteTable(os.Stdout, *tableRows)
+		default:
+			return fmt.Errorf("unknown -format %q (table|csv|json)", *format)
+		}
 
 	case *graphSpec != "":
 		g, err := buildGraph(*graphSpec, *seed)
@@ -123,17 +187,55 @@ func run(args []string) error {
 		if *spectrum {
 			return nil
 		}
+		// A free-form run is a single cell, so -workers (cell-level
+		// concurrency elsewhere) falls back to meaning per-step
+		// parallelism here unless -stepworkers says otherwise.
+		sw := *stepWorkers
+		if sw == 0 && !flagWasSet(fs, "stepworkers") {
+			sw = *workers
+		}
 		return freeFormRun(sys, freeFormConfig{
 			scheme: *scheme, rounder: *rounder, rounds: *rounds, avg: *avg,
 			switchAt: *switchAt, every: *every, csvPath: *csvPath,
-			seed: *seed, workers: *workers, tableRows: *tableRows,
+			seed: *seed, workers: sw, tableRows: *tableRows,
 			hetero: speeds != nil,
 		})
 
 	default:
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -list, -experiment or -graph")
+		return fmt.Errorf("nothing to do: pass -list, -experiment, -sweep or -graph")
 	}
+}
+
+// splitList splits a comma-separated axis list, trimming blanks; the empty
+// string yields nil (axis default).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+// parseFloats parses a comma-separated float list ("" = nil).
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -beta value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // flagWasSet reports whether the named flag was explicitly provided.
@@ -237,139 +339,10 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 
 // buildSpeeds parses the -speeds spec ("" = homogeneous/nil).
 func buildSpeeds(spec string, n int, seed uint64) (*diffusionlb.Speeds, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	parts := strings.Split(spec, ":")
-	num := func(i int) (float64, error) {
-		if i >= len(parts) {
-			return 0, fmt.Errorf("speeds spec %q: missing argument %d", spec, i)
-		}
-		return strconv.ParseFloat(parts[i], 64)
-	}
-	switch parts[0] {
-	case "twoclass":
-		frac, err := num(1)
-		if err != nil {
-			return nil, err
-		}
-		speed, err := num(2)
-		if err != nil {
-			return nil, err
-		}
-		return diffusionlb.TwoClassSpeeds(n, frac, speed, seed)
-	case "range":
-		max, err := num(1)
-		if err != nil {
-			return nil, err
-		}
-		return diffusionlb.UniformRangeSpeeds(n, max, seed)
-	case "powerlaw":
-		alpha, err := num(1)
-		if err != nil {
-			return nil, err
-		}
-		max, err := num(2)
-		if err != nil {
-			return nil, err
-		}
-		return diffusionlb.PowerLawSpeeds(n, alpha, max, seed)
-	case "single":
-		idx, err := num(1)
-		if err != nil {
-			return nil, err
-		}
-		speed, err := num(2)
-		if err != nil {
-			return nil, err
-		}
-		return diffusionlb.SingleFastSpeed(n, int(idx), speed)
-	default:
-		return nil, fmt.Errorf("unknown speeds spec %q (twoclass|range|powerlaw|single)", spec)
-	}
+	return hetero.SpeedsFromSpec(spec, n, seed)
 }
 
 // buildGraph parses the -graph spec.
 func buildGraph(spec string, seed uint64) (*diffusionlb.Graph, error) {
-	kind, rest, _ := strings.Cut(spec, ":")
-	dims := func(s string) ([]int, error) {
-		parts := strings.FieldsFunc(s, func(r rune) bool { return r == 'x' || r == 'X' || r == ':' })
-		out := make([]int, 0, len(parts))
-		for _, p := range parts {
-			v, err := strconv.Atoi(p)
-			if err != nil {
-				return nil, fmt.Errorf("bad dimension %q in %q", p, spec)
-			}
-			out = append(out, v)
-		}
-		return out, nil
-	}
-	switch strings.ToLower(kind) {
-	case "torus2d":
-		d, err := dims(rest)
-		if err != nil {
-			return nil, err
-		}
-		if len(d) != 2 {
-			return nil, fmt.Errorf("torus2d needs WxH, got %q", rest)
-		}
-		return diffusionlb.Torus2D(d[0], d[1])
-	case "torus":
-		d, err := dims(rest)
-		if err != nil {
-			return nil, err
-		}
-		return diffusionlb.Torus(d...)
-	case "hypercube":
-		d, err := dims(rest)
-		if err != nil || len(d) != 1 {
-			return nil, fmt.Errorf("hypercube needs DIM, got %q", rest)
-		}
-		return diffusionlb.Hypercube(d[0])
-	case "regular":
-		d, err := dims(rest)
-		if err != nil || len(d) != 2 {
-			return nil, fmt.Errorf("regular needs N:D, got %q", rest)
-		}
-		return diffusionlb.RandomRegular(d[0], d[1], seed)
-	case "rgg":
-		d, err := dims(rest)
-		if err != nil || len(d) != 1 {
-			return nil, fmt.Errorf("rgg needs N, got %q", rest)
-		}
-		g, _, err := diffusionlb.RandomGeometric(d[0], seed, diffusionlb.GeometricOptions{})
-		return g, err
-	case "cycle":
-		d, err := dims(rest)
-		if err != nil || len(d) != 1 {
-			return nil, fmt.Errorf("cycle needs N, got %q", rest)
-		}
-		return diffusionlb.Cycle(d[0])
-	case "path":
-		d, err := dims(rest)
-		if err != nil || len(d) != 1 {
-			return nil, fmt.Errorf("path needs N, got %q", rest)
-		}
-		return diffusionlb.Path(d[0])
-	case "complete":
-		d, err := dims(rest)
-		if err != nil || len(d) != 1 {
-			return nil, fmt.Errorf("complete needs N, got %q", rest)
-		}
-		return diffusionlb.Complete(d[0])
-	case "grid":
-		d, err := dims(rest)
-		if err != nil || len(d) != 2 {
-			return nil, fmt.Errorf("grid needs WxH, got %q", rest)
-		}
-		return diffusionlb.Grid2D(d[0], d[1])
-	case "star":
-		d, err := dims(rest)
-		if err != nil || len(d) != 1 {
-			return nil, fmt.Errorf("star needs N, got %q", rest)
-		}
-		return diffusionlb.Star(d[0])
-	default:
-		return nil, fmt.Errorf("unknown graph kind %q", kind)
-	}
+	return graph.FromSpec(spec, seed)
 }

@@ -136,10 +136,48 @@ func TestRunErrors(t *testing.T) {
 		{"-graph", "torus2d:4x4", "-scheme", "third-order"},
 		{"-graph", "torus2d:4x4", "-rounder", "dice"},
 		{"-graph", "martian:4"},
+		{"-sweep"},
+		{"-sweep", "-graph", "cycle:8", "-scheme", "third"},
+		{"-sweep", "-graph", "cycle:8", "-beta", "nope"},
+		{"-sweep", "-graph", "cycle:8", "-format", "xml"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	for _, format := range []string{"table", "csv", "json"} {
+		args := []string{"-sweep", "-graph", "cycle:12,torus2d:4x4",
+			"-scheme", "sos,fos", "-replicates", "2", "-rounds", "30",
+			"-every", "10", "-format", format}
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	// Heterogeneous axis plus explicit beta and switch round.
+	if err := run([]string{"-sweep", "-graph", "torus2d:6x6",
+		"-speeds", "twoclass:0.25:4", "-beta", "0,1.5",
+		"-switch", "10", "-rounds", "25", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitListAndParseFloats(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v", got)
+	}
+	got := splitList("a, b,c")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	vals, err := parseFloats("0, 1.5")
+	if err != nil || len(vals) != 2 || vals[0] != 0 || vals[1] != 1.5 {
+		t.Errorf("parseFloats = %v, %v", vals, err)
+	}
+	if _, err := parseFloats("1,x"); err == nil {
+		t.Error("parseFloats should reject non-numbers")
 	}
 }

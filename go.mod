@@ -1,0 +1,3 @@
+module diffusionlb
+
+go 1.24

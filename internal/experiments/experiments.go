@@ -8,10 +8,17 @@
 // text table (and optionally CSV / PNG artifacts into Params.OutDir). By
 // default experiments run at laptop-scale sizes whose behaviour matches the
 // paper's shapes; Params.Full restores the paper's sizes (10⁶-node tori and
-// random graphs, 2²⁰-node hypercubes), which need minutes, not hours.
+// random graphs, 2²⁰-node hypercubes), which need minutes, not hours, and
+// Params.Tiny shrinks below the defaults for -short test runs.
+//
+// Experiments with several independent scenario runs (figure variants,
+// switch rounds, table rows) submit them as cells to the sweep worker pool
+// (Params.CellWorkers, default one per CPU) and print collected results in
+// a fixed order, so reports are byte-identical for every worker count.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -24,16 +31,24 @@ import (
 	"diffusionlb/internal/metrics"
 	"diffusionlb/internal/sim"
 	"diffusionlb/internal/spectral"
+	"diffusionlb/internal/sweep"
 )
 
 // Params configures an experiment run.
 type Params struct {
 	// Full switches to the paper's original sizes.
 	Full bool
+	// Tiny shrinks graph sizes below even the scaled defaults; it is meant
+	// for -short test runs and is ignored when Full is set.
+	Tiny bool
 	// Seed seeds every randomized component (default 1).
 	Seed uint64
 	// Workers bounds per-step parallelism (0 = sequential).
 	Workers int
+	// CellWorkers bounds how many independent scenario cells (the
+	// per-variant runs inside one experiment) execute concurrently on the
+	// sweep pool. 0 means one per CPU; 1 forces serial execution.
+	CellWorkers int
 	// OutDir, when non-empty, receives CSV series and PNG/PGM frames.
 	OutDir string
 	// TableRows caps the rows of printed tables (default 21).
@@ -62,6 +77,32 @@ func (p Params) rounds(scaled, full int) int {
 		return full
 	}
 	return scaled
+}
+
+// tiny reports whether the shrunken test sizes apply.
+func (p Params) tiny() bool { return p.Tiny && !p.Full }
+
+// size picks a scenario dimension (side length, node count, ...) for the
+// three size regimes.
+func (p Params) size(tiny, scaled, full int) int {
+	if p.Full {
+		return full
+	}
+	if p.Tiny {
+		return tiny
+	}
+	return scaled
+}
+
+// runCells executes n independent scenario cells of one experiment through
+// the sweep worker pool, preserving index order: fn(i) must write its
+// result into slot i of a caller-owned slice. Cells run concurrently
+// (bounded by CellWorkers), so fn must not touch shared mutable state —
+// shared graphs, operators and initial load vectors are read-only.
+func (p Params) runCells(n int, fn func(i int) error) error {
+	return sweep.Map(context.Background(), p.CellWorkers, n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
 }
 
 // Experiment is a runnable reproduction of one paper artifact.

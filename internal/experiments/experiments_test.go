@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -11,9 +12,14 @@ import (
 )
 
 // fastParams keeps the integration runs quick; the shapes asserted below
-// survive the reduced round budget.
+// survive the reduced round budget. Under -short the Tiny sizes apply on
+// top, dropping the whole package toward interactive latency.
 func fastParams() Params {
-	return Params{Seed: 1, RoundsOverride: 150, TableRows: 8}
+	p := Params{Seed: 1, RoundsOverride: 150, TableRows: 8}
+	if testing.Short() {
+		p.Tiny = true
+	}
+	return p
 }
 
 func TestRegistryComplete(t *testing.T) {
@@ -46,7 +52,9 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestTable1Output(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runTable1(&buf, Params{Seed: 1, TableRows: 10}); err != nil {
+	// The analytic torus/hypercube rows keep the paper's exact sizes even
+	// under Tiny, so the reference digits below hold in -short mode too.
+	if err := runTable1(&buf, Params{Seed: 1, TableRows: 10, Tiny: testing.Short()}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -76,7 +84,7 @@ func TestFig5HybridBeatsPureSOS(t *testing.T) {
 	// plateau to form on the 100x100 torus.
 	var buf bytes.Buffer
 	e, _ := ByID("fig5")
-	p := Params{Seed: 1, RoundsOverride: 700, TableRows: 5}
+	p := Params{Seed: 1, RoundsOverride: 700, TableRows: 5, Tiny: testing.Short()}
 	if err := e.Run(&buf, p); err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +134,7 @@ func TestNegloadRuns(t *testing.T) {
 func TestDeviationWithinBounds(t *testing.T) {
 	var buf bytes.Buffer
 	e, _ := ByID("deviation")
-	if err := e.Run(&buf, Params{Seed: 1, RoundsOverride: 120, TableRows: 5}); err != nil {
+	if err := e.Run(&buf, Params{Seed: 1, RoundsOverride: 120, TableRows: 5, Tiny: testing.Short()}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -206,6 +214,34 @@ func TestAllExperimentsRun(t *testing.T) {
 			}
 			if len(out) < 200 {
 				t.Errorf("experiment %s output suspiciously short (%d bytes)", e.ID, len(out))
+			}
+		})
+	}
+}
+
+// TestDeterministicAcrossCellWorkers pins the experiment layer's
+// parallelization contract: the printed report is byte-identical whether
+// the scenario cells run serially or fan out across the pool.
+func TestDeterministicAcrossCellWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	for _, id := range []string{"fig8", "negload", "table1"} {
+		t.Run(id, func(t *testing.T) {
+			e, _ := ByID(id)
+			var outputs []string
+			for _, workers := range []int{1, 8} {
+				// Tiny sizes unconditionally: this pins scheduling
+				// independence, which doesn't need full-scale graphs.
+				p := Params{Seed: 1, RoundsOverride: 60, TableRows: 4, Tiny: true}
+				p.CellWorkers = workers
+				var buf bytes.Buffer
+				if err := e.Run(&buf, p); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				outputs = append(outputs, buf.String())
+			}
+			if outputs[0] != outputs[1] {
+				t.Errorf("%s output depends on cell worker count", id)
 			}
 		})
 	}

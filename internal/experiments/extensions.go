@@ -36,11 +36,8 @@ type trafficProcess interface {
 func runTraffic(w io.Writer, p Params) error {
 	p = p.withDefaults()
 	e, _ := ByID("traffic")
-	side := 32
+	side := p.size(20, 32, 100)
 	maxRounds := p.rounds(4000, 4000)
-	if p.Full {
-		side = 100
-	}
 	sys, err := torusSystem(side, side)
 	if err != nil {
 		return err
@@ -74,15 +71,22 @@ func runTraffic(w io.Writer, p Params) error {
 	}
 	fmt.Fprintf(w, "\n%-22s %8s %6s %16s %16s %14s\n",
 		"algorithm", "rounds", "done", "token-hops", "edge messages", "final disc")
-	for _, b := range build {
-		proc, err := b.make()
+	rows := make([]string, len(build))
+	if err := p.runCells(len(build), func(i int) error {
+		proc, err := build[i].make()
 		if err != nil {
 			return err
 		}
 		rounds, ok := core.RunUntil(proc, maxRounds, core.ConvergedWithin(8))
 		tokens, messages := proc.Traffic()
-		fmt.Fprintf(w, "%-22s %8d %6v %16d %16d %14.0f\n",
-			b.name, rounds, ok, tokens, messages, metrics.Discrepancy(proc.LoadsInt()))
+		rows[i] = fmt.Sprintf("%-22s %8d %6v %16d %16d %14.0f",
+			build[i].name, rounds, ok, tokens, messages, metrics.Discrepancy(proc.LoadsInt()))
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
 	}
 	_, err = fmt.Fprintln(w, "\nshape check: SOS needs the fewest rounds and edge messages; random walks cap the maximum quickly but fill underloaded regions slowly and move an order of magnitude more token-hops — the Section II criticism of [13] made measurable")
 	return err
@@ -91,11 +95,8 @@ func runTraffic(w io.Writer, p Params) error {
 func runHetero(w io.Writer, p Params) error {
 	p = p.withDefaults()
 	e, _ := ByID("hetero")
-	side := 32
+	side := p.size(20, 32, 100)
 	rounds := p.rounds(1500, 1500)
-	if p.Full {
-		side = 100
-	}
 	if err := header(w, e, fmt.Sprintf("torus %dx%d and CM expander, two-class and power-law speeds, avg load 1000", side, side)); err != nil {
 		return err
 	}
@@ -119,7 +120,11 @@ func runHetero(w io.Writer, p Params) error {
 
 	fmt.Fprintf(w, "\n%-28s %5s %12s %10s %12s %14s %16s\n",
 		"case", "kind", "lambda", "beta", "rounds", "norm disc", "max |x−target|")
-	for _, c := range cases {
+	// One cell per case: the spectral setup (power iteration on the
+	// heterogeneous operator) is shared by the FOS and SOS runs inside.
+	rows := make([][2]string, len(cases))
+	if err := p.runCells(len(cases), func(ci int) error {
+		c := cases[ci]
 		g, err := c.build()
 		if err != nil {
 			return err
@@ -136,7 +141,7 @@ func runHetero(w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		for _, kind := range []core.Kind{core.FOS, core.SOS} {
+		for ki, kind := range []core.Kind{core.FOS, core.SOS} {
 			proc, err := sys.discrete(kind, p, x0)
 			if err != nil {
 				return err
@@ -155,9 +160,16 @@ func runHetero(w io.Writer, p Params) error {
 					worst = d
 				}
 			}
-			fmt.Fprintf(w, "%-28s %5v %12.8f %10.6f %12d %14.2f %16.2f\n",
+			rows[ci][ki] = fmt.Sprintf("%-28s %5v %12.8f %10.6f %12d %14.2f %16.2f",
 				c.label, kind, sys.lambda, sys.beta, ranRounds, normDisc, worst)
 		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintln(w, r[0])
+		fmt.Fprintln(w, r[1])
 	}
 	_, err := fmt.Fprintln(w, "\nshape check: both schemes settle at speed-proportional loads within a few tokens per unit speed; SOS converges in fewer rounds where 1−λ is small (torus) and matches FOS on the expander")
 	return err

@@ -37,45 +37,37 @@ func runComparison(w io.Writer, p Params, name string, sys *system, rounds, ever
 	if err != nil {
 		return err
 	}
-	var series []*sim.Series
-	var prefixes []string
-
-	sos, err := sys.discrete(core.SOS, p, x0)
-	if err != nil {
+	cells := []struct {
+		kind    core.Kind
+		policy  core.SwitchPolicy
+		metrics []sim.Metric
+		prefix  string
+	}{
+		{core.SOS, nil, nil, "sos_"},
+		{core.FOS, nil, []sim.Metric{sim.MaxMinusAvg()}, "fos_"},
+		{core.SOS, core.SwitchAtRound{Round: switchRound},
+			[]sim.Metric{sim.MaxMinusAvg(), sim.PotentialPerN()},
+			fmt.Sprintf("sw%d_", switchRound)},
+	}
+	series := make([]*sim.Series, len(cells))
+	prefixes := make([]string, len(cells))
+	if err := p.runCells(len(cells), func(i int) error {
+		c := cells[i]
+		proc, err := sys.discrete(c.kind, p, x0)
+		if err != nil {
+			return err
+		}
+		r := &sim.Runner{Proc: proc, Every: every, Policy: c.policy, Metrics: c.metrics}
+		res, err := r.Run(rounds)
+		if err != nil {
+			return err
+		}
+		series[i] = res.Series
+		prefixes[i] = c.prefix
+		return nil
+	}); err != nil {
 		return err
 	}
-	r := &sim.Runner{Proc: sos, Every: every}
-	res, err := r.Run(rounds)
-	if err != nil {
-		return err
-	}
-	series = append(series, res.Series)
-	prefixes = append(prefixes, "sos_")
-
-	fos, err := sys.discrete(core.FOS, p, x0)
-	if err != nil {
-		return err
-	}
-	r = &sim.Runner{Proc: fos, Every: every, Metrics: []sim.Metric{sim.MaxMinusAvg()}}
-	res, err = r.Run(rounds)
-	if err != nil {
-		return err
-	}
-	series = append(series, res.Series)
-	prefixes = append(prefixes, "fos_")
-
-	hybrid, err := sys.discrete(core.SOS, p, x0)
-	if err != nil {
-		return err
-	}
-	r = &sim.Runner{Proc: hybrid, Every: every, Policy: core.SwitchAtRound{Round: switchRound},
-		Metrics: []sim.Metric{sim.MaxMinusAvg(), sim.PotentialPerN()}}
-	res, err = r.Run(rounds)
-	if err != nil {
-		return err
-	}
-	series = append(series, res.Series)
-	prefixes = append(prefixes, fmt.Sprintf("sw%d_", switchRound))
 
 	m, err := merged(prefixes, series)
 	if err != nil {
@@ -96,10 +88,7 @@ func runComparison(w io.Writer, p Params, name string, sys *system, rounds, ever
 func runFig12(w io.Writer, p Params) error {
 	p = p.withDefaults()
 	e, _ := ByID("fig12")
-	n, d := 20000, 14
-	if p.Full {
-		n, d = 1_000_000, 19
-	}
+	n, d := p.size(2000, 20000, 1_000_000), p.size(11, 14, 19)
 	rounds := p.rounds(100, 100)
 	g, err := graph.RandomRegular(n, d, p.Seed)
 	if err != nil {
@@ -119,10 +108,7 @@ func runFig12(w io.Writer, p Params) error {
 func runFig13(w io.Writer, p Params) error {
 	p = p.withDefaults()
 	e, _ := ByID("fig13")
-	dim := 14
-	if p.Full {
-		dim = 20
-	}
+	dim := p.size(9, 14, 20)
 	rounds := p.rounds(200, 200)
 	g, err := graph.Hypercube(dim)
 	if err != nil {
@@ -141,10 +127,7 @@ func runFig13(w io.Writer, p Params) error {
 func runFig14(w io.Writer, p Params) error {
 	p = p.withDefaults()
 	e, _ := ByID("fig14")
-	n := 2500
-	if p.Full {
-		n = 10000
-	}
+	n := p.size(600, 2500, 10000)
 	rounds := p.rounds(1000, 1000)
 	g, _, err := graph.RandomGeometric(n, p.Seed, graph.GeometricOptions{})
 	if err != nil {

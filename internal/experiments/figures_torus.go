@@ -71,6 +71,9 @@ func fig1Torus(p Params) (side, rounds, every int) {
 	if p.Full {
 		return 1000, p.rounds(0, 5000), 25
 	}
+	if p.tiny() {
+		return 32, p.rounds(400, 0), 2
+	}
 	return 100, p.rounds(1200, 0), 6
 }
 
@@ -90,27 +93,25 @@ func runFig1(w io.Writer, p Params) error {
 	if err != nil {
 		return err
 	}
-	run := func(kind core.Kind) (*sim.Series, error) {
-		proc, err := sys.discrete(kind, p, x0)
+	kinds := []core.Kind{core.SOS, core.FOS}
+	series := make([]*sim.Series, len(kinds))
+	if err := p.runCells(len(kinds), func(i int) error {
+		proc, err := sys.discrete(kinds[i], p, x0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r := &sim.Runner{Proc: proc, Every: every}
 		res, err := r.Run(rounds)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return res.Series, nil
-	}
-	sosSeries, err := run(core.SOS)
-	if err != nil {
+		series[i] = res.Series
+		return nil
+	}); err != nil {
 		return err
 	}
-	fosSeries, err := run(core.FOS)
-	if err != nil {
-		return err
-	}
-	m, err := merged([]string{"sos_", "fos_"}, []*sim.Series{sosSeries, fosSeries})
+	sosSeries, fosSeries := series[0], series[1]
+	m, err := merged([]string{"sos_", "fos_"}, series)
 	if err != nil {
 		return err
 	}
@@ -135,10 +136,11 @@ func runFig2(w io.Writer, p Params) error {
 	if err := header(w, e, fmt.Sprintf("torus %dx%d, SOS, average initial loads 10/100/1000 at v0", side, side)); err != nil {
 		return err
 	}
-	var series []*sim.Series
-	var prefixes []string
-	for _, avg := range []int64{10, 100, 1000} {
-		x0, err := pointLoadDiscrete(sys.g.NumNodes(), avg)
+	avgs := []int64{10, 100, 1000}
+	series := make([]*sim.Series, len(avgs))
+	prefixes := make([]string, len(avgs))
+	if err := p.runCells(len(avgs), func(i int) error {
+		x0, err := pointLoadDiscrete(sys.g.NumNodes(), avgs[i])
 		if err != nil {
 			return err
 		}
@@ -151,8 +153,11 @@ func runFig2(w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		series = append(series, res.Series)
-		prefixes = append(prefixes, fmt.Sprintf("avg%d_", avg))
+		series[i] = res.Series
+		prefixes[i] = fmt.Sprintf("avg%d_", avgs[i])
+		return nil
+	}); err != nil {
+		return err
 	}
 	m, err := merged(prefixes, series)
 	if err != nil {
@@ -180,30 +185,39 @@ func runFig3(w io.Writer, p Params) error {
 	if err != nil {
 		return err
 	}
-	var series []*sim.Series
-	var prefixes []string
-	for _, kind := range []core.Kind{core.SOS, core.FOS} {
-		disc, err := sys.discrete(kind, p, x0)
+	variants := []struct {
+		kind  core.Kind
+		ideal bool
+		name  string
+	}{
+		{core.SOS, false, "disc"}, {core.SOS, true, "ideal"},
+		{core.FOS, false, "disc"}, {core.FOS, true, "ideal"},
+	}
+	series := make([]*sim.Series, len(variants))
+	prefixes := make([]string, len(variants))
+	x0f := toFloat(x0)
+	if err := p.runCells(len(variants), func(i int) error {
+		v := variants[i]
+		var proc core.Process
+		var err error
+		if v.ideal {
+			proc, err = sys.continuous(v.kind, p, x0f)
+		} else {
+			proc, err = sys.discrete(v.kind, p, x0)
+		}
 		if err != nil {
 			return err
 		}
-		cont, err := sys.continuous(kind, p, toFloat(x0))
+		r := &sim.Runner{Proc: proc, Every: every, Metrics: []sim.Metric{sim.MaxMinusAvg()}}
+		res, err := r.Run(rounds)
 		if err != nil {
 			return err
 		}
-		variants := []struct {
-			name string
-			proc core.Process
-		}{{"disc", disc}, {"ideal", cont}}
-		for _, v := range variants {
-			r := &sim.Runner{Proc: v.proc, Every: every, Metrics: []sim.Metric{sim.MaxMinusAvg()}}
-			res, err := r.Run(rounds)
-			if err != nil {
-				return err
-			}
-			series = append(series, res.Series)
-			prefixes = append(prefixes, fmt.Sprintf("%s_%s_", kind, v.name))
-		}
+		series[i] = res.Series
+		prefixes[i] = fmt.Sprintf("%s_%s_", v.kind, v.name)
+		return nil
+	}); err != nil {
+		return err
 	}
 	m, err := merged(prefixes, series)
 	if err != nil {
@@ -246,9 +260,11 @@ func runFig4(w io.Writer, p Params) error {
 	if err != nil {
 		return err
 	}
-	var series []*sim.Series
-	var prefixes []string
-	for _, sw := range []int{early, late} {
+	switches := []int{early, late}
+	series := make([]*sim.Series, len(switches))
+	prefixes := make([]string, len(switches))
+	if err := p.runCells(len(switches), func(i int) error {
+		sw := switches[i]
 		proc, err := sys.discrete(core.SOS, p, x0)
 		if err != nil {
 			return err
@@ -261,8 +277,11 @@ func runFig4(w io.Writer, p Params) error {
 		if res.SwitchRound != sw {
 			return fmt.Errorf("fig4: switch fired at %d, want %d", res.SwitchRound, sw)
 		}
-		series = append(series, res.Series)
-		prefixes = append(prefixes, fmt.Sprintf("sw%d_", sw))
+		series[i] = res.Series
+		prefixes[i] = fmt.Sprintf("sw%d_", sw)
+		return nil
+	}); err != nil {
+		return err
 	}
 	m, err := merged(prefixes, series)
 	if err != nil {
@@ -298,35 +317,32 @@ func runFig5(w io.Writer, p Params) error {
 	if err != nil {
 		return err
 	}
-	runOne := func(policy core.SwitchPolicy, label string) (*sim.Series, string, error) {
-		proc, err := sys.discrete(core.SOS, p, x0)
-		if err != nil {
-			return nil, "", err
-		}
-		r := &sim.Runner{Proc: proc, Every: every, Policy: policy,
-			Metrics: []sim.Metric{sim.MaxMinusAvg()}}
-		res, err := r.Run(rounds)
-		if err != nil {
-			return nil, "", err
-		}
-		return res.Series, label, nil
-	}
-	var series []*sim.Series
-	var prefixes []string
-	for _, c := range []struct {
+	configs := []struct {
 		policy core.SwitchPolicy
 		label  string
 	}{
 		{core.NeverSwitch{}, "sos_"},
 		{core.SwitchAtRound{Round: early}, fmt.Sprintf("fos%d_", early)},
 		{core.SwitchAtRound{Round: late}, fmt.Sprintf("fos%d_", late)},
-	} {
-		s, label, err := runOne(c.policy, c.label)
+	}
+	series := make([]*sim.Series, len(configs))
+	prefixes := make([]string, len(configs))
+	if err := p.runCells(len(configs), func(i int) error {
+		proc, err := sys.discrete(core.SOS, p, x0)
 		if err != nil {
 			return err
 		}
-		series = append(series, s)
-		prefixes = append(prefixes, label)
+		r := &sim.Runner{Proc: proc, Every: every, Policy: configs[i].policy,
+			Metrics: []sim.Metric{sim.MaxMinusAvg()}}
+		res, err := r.Run(rounds)
+		if err != nil {
+			return err
+		}
+		series[i] = res.Series
+		prefixes[i] = configs[i].label
+		return nil
+	}); err != nil {
+		return err
 	}
 	m, err := merged(prefixes, series)
 	if err != nil {
@@ -402,6 +418,9 @@ func runFig6(w io.Writer, p Params) error {
 func fig7Size(p Params) (side, rounds, every int) {
 	if p.Full {
 		return 100, p.rounds(0, 1000), 5
+	}
+	if p.tiny() {
+		return 32, p.rounds(400, 0), 2
 	}
 	return 100, p.rounds(1000, 0), 5
 }
@@ -494,8 +513,6 @@ func runFig8(w io.Writer, p Params) error {
 	if err != nil {
 		return err
 	}
-	var series []*sim.Series
-	var prefixes []string
 	configs := []struct {
 		policy core.SwitchPolicy
 		label  string
@@ -506,19 +523,24 @@ func runFig8(w io.Writer, p Params) error {
 		{core.SwitchAtRound{Round: 700}, "fos700_"},
 		{core.SwitchAtRound{Round: 900}, "fos900_"},
 	}
-	for _, c := range configs {
+	series := make([]*sim.Series, len(configs))
+	prefixes := make([]string, len(configs))
+	if err := p.runCells(len(configs), func(i int) error {
 		proc, err := sys.discrete(core.SOS, p, x0)
 		if err != nil {
 			return err
 		}
-		r := &sim.Runner{Proc: proc, Every: every, Policy: c.policy,
+		r := &sim.Runner{Proc: proc, Every: every, Policy: configs[i].policy,
 			Metrics: []sim.Metric{sim.MaxMinusAvg()}}
 		res, err := r.Run(rounds)
 		if err != nil {
 			return err
 		}
-		series = append(series, res.Series)
-		prefixes = append(prefixes, c.label)
+		series[i] = res.Series
+		prefixes[i] = configs[i].label
+		return nil
+	}); err != nil {
+		return err
 	}
 	m, err := merged(prefixes, series)
 	if err != nil {

@@ -28,11 +28,10 @@ func init() {
 func runNegload(w io.Writer, p Params) error {
 	p = p.withDefaults()
 	e, _ := ByID("negload")
-	side := 32
+	side := p.size(20, 32, 100)
 	spike := int64(100_000)
 	rounds := p.rounds(800, 800)
 	if p.Full {
-		side = 100
 		spike = 1_000_000
 	}
 	sys, err := torusSystem(side, side)
@@ -60,7 +59,11 @@ func runNegload(w io.Writer, p Params) error {
 	fmt.Fprintf(w, "%12s  %-12s %16s %16s %14s %14s\n",
 		"base load", "process", "min transient", "min end-of-round", "neg rounds", "safe")
 	bases := []int64{0, int64(safeBase) / 100, int64(safeBase) / 10, int64(safeBase)}
-	for _, base := range bases {
+	// Each base yields a discrete and a continuous row; the runs execute as
+	// independent cells and the rows print in base order afterwards.
+	rows := make([][2]string, len(bases))
+	if err := p.runCells(len(bases), func(i int) error {
+		base := bases[i]
 		x0, err := metrics.BalancedPlusSpike(n, base, spike, 0)
 		if err != nil {
 			return err
@@ -73,7 +76,7 @@ func runNegload(w io.Writer, p Params) error {
 		core.Run(disc, rounds)
 		minT, _ := disc.MinTransientInt()
 		minE, _ := disc.MinEndOfRound()
-		fmt.Fprintf(w, "%12d  %-12s %16d %16d %14d %14v\n",
+		rows[i][0] = fmt.Sprintf("%12d  %-12s %16d %16d %14d %14v",
 			base, "discrete", minT, minE, disc.NegativeTransientRounds(), minT >= 0)
 
 		// Continuous SOS for the Observation 5 / Theorem 10 comparison.
@@ -82,9 +85,16 @@ func runNegload(w io.Writer, p Params) error {
 			return err
 		}
 		core.Run(cont, rounds)
-		fmt.Fprintf(w, "%12d  %-12s %16.1f %16.1f %14d %14v\n",
+		rows[i][1] = fmt.Sprintf("%12d  %-12s %16.1f %16.1f %14d %14v",
 			base, "continuous", cont.MinTransient(), metrics.MinLoad(cont.LoadsFloat()),
 			cont.NegativeTransientRounds(), cont.MinTransient() >= 0)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintln(w, r[0])
+		fmt.Fprintln(w, r[1])
 	}
 	_, err = fmt.Fprintln(w, "\nshape check: the observed negative transient is far shallower than the worst-case bounds, and the inverted Theorem 10 base load always suffices")
 	return err
@@ -103,9 +113,12 @@ func runDeviation(w io.Writer, p Params) error {
 	if err := header(w, e, fmt.Sprintf("‖x_D − x_C‖_∞ over %d rounds (randomized rounding) vs Υ_C(G)·√(d·ln n); small graphs, exact dense Υ", rounds)); err != nil {
 		return err
 	}
+	cycleN := p.size(32, 64, 64)
+	cubeDim := p.size(6, 8, 8)
+	rrN, rrD := p.size(64, 128, 128), p.size(6, 8, 8)
 	cases := []deviationCase{
-		{"cycle n=64", func(p Params) (*system, error) {
-			g, err := graph.Cycle(64)
+		{fmt.Sprintf("cycle n=%d", cycleN), func(p Params) (*system, error) {
+			g, err := graph.Cycle(cycleN)
 			if err != nil {
 				return nil, err
 			}
@@ -114,15 +127,15 @@ func runDeviation(w io.Writer, p Params) error {
 		{"torus 12x12", func(p Params) (*system, error) {
 			return torusSystem(12, 12)
 		}},
-		{"hypercube 2^8", func(p Params) (*system, error) {
-			g, err := graph.Hypercube(8)
+		{fmt.Sprintf("hypercube 2^%d", cubeDim), func(p Params) (*system, error) {
+			g, err := graph.Hypercube(cubeDim)
 			if err != nil {
 				return nil, err
 			}
-			return newSystem(g, nil, 7.0/9.0)
+			return newSystem(g, nil, float64(cubeDim-1)/float64(cubeDim+1))
 		}},
-		{"random regular n=128 d=8", func(p Params) (*system, error) {
-			g, err := graph.RandomRegular(128, 8, p.Seed)
+		{fmt.Sprintf("random regular n=%d d=%d", rrN, rrD), func(p Params) (*system, error) {
+			g, err := graph.RandomRegular(rrN, rrD, p.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -131,7 +144,12 @@ func runDeviation(w io.Writer, p Params) error {
 	}
 	fmt.Fprintf(w, "\n%-26s %5s  %-14s %12s %12s %8s %12s %14s\n",
 		"graph", "kind", "lambda", "dev inf", "Υ·√(d ln n)", "within", "dev L2", "Thm8 d√n/(1−λ)")
-	for _, c := range cases {
+	// Flatten to one cell per (graph, scheme); each cell builds its own
+	// small system, so nothing is shared and all 8 run concurrently.
+	kinds := []core.Kind{core.FOS, core.SOS}
+	rows := make([]string, len(cases)*len(kinds))
+	err := p.runCells(len(rows), func(cell int) error {
+		c, kind := cases[cell/len(kinds)], kinds[cell%len(kinds)]
 		sys, err := c.build(p)
 		if err != nil {
 			return err
@@ -141,52 +159,57 @@ func runDeviation(w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		for _, kind := range []core.Kind{core.FOS, core.SOS} {
-			disc, err := sys.discrete(kind, p, x0)
-			if err != nil {
-				return err
-			}
-			cont, err := sys.continuous(kind, p, toFloat(x0))
-			if err != nil {
-				return err
-			}
-			var worst, worst2 float64
-			for round := 0; round < rounds; round++ {
-				disc.Step()
-				cont.Step()
-				dev, err := metrics.DeviationInf(disc.LoadsInt(), cont.LoadsFloat())
-				if err != nil {
-					return err
-				}
-				if dev > worst {
-					worst = dev
-				}
-				dev2, err := metrics.Deviation2(disc.LoadsInt(), cont.LoadsFloat())
-				if err != nil {
-					return err
-				}
-				if dev2 > worst2 {
-					worst2 = dev2
-				}
-			}
-			qseq, err := divergence.NewQSequence(sys.op, kind, sys.beta)
-			if err != nil {
-				return err
-			}
-			// One representative node is enough on these (near-)transitive
-			// graphs and keeps the dense sweep fast.
-			ups, _, err := divergence.Upsilon(qseq, divergence.UpsilonOptions{
-				MaxRounds: 6000, Nodes: []int{0},
-			})
-			if err != nil {
-				return err
-			}
-			bound := divergence.TheoremBound(ups, sys.g.MaxDegree(), n)
-			thm8 := divergence.Theorem8Bound(sys.g.MaxDegree(), n, 1, sys.lambda)
-			fmt.Fprintf(w, "%-26s %5v  %-14.8f %12.2f %12.2f %8v %12.2f %14.0f\n",
-				c.label, kind, sys.lambda, worst, bound, worst <= bound, worst2, thm8)
+		disc, err := sys.discrete(kind, p, x0)
+		if err != nil {
+			return err
 		}
+		cont, err := sys.continuous(kind, p, toFloat(x0))
+		if err != nil {
+			return err
+		}
+		var worst, worst2 float64
+		for round := 0; round < rounds; round++ {
+			disc.Step()
+			cont.Step()
+			dev, err := metrics.DeviationInf(disc.LoadsInt(), cont.LoadsFloat())
+			if err != nil {
+				return err
+			}
+			if dev > worst {
+				worst = dev
+			}
+			dev2, err := metrics.Deviation2(disc.LoadsInt(), cont.LoadsFloat())
+			if err != nil {
+				return err
+			}
+			if dev2 > worst2 {
+				worst2 = dev2
+			}
+		}
+		qseq, err := divergence.NewQSequence(sys.op, kind, sys.beta)
+		if err != nil {
+			return err
+		}
+		// One representative node is enough on these (near-)transitive
+		// graphs and keeps the dense sweep fast.
+		ups, _, err := divergence.Upsilon(qseq, divergence.UpsilonOptions{
+			MaxRounds: 6000, Nodes: []int{0},
+		})
+		if err != nil {
+			return err
+		}
+		bound := divergence.TheoremBound(ups, sys.g.MaxDegree(), n)
+		thm8 := divergence.Theorem8Bound(sys.g.MaxDegree(), n, 1, sys.lambda)
+		rows[cell] = fmt.Sprintf("%-26s %5v  %-14.8f %12.2f %12.2f %8v %12.2f %14.0f",
+			c.label, kind, sys.lambda, worst, bound, worst <= bound, worst2, thm8)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	_, err := fmt.Fprintln(w, "\nshape check: measured deviations sit below the Υ-based bound on every graph, SOS deviations exceed FOS deviations (Theorem 9 vs Theorem 4), and the L2 deviation is far below the Theorem 8 / [12]-style d√n/(1−λ) scale")
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+	_, err = fmt.Fprintln(w, "\nshape check: measured deviations sit below the Υ-based bound on every graph, SOS deviations exceed FOS deviations (Theorem 9 vs Theorem 4), and the L2 deviation is far below the Theorem 8 / [12]-style d√n/(1−λ) scale")
 	return err
 }

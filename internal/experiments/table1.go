@@ -35,86 +35,100 @@ func runTable1(w io.Writer, p Params) error {
 		return err
 	}
 
-	var rows []table1Row
-
-	// Tori: the paper's sizes are analytically available at any scale.
-	for _, side := range []int{1000, 100} {
-		lam, err := spectral.AnalyticTorus2DLambda(side, side)
-		if err != nil {
-			return err
+	// One builder per row; the random-graph rows dominate (graph
+	// construction plus deflated power iteration), so the rows run as
+	// independent cells on the sweep pool and are printed in table order.
+	analyticTorusRow := func(side int, ref string) func() (table1Row, error) {
+		return func() (table1Row, error) {
+			lam, err := spectral.AnalyticTorus2DLambda(side, side)
+			if err != nil {
+				return table1Row{}, err
+			}
+			beta, err := spectral.BetaOpt(lam)
+			if err != nil {
+				return table1Row{}, err
+			}
+			return table1Row{
+				label: fmt.Sprintf("Two-Dimensional Torus %dx%d", side, side),
+				n:     side * side, d: 4, lambda: lam, beta: beta,
+				source: "analytic", paperRef: ref,
+			}, nil
 		}
-		beta, err := spectral.BetaOpt(lam)
-		if err != nil {
-			return err
-		}
-		ref := map[int]string{1000: "1.9920836447", 100: "1.9235874877"}[side]
-		rows = append(rows, table1Row{
-			label: fmt.Sprintf("Two-Dimensional Torus %dx%d", side, side),
-			n:     side * side, d: 4, lambda: lam, beta: beta,
-			source: "analytic", paperRef: ref,
-		})
 	}
-
 	// Random graph (configuration model). Paper: n=10^6, d=floor(log2 n)=19.
-	cmN, cmD := 20000, 14
-	if p.Full {
-		cmN, cmD = 1_000_000, 19
-	}
-	cmG, err := graph.RandomRegular(cmN, cmD, p.Seed)
-	if err != nil {
-		return err
-	}
-	cmSys, err := newSystem(cmG, nil, 0)
-	if err != nil {
-		return err
-	}
-	cmRef := ""
-	if p.Full {
-		cmRef = "1.0651965147"
-	}
-	rows = append(rows, table1Row{
-		label: fmt.Sprintf("Random Graph (CM) n=%d d=%d", cmN, cmD),
-		n:     cmN, d: cmD, lambda: cmSys.lambda, beta: cmSys.beta,
-		source: "power-iteration", paperRef: cmRef,
-	})
-
+	cmN, cmD := p.size(4000, 20000, 1_000_000), p.size(11, 14, 19)
 	// Random geometric graph. Paper: n=10^4, r=(log n)^(1/4).
-	rggN := 2500
-	if p.Full {
-		rggN = 10000
+	rggN := p.size(600, 2500, 10000)
+	builders := []func() (table1Row, error){
+		// Tori: the paper's sizes are analytically available at any scale.
+		analyticTorusRow(1000, "1.9920836447"),
+		analyticTorusRow(100, "1.9235874877"),
+		func() (table1Row, error) {
+			cmG, err := graph.RandomRegular(cmN, cmD, p.Seed)
+			if err != nil {
+				return table1Row{}, err
+			}
+			cmSys, err := newSystem(cmG, nil, 0)
+			if err != nil {
+				return table1Row{}, err
+			}
+			cmRef := ""
+			if p.Full {
+				cmRef = "1.0651965147"
+			}
+			return table1Row{
+				label: fmt.Sprintf("Random Graph (CM) n=%d d=%d", cmN, cmD),
+				n:     cmN, d: cmD, lambda: cmSys.lambda, beta: cmSys.beta,
+				source: "power-iteration", paperRef: cmRef,
+			}, nil
+		},
+		func() (table1Row, error) {
+			rggG, _, err := graph.RandomGeometric(rggN, p.Seed, graph.GeometricOptions{})
+			if err != nil {
+				return table1Row{}, err
+			}
+			rggSys, err := newSystem(rggG, nil, 0)
+			if err != nil {
+				return table1Row{}, err
+			}
+			rggRef := ""
+			if p.Full {
+				rggRef = "1.9554636334"
+			}
+			return table1Row{
+				label: fmt.Sprintf("Random Geometric Graph n=%d", rggN),
+				n:     rggN, d: rggG.MaxDegree(), lambda: rggSys.lambda, beta: rggSys.beta,
+				source: "power-iteration", paperRef: rggRef,
+			}, nil
+		},
+		func() (table1Row, error) {
+			// Hypercube. Paper: n = 2^20.
+			lamH, err := spectral.AnalyticHypercubeLambda(20)
+			if err != nil {
+				return table1Row{}, err
+			}
+			betaH, err := spectral.BetaOpt(lamH)
+			if err != nil {
+				return table1Row{}, err
+			}
+			return table1Row{
+				label: "Hypercube n=2^20",
+				n:     1 << 20, d: 20, lambda: lamH, beta: betaH,
+				source: "analytic", paperRef: "1.4026054847",
+			}, nil
+		},
 	}
-	rggG, _, err := graph.RandomGeometric(rggN, p.Seed, graph.GeometricOptions{})
-	if err != nil {
+	rows := make([]table1Row, len(builders))
+	if err := p.runCells(len(builders), func(i int) error {
+		row, err := builders[i]()
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
 		return err
 	}
-	rggSys, err := newSystem(rggG, nil, 0)
-	if err != nil {
-		return err
-	}
-	rggRef := ""
-	if p.Full {
-		rggRef = "1.9554636334"
-	}
-	rows = append(rows, table1Row{
-		label: fmt.Sprintf("Random Geometric Graph n=%d", rggN),
-		n:     rggN, d: rggG.MaxDegree(), lambda: rggSys.lambda, beta: rggSys.beta,
-		source: "power-iteration", paperRef: rggRef,
-	})
-
-	// Hypercube. Paper: n = 2^20.
-	lamH, err := spectral.AnalyticHypercubeLambda(20)
-	if err != nil {
-		return err
-	}
-	betaH, err := spectral.BetaOpt(lamH)
-	if err != nil {
-		return err
-	}
-	rows = append(rows, table1Row{
-		label: "Hypercube n=2^20",
-		n:     1 << 20, d: 20, lambda: lamH, beta: betaH,
-		source: "analytic", paperRef: "1.4026054847",
-	})
 
 	fmt.Fprintf(w, "\n%-38s %9s %4s  %-14s %-14s %-16s %s\n",
 		"Graph", "n", "d", "lambda", "beta_opt", "paper beta", "source")

@@ -1,0 +1,66 @@
+package hetero
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SpeedsFromSpec builds processor speeds from a compact textual spec, the
+// syntax shared by the lbsim CLI and the sweep engine:
+//
+//	twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED
+//
+// The empty spec means homogeneous speeds and returns (nil, nil).
+func SpeedsFromSpec(spec string, n int, seed uint64) (*Speeds, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	num := func(i int) (float64, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("hetero: speeds spec %q: missing argument %d", spec, i)
+		}
+		return strconv.ParseFloat(parts[i], 64)
+	}
+	switch parts[0] {
+	case "twoclass":
+		frac, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		speed, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		return TwoClass(n, frac, speed, seed)
+	case "range":
+		max, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return UniformRange(n, max, seed)
+	case "powerlaw":
+		alpha, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		max, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		return PowerLaw(n, alpha, max, seed)
+	case "single":
+		idx, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		speed, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		return SingleFast(n, int(idx), speed)
+	default:
+		return nil, fmt.Errorf("hetero: unknown speeds spec %q (twoclass|range|powerlaw|single)", spec)
+	}
+}

@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"diffusionlb/internal/sim"
+)
+
+// Result is the aggregated outcome of a sweep: one Group per cell
+// coordinate, with its replicates collapsed into per-round statistics.
+type Result struct {
+	Spec   Spec    `json:"spec"`
+	Groups []Group `json:"groups"`
+}
+
+// Group aggregates the replicates of one (graph, scheme, rounder, speeds,
+// beta) coordinate.
+type Group struct {
+	Graph   string  `json:"graph"`
+	Scheme  string  `json:"scheme"`
+	Rounder string  `json:"rounder"`
+	Speeds  string  `json:"speeds,omitempty"`
+	Beta    float64 `json:"beta"`   // resolved β actually simulated
+	Lambda  float64 `json:"lambda"` // second eigenvalue of the topology
+	Nodes   int     `json:"nodes"`
+	// Replicates is the number of series collapsed into the statistics.
+	Replicates int `json:"replicates"`
+	// Rounds is the shared recording grid.
+	Rounds []int `json:"rounds"`
+	// Columns holds one aggregated statistic set per recorded metric.
+	Columns []AggColumn `json:"columns"`
+}
+
+// AggColumn is one metric aggregated across replicates: element k of each
+// slice corresponds to Rounds[k].
+type AggColumn struct {
+	Name string    `json:"name"`
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+	Min  []float64 `json:"min"`
+	Max  []float64 `json:"max"`
+}
+
+// Label is a compact human-readable identifier for the group.
+func (g Group) Label() string {
+	parts := []string{g.Graph, g.Scheme, g.Rounder}
+	if g.Speeds != "" {
+		parts = append(parts, g.Speeds)
+	}
+	parts = append(parts, fmt.Sprintf("beta=%.6g", g.Beta))
+	return strings.Join(parts, " ")
+}
+
+// aggregate collapses the per-cell series (indexed like cells) into groups.
+// Summation runs in replicate order, so the floating-point results are
+// identical for every worker count.
+func aggregate(spec Spec, cells []Cell, series []*sim.Series, systems map[sysKey]*system) (*Result, error) {
+	res := &Result{Spec: spec}
+	for start := 0; start < len(cells); start += spec.Replicates {
+		c := cells[start]
+		reps := series[start : start+spec.Replicates]
+		base := reps[0]
+		names := base.Names()
+		sys := systems[sysKey{c.graphIdx, c.speedsIdx}]
+		beta := c.Beta
+		if beta == 0 {
+			beta = sys.beta
+		}
+		g := Group{
+			Graph: c.Graph, Scheme: c.Scheme, Rounder: c.Rounder,
+			Speeds: c.Speeds, Beta: beta, Lambda: sys.lambda,
+			Nodes: sys.g.NumNodes(), Replicates: spec.Replicates,
+		}
+		for i := 0; i < base.Len(); i++ {
+			g.Rounds = append(g.Rounds, base.Round(i))
+		}
+		for col, name := range names {
+			agg := AggColumn{
+				Name: name,
+				Mean: make([]float64, base.Len()),
+				Std:  make([]float64, base.Len()),
+				Min:  make([]float64, base.Len()),
+				Max:  make([]float64, base.Len()),
+			}
+			for row := 0; row < base.Len(); row++ {
+				mn, mx := math.Inf(1), math.Inf(-1)
+				var sum float64
+				for _, s := range reps {
+					if s.Len() != base.Len() || s.Round(row) != base.Round(row) {
+						return nil, fmt.Errorf("sweep: replicate recording grids diverge in group %q", g.Label())
+					}
+					v := s.Row(row)[col]
+					sum += v
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				mean := sum / float64(len(reps))
+				std := 0.0
+				if mn == mx {
+					// All replicates agree (e.g. deterministic rounders):
+					// report the exact value, not mean-rounding noise.
+					mean = mn
+				} else if len(reps) > 1 {
+					var sq float64
+					for _, s := range reps {
+						d := s.Row(row)[col] - mean
+						sq += d * d
+					}
+					std = math.Sqrt(sq / float64(len(reps)-1))
+				}
+				agg.Mean[row], agg.Std[row], agg.Min[row], agg.Max[row] = mean, std, mn, mx
+			}
+			g.Columns = append(g.Columns, agg)
+		}
+		res.Groups = append(res.Groups, g)
+	}
+	return res, nil
+}
+
+// WriteJSON writes the full aggregated result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the result in long form, one row per
+// (group, round, metric):
+//
+//	graph,scheme,rounder,speeds,beta,replicates,round,metric,mean,std,min,max
+func (r *Result) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("graph,scheme,rounder,speeds,beta,replicates,round,metric,mean,std,min,max\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	for _, g := range r.Groups {
+		prefix := fmt.Sprintf("%s,%s,%s,%s,%s,%d",
+			g.Graph, g.Scheme, g.Rounder, g.Speeds, f(g.Beta), g.Replicates)
+		for _, col := range g.Columns {
+			for row, round := range g.Rounds {
+				b.Reset()
+				b.WriteString(prefix)
+				b.WriteByte(',')
+				b.WriteString(strconv.Itoa(round))
+				b.WriteByte(',')
+				b.WriteString(col.Name)
+				b.WriteByte(',')
+				b.WriteString(f(col.Mean[row]))
+				b.WriteByte(',')
+				b.WriteString(f(col.Std[row]))
+				b.WriteByte(',')
+				b.WriteString(f(col.Min[row]))
+				b.WriteByte(',')
+				b.WriteString(f(col.Max[row]))
+				b.WriteByte('\n')
+				if _, err := io.WriteString(w, b.String()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable renders each group as an aligned text table of mean±std per
+// metric, downsampled to maxRows rows (the sim.Series table format).
+func (r *Result) WriteTable(w io.Writer, maxRows int) error {
+	for _, g := range r.Groups {
+		if _, err := fmt.Fprintf(w, "\n[%s]  n=%d lambda=%.8f replicates=%d\n",
+			g.Label(), g.Nodes, g.Lambda, g.Replicates); err != nil {
+			return err
+		}
+		names := make([]string, 0, 2*len(g.Columns))
+		for _, col := range g.Columns {
+			names = append(names, col.Name+"_mean", col.Name+"_std")
+		}
+		table := sim.NewSeries(names...)
+		for row, round := range g.Rounds {
+			vals := make([]float64, 0, len(names))
+			for _, col := range g.Columns {
+				vals = append(vals, col.Mean[row], col.Std[row])
+			}
+			if err := table.Append(round, vals...); err != nil {
+				return err
+			}
+		}
+		if err := table.WriteTable(w, maxRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

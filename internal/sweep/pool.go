@@ -1,0 +1,95 @@
+// Package sweep is the deterministic fan-out engine behind the experiment
+// layer: it expands a sweep specification (graphs, schemes, rounders, speed
+// profiles, β values, seed ranges) into independent simulation cells,
+// executes them on a bounded, context-cancellable worker pool, and
+// aggregates replicate series into mean/stddev/min/max statistics.
+//
+// Determinism contract: every cell derives its seed from the master seed
+// and its position in the expanded grid via randx.Mix, cells never share
+// mutable state, and results are collected by cell index. Aggregated output
+// is therefore bitwise identical for every worker count, including 1.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "one worker
+// per available CPU", and explicit values are capped at runtime.GOMAXPROCS
+// so a sweep never oversubscribes the scheduler.
+func Workers(requested int) int {
+	max := runtime.GOMAXPROCS(0)
+	if requested <= 0 || requested > max {
+		return max
+	}
+	return requested
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most Workers(workers)
+// goroutines and blocks until all started jobs finish. Callers communicate
+// results positionally (fn writes results[i]), which keeps output
+// independent of scheduling order.
+//
+// Cancellation: once ctx is done no new index is dispatched; jobs already
+// running finish, and Map returns ctx.Err(). Otherwise Map returns the
+// error of the lowest index that failed (later jobs still run; a sweep is
+// cheap to finish and expensive to re-run).
+func Map(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Inline path: same dispatch rule, no goroutines. This is also the
+		// reference order for the determinism tests.
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err := fn(ctx, i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return firstErr
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(ctx, i)
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/randx"
+)
+
+// Spec describes a grid of independent simulation cells as the cross
+// product of its axes. Axis values use the same textual syntax as the lbsim
+// CLI (graph.FromSpec, hetero.SpeedsFromSpec, core.RounderByName).
+type Spec struct {
+	// Graphs lists graph specs, e.g. "torus2d:64x64", "hypercube:10".
+	Graphs []string `json:"graphs"`
+	// Schemes lists diffusion schemes: "sos" and/or "fos".
+	Schemes []string `json:"schemes"`
+	// Rounders lists discretizations: any core rounder name ("randomized",
+	// "floor", "nearest", "bernoulli") plus "continuous" (idealized,
+	// divisible load) and "cumulative" (the stateful baseline of [2]).
+	// Empty means ["randomized"].
+	Rounders []string `json:"rounders"`
+	// Speeds lists heterogeneous speed specs; the empty string is the
+	// homogeneous network. Empty means [""].
+	Speeds []string `json:"speeds,omitempty"`
+	// Betas lists SOS β overrides; 0 means the spectral optimum β_opt.
+	// Empty means [0]. FOS ignores β, so for FOS schemes the axis
+	// collapses to a single cell instead of duplicating identical runs
+	// under different labels.
+	Betas []float64 `json:"betas,omitempty"`
+	// Replicates is the number of independently seeded runs per cell
+	// coordinate (default 1).
+	Replicates int `json:"replicates"`
+	// Rounds is the per-cell round budget. Required.
+	Rounds int `json:"rounds"`
+	// Every is the recording cadence (default max(1, Rounds/100)).
+	Every int `json:"every"`
+	// Avg is the average initial load, placed entirely on node 0
+	// (default 1000).
+	Avg int64 `json:"avg"`
+	// SwitchAt switches SOS cells to FOS at this round (0 = never).
+	SwitchAt int `json:"switch_at,omitempty"`
+	// BaseSeed is the master seed every cell seed is derived from
+	// (default 1).
+	BaseSeed uint64 `json:"base_seed"`
+	// StepWorkers bounds per-step parallelism inside one cell
+	// (0 = sequential). Cell-level fan-out is usually the better use of
+	// cores; raise this only for few huge cells.
+	StepWorkers int `json:"step_workers,omitempty"`
+}
+
+// withDefaults fills in the documented defaults.
+func (s Spec) withDefaults() Spec {
+	if len(s.Rounders) == 0 {
+		s.Rounders = []string{"randomized"}
+	}
+	if len(s.Speeds) == 0 {
+		s.Speeds = []string{""}
+	}
+	if len(s.Betas) == 0 {
+		s.Betas = []float64{0}
+	}
+	if s.Replicates <= 0 {
+		s.Replicates = 1
+	}
+	if s.Every <= 0 {
+		s.Every = s.Rounds / 100
+		if s.Every < 1 {
+			s.Every = 1
+		}
+	}
+	if s.Avg == 0 {
+		s.Avg = 1000
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1
+	}
+	return s
+}
+
+// validate rejects malformed axes before any cell runs.
+func (s Spec) validate() error {
+	if len(s.Graphs) == 0 {
+		return fmt.Errorf("sweep: spec needs at least one graph")
+	}
+	if len(s.Schemes) == 0 {
+		return fmt.Errorf("sweep: spec needs at least one scheme")
+	}
+	for _, sc := range s.Schemes {
+		if _, err := parseKind(sc); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.Rounders {
+		if r != "continuous" && r != "cumulative" {
+			if _, ok := core.RounderByName(r); !ok {
+				return fmt.Errorf("sweep: unknown rounder %q", r)
+			}
+		}
+	}
+	for _, b := range s.Betas {
+		// 0 selects β_opt; core needs SOS β strictly inside (0, 2), so
+		// reject the boundary here rather than after system construction.
+		if b < 0 || b >= 2 {
+			return fmt.Errorf("sweep: beta %g outside [0, 2)", b)
+		}
+	}
+	if s.Rounds <= 0 {
+		return fmt.Errorf("sweep: spec needs Rounds > 0, got %d", s.Rounds)
+	}
+	return nil
+}
+
+// parseKind maps a scheme name to the core kind.
+func parseKind(scheme string) (core.Kind, error) {
+	switch strings.ToLower(scheme) {
+	case "fos":
+		return core.FOS, nil
+	case "sos":
+		return core.SOS, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown scheme %q (fos|sos)", scheme)
+	}
+}
+
+// Cell is one fully resolved simulation to run: a coordinate in the sweep
+// grid plus its derived seed.
+type Cell struct {
+	// Index is the cell's position in the deterministic expansion order.
+	Index int
+	// Group is the index of the aggregation group (all replicates of the
+	// same coordinate share one group).
+	Group int
+	// Graph, Scheme, Rounder, Speeds, Beta, Replicate are the coordinate.
+	Graph     string
+	Scheme    string
+	Rounder   string
+	Speeds    string
+	Beta      float64
+	Replicate int
+	// Seed is derived from (BaseSeed, axis indices, replicate) via
+	// randx.Mix, so it depends only on the spec, never on scheduling.
+	Seed uint64
+
+	graphIdx, speedsIdx int
+}
+
+// Expand enumerates every cell of the sweep in deterministic order:
+// graphs → schemes → rounders → speeds → betas → replicates, with the
+// replicate index innermost so one group occupies a contiguous index range.
+func (s Spec) Expand() []Cell {
+	s = s.withDefaults()
+	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Betas)*s.Replicates)
+	group := 0
+	fosBetas := []float64{0}
+	for gi, g := range s.Graphs {
+		for si, sc := range s.Schemes {
+			schemeBetas := s.Betas
+			if kind, err := parseKind(sc); err == nil && kind == core.FOS {
+				schemeBetas = fosBetas
+			}
+			for ri, rd := range s.Rounders {
+				for pi, sp := range s.Speeds {
+					for bi, beta := range schemeBetas {
+						for rep := 0; rep < s.Replicates; rep++ {
+							cells = append(cells, Cell{
+								Index:     len(cells),
+								Group:     group,
+								Graph:     g,
+								Scheme:    sc,
+								Rounder:   rd,
+								Speeds:    sp,
+								Beta:      beta,
+								Replicate: rep,
+								Seed: randx.Mix(s.BaseSeed,
+									uint64(gi), uint64(si), uint64(ri),
+									uint64(pi), uint64(bi), uint64(rep)),
+								graphIdx:  gi,
+								speedsIdx: pi,
+							})
+						}
+						group++
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// NumCells reports how many cells the spec expands to (the β axis only
+// applies to SOS schemes).
+func (s Spec) NumCells() int {
+	s = s.withDefaults()
+	perGraph := 0
+	for _, sc := range s.Schemes {
+		nb := len(s.Betas)
+		if kind, err := parseKind(sc); err == nil && kind == core.FOS {
+			nb = 1
+		}
+		perGraph += nb * len(s.Rounders) * len(s.Speeds) * s.Replicates
+	}
+	return len(s.Graphs) * perGraph
+}
