@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race-sweep fmt-check vet verify bench clean
+.PHONY: all build test test-short race-sweep fmt-check vet verify bench bench-smoke clean
 
 all: build
 
@@ -13,10 +13,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# The sweep engine is the only package that fans out goroutines across
-# scenario cells; run it under the race detector explicitly.
+# The sweep engine fans out goroutines across scenario cells, and the
+# workload/sim layers feed per-cell mutators into those goroutines; run them
+# all under the race detector explicitly.
 race-sweep:
-	$(GO) test -race -short ./internal/sweep/... ./internal/experiments/
+	$(GO) test -race -short ./internal/sweep/... ./internal/experiments/ ./internal/workload/ ./internal/sim/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -31,8 +32,17 @@ vet:
 verify: fmt-check vet build test-short race-sweep
 	@echo verify OK
 
+# bench produces real timings; override BENCHTIME (e.g. BENCHTIME=2s) or
+# narrow with standard go test flags for serious measurement runs.
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
+
+# bench-smoke runs every benchmark exactly once — including the
+# dynamic-workload and engine benchmarks — so the perf paths at least
+# compile and execute on every CI run without the timing cost of `bench`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/...
 
 clean:
 	$(GO) clean ./...

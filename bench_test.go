@@ -63,6 +63,7 @@ func BenchmarkNegativeLoadBound(b *testing.B)       { runExperiment(b, "negload"
 func BenchmarkDeviationBounds(b *testing.B)         { runExperiment(b, "deviation", benchParams()) }
 func BenchmarkTrafficComparison(b *testing.B)       { runExperiment(b, "traffic", benchParams()) }
 func BenchmarkHeterogeneous(b *testing.B)           { runExperiment(b, "hetero", benchParams()) }
+func BenchmarkChurnRecovery(b *testing.B)           { runExperiment(b, "churn", benchParams()) }
 
 // Figures 12/14 build expensive random graphs; keep them to tiny instances
 // by benchmarking the comparison core directly at reduced scale.
@@ -207,6 +208,41 @@ func BenchmarkDiscreteStepRounders(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				proc.Step()
 			}
+		})
+	}
+}
+
+// BenchmarkDynamicStepSOS measures the dynamic-workload path end to end:
+// an SOS step plus a composed mutator (Poisson arrivals, churn, adversary)
+// injected between rounds — the per-round cost of a production-shaped run.
+func BenchmarkDynamicStepSOS(b *testing.B) {
+	for _, side := range []int{32, 100} {
+		b.Run(fmt.Sprintf("torus%dx%d", side, side), func(b *testing.B) {
+			sys, x0 := torusBench(b, side)
+			n := side * side
+			proc, err := sys.NewDiscrete(diffusionlb.SOS, nil, 1, x0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl, err := diffusionlb.WorkloadFromSpec("poisson:0.25+churn:5:200:200+adversary:64:4", n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			deltas := make([]int64, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				proc.Step()
+				for k := range deltas {
+					deltas[k] = 0
+				}
+				if wl.Deltas(proc.Round(), diffusionlb.IntWorkloadLoads(proc.LoadsInt()), deltas) {
+					if err := proc.Inject(deltas); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "nodes/s")
 		})
 	}
 }

@@ -24,9 +24,14 @@
 //	    identical for every -workers value.
 //
 //	lbsim -graph torus2d:100x100 -scheme sos -rounder randomized \
-//	      -rounds 1000 [-avg 1000] [-switch 500] [-csv out.csv]
+//	      -rounds 1000 [-avg 1000] [-switch 500] [-csv out.csv] \
+//	      [-workload burst:100:500000+poisson:0.5]
 //	    Free-form run: any graph, scheme and rounder, with the paper's
-//	    three metrics recorded.
+//	    three metrics recorded. -workload injects dynamic load between
+//	    rounds (hotspot bursts, Poisson arrivals, churn, an adversarial
+//	    most-loaded-region feeder) and adds the discrepancy, peak
+//	    discrepancy and total load recovery metrics; it is also a sweep
+//	    axis in -sweep mode.
 //
 //	lbsim -graph hypercube:16 -spectrum
 //	    Print n, |E|, d, λ and β_opt for a graph.
@@ -61,28 +66,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lbsim", flag.ContinueOnError)
 	var (
-		list        = fs.Bool("list", false, "list available experiments")
-		experiment  = fs.String("experiment", "", "experiment id to run (or 'all')")
-		full        = fs.Bool("full", false, "use the paper's original sizes")
-		seed        = fs.Uint64("seed", 1, "master seed")
-		workers     = fs.Int("workers", 0, "concurrent scenario cells in -experiment and -sweep modes (0 = one per CPU)")
-		stepWorkers = fs.Int("stepworkers", 0, "worker goroutines per simulation step (0 = sequential)")
-		outDir      = fs.String("out", "", "directory for CSV/PNG artifacts")
-		rounds      = fs.Int("rounds", 1000, "rounds for free-form/sweep runs (also overrides experiment rounds when set with -experiment)")
-		sweepMode   = fs.Bool("sweep", false, "run the cross product of -graph/-scheme/-rounder/-beta/-speeds axes and aggregate replicates")
-		graphSpec   = fs.String("graph", "", "graph spec, e.g. torus2d:100x100 (comma-separated list in -sweep mode)")
-		scheme      = fs.String("scheme", "sos", "fos | sos (comma-separated list in -sweep mode)")
-		rounder     = fs.String("rounder", "randomized", "randomized | floor | nearest | bernoulli | continuous | cumulative (comma-separated list in -sweep mode)")
-		betas       = fs.String("beta", "", "sweep mode: comma-separated SOS beta overrides (0 = beta_opt)")
-		replicates  = fs.Int("replicates", 1, "sweep mode: independently seeded runs per cell")
-		format      = fs.String("format", "table", "sweep mode output: table | csv | json")
-		avg         = fs.Int64("avg", 1000, "average initial load (all placed on node 0)")
-		speedsSpec  = fs.String("speeds", "", "processor speeds: twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED (empty = homogeneous; comma-separated list in -sweep mode)")
-		switchAt    = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never)")
-		every       = fs.Int("every", 0, "recording cadence (0 = auto)")
-		csvPath     = fs.String("csv", "", "write the recorded series to this CSV file")
-		spectrum    = fs.Bool("spectrum", false, "print spectral data for -graph and exit")
-		tableRows   = fs.Int("rows", 21, "max rows in printed tables")
+		list         = fs.Bool("list", false, "list available experiments")
+		experiment   = fs.String("experiment", "", "experiment id to run (or 'all')")
+		full         = fs.Bool("full", false, "use the paper's original sizes")
+		seed         = fs.Uint64("seed", 1, "master seed")
+		workers      = fs.Int("workers", 0, "concurrent scenario cells in -experiment and -sweep modes (0 = one per CPU)")
+		stepWorkers  = fs.Int("stepworkers", 0, "worker goroutines per simulation step (0 = sequential)")
+		outDir       = fs.String("out", "", "directory for CSV/PNG artifacts")
+		rounds       = fs.Int("rounds", 1000, "rounds for free-form/sweep runs (also overrides experiment rounds when set with -experiment)")
+		sweepMode    = fs.Bool("sweep", false, "run the cross product of -graph/-scheme/-rounder/-beta/-speeds axes and aggregate replicates")
+		graphSpec    = fs.String("graph", "", "graph spec, e.g. torus2d:100x100 (comma-separated list in -sweep mode)")
+		scheme       = fs.String("scheme", "sos", "fos | sos (comma-separated list in -sweep mode)")
+		rounder      = fs.String("rounder", "randomized", "randomized | floor | nearest | bernoulli | continuous | cumulative (comma-separated list in -sweep mode)")
+		betas        = fs.String("beta", "", "sweep mode: comma-separated SOS beta overrides (0 = beta_opt)")
+		replicates   = fs.Int("replicates", 1, "sweep mode: independently seeded runs per cell")
+		format       = fs.String("format", "table", "sweep mode output: table | csv | json")
+		avg          = fs.Int64("avg", 1000, "average initial load (all placed on node 0)")
+		speedsSpec   = fs.String("speeds", "", "processor speeds: twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED (empty = homogeneous; comma-separated list in -sweep mode)")
+		workloadSpec = fs.String("workload", "", "dynamic workload: burst:ROUND:AMOUNT[:NODE] | hotspot:PERIOD:AMOUNT[:NODE] | poisson:RATE[:UNTIL] | churn:PERIOD:ARRIVE:DEPART[:UNTIL] | adversary:AMOUNT[:TOP], joined with '+' (empty = static; comma-separated list in -sweep mode)")
+		switchAt     = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never)")
+		every        = fs.Int("every", 0, "recording cadence (0 = auto)")
+		csvPath      = fs.String("csv", "", "write the recorded series to this CSV file")
+		spectrum     = fs.Bool("spectrum", false, "print spectral data for -graph and exit")
+		tableRows    = fs.Int("rows", 21, "max rows in printed tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,6 +138,7 @@ func run(args []string) error {
 			Schemes:     splitList(*scheme),
 			Rounders:    splitList(*rounder),
 			Speeds:      splitList(*speedsSpec),
+			Workloads:   splitList(*workloadSpec),
 			Betas:       betaVals,
 			Replicates:  *replicates,
 			Rounds:      *rounds,
@@ -198,7 +205,7 @@ func run(args []string) error {
 			scheme: *scheme, rounder: *rounder, rounds: *rounds, avg: *avg,
 			switchAt: *switchAt, every: *every, csvPath: *csvPath,
 			seed: *seed, workers: sw, tableRows: *tableRows,
-			hetero: speeds != nil,
+			hetero: speeds != nil, workload: *workloadSpec,
 		})
 
 	default:
@@ -251,6 +258,7 @@ func flagWasSet(fs *flag.FlagSet, name string) bool {
 
 type freeFormConfig struct {
 	scheme, rounder, csvPath string
+	workload                 string
 	rounds                   int
 	avg                      int64
 	switchAt, every          int
@@ -312,7 +320,14 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 	if cfg.hetero {
 		ms = append(ms, diffusionlb.MetricHeteroMaxMinusTarget())
 	}
-	runner := &diffusionlb.Runner{Proc: proc, Every: every, Policy: policy, Metrics: ms}
+	wl, err := diffusionlb.WorkloadFromSpec(cfg.workload, n, cfg.seed)
+	if err != nil {
+		return err
+	}
+	if wl != nil {
+		ms = append(ms, diffusionlb.DynamicMetrics()...)
+	}
+	runner := &diffusionlb.Runner{Proc: proc, Every: every, Policy: policy, Metrics: ms, Workload: wl}
 	res, err := runner.Run(cfg.rounds)
 	if err != nil {
 		return err

@@ -129,6 +129,18 @@ func TestRunFreeFormHeterogeneous(t *testing.T) {
 	}
 }
 
+func TestRunFreeFormWorkload(t *testing.T) {
+	if err := run([]string{"-graph", "torus2d:8x8", "-scheme", "sos",
+		"-workload", "burst:10:6400:0+poisson:0.25", "-rounds", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	// The continuous engine accepts injection too.
+	if err := run([]string{"-graph", "cycle:10", "-scheme", "fos",
+		"-rounder", "continuous", "-workload", "churn:5:20:20", "-rounds", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{},
@@ -140,6 +152,9 @@ func TestRunErrors(t *testing.T) {
 		{"-sweep", "-graph", "cycle:8", "-scheme", "third"},
 		{"-sweep", "-graph", "cycle:8", "-beta", "nope"},
 		{"-sweep", "-graph", "cycle:8", "-format", "xml"},
+		{"-graph", "torus2d:4x4", "-workload", "tsunami:9"},
+		{"-graph", "torus2d:4x4", "-workload", "burst:5:10:99"},
+		{"-sweep", "-graph", "cycle:8", "-workload", "hotspot:0:5"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -161,6 +176,12 @@ func TestRunSweep(t *testing.T) {
 	if err := run([]string{"-sweep", "-graph", "torus2d:6x6",
 		"-speeds", "twoclass:0.25:4", "-beta", "0,1.5",
 		"-switch", "10", "-rounds", "25", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic-workload axis: static vs burst vs composed churn.
+	if err := run([]string{"-sweep", "-graph", "torus2d:6x6",
+		"-scheme", "sos,fos", "-workload", ",burst:10:3600:0,poisson:0.5+churn:5:20:20",
+		"-rounds", "25", "-every", "5", "-format", "csv"}); err != nil {
 		t.Fatal(err)
 	}
 }

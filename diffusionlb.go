@@ -38,6 +38,7 @@ import (
 	"diffusionlb/internal/sim"
 	"diffusionlb/internal/spectral"
 	"diffusionlb/internal/viz"
+	"diffusionlb/internal/workload"
 )
 
 // --- graphs ---
@@ -300,6 +301,56 @@ var (
 	MetricHeteroMaxMinusTarget = sim.HeteroMaxMinusTarget
 	DefaultMetrics             = sim.DefaultMetrics
 )
+
+// --- dynamic workloads ---
+
+// WorkloadMutator produces deterministic per-node load deltas injected
+// after each round (churn, hotspot bursts, arrivals); set it as the
+// Runner's Workload field.
+type WorkloadMutator = workload.Mutator
+
+// WorkloadLoads is the read-only load view a mutator inspects.
+type WorkloadLoads = workload.Loads
+
+// IntWorkloadLoads and FloatWorkloadLoads adapt raw load slices to the
+// WorkloadLoads view for callers driving mutators by hand.
+type (
+	IntWorkloadLoads   = workload.IntLoads
+	FloatWorkloadLoads = workload.SliceLoads
+)
+
+// Injector is implemented by processes that accept external load injection
+// between rounds (Discrete, Continuous and CumulativeDiscrete all do).
+type Injector = core.Injector
+
+// Workload constructors and helpers.
+var (
+	// WorkloadFromSpec parses the textual workload syntax shared with the
+	// lbsim CLI and the sweep engine, e.g. "burst:100:50000+poisson:0.5".
+	WorkloadFromSpec = workload.FromSpec
+	// NewBurst, NewHotspot, NewPoisson, NewChurn and NewAdversary build
+	// the individual dynamic-load patterns.
+	NewBurst     = workload.NewBurst
+	NewHotspot   = workload.NewHotspot
+	NewPoisson   = workload.NewPoisson
+	NewChurn     = workload.NewChurn
+	NewAdversary = workload.NewAdversary
+	// MetricPeakDiscrepancy tracks the running maximum discrepancy (peak
+	// imbalance under churn).
+	MetricPeakDiscrepancy = sim.PeakDiscrepancy
+	// MetricInjectedLoad samples the cumulative net injected load.
+	MetricInjectedLoad = sim.InjectedLoad
+	// RoundsToRecover measures rounds-to-rebalance after a burst from a
+	// recorded series.
+	RoundsToRecover = sim.RoundsToRecover
+	// DynamicMetrics is the recovery metric trio dynamic runs record
+	// (discrepancy, peak discrepancy, total load).
+	DynamicMetrics = sim.DynamicMetrics
+)
+
+// WorkloadCompose applies several mutators in order, summing their deltas —
+// the programmatic counterpart of joining specs with "+".
+type WorkloadCompose = workload.Compose
 
 // --- initial load distributions ---
 

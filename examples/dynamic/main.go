@@ -1,0 +1,132 @@
+// Dynamic workloads: the paper evaluates FOS/SOS on static load vectors,
+// but a production balancer faces churn — work arrives, departs, and
+// sometimes slams into one node all at once. This walkthrough drives a
+// discrete SOS process on a torus while a deterministic workload mutates
+// the loads between rounds:
+//
+//  1. background churn: every 5 rounds, 50 tokens arrive at random nodes
+//     and 50 depart from random nodes,
+//  2. Poisson arrivals: each node independently receives Poisson(0.2)
+//     tokens per round,
+//  3. a hotspot burst: at round 100, node 0 is hit with 40·n extra tokens,
+//  4. an adversary: after round 200, 32 tokens per round land on the four
+//     currently most-loaded nodes.
+//
+// Every mutation is a pure function of (seed, round, loads) drawn from
+// counter-based streams, so the run is bit-identical across repeats,
+// worker counts, and checkpoint/restore cuts.
+//
+// Run with:
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"diffusionlb"
+)
+
+const (
+	side   = 32
+	rounds = 400
+	burstR = 100
+	seed   = 11
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g, err := diffusionlb.Torus2D(side, side)
+	if err != nil {
+		return err
+	}
+	sys, err := diffusionlb.NewSystem(g, nil)
+	if err != nil {
+		return err
+	}
+	n := g.NumNodes()
+
+	// Balanced start: the dynamics, not the initial imbalance, are the story.
+	x0 := make([]int64, n)
+	for i := range x0 {
+		x0[i] = 500
+	}
+	proc, err := sys.NewDiscrete(diffusionlb.SOS, diffusionlb.RandomizedRounder{}, seed, x0)
+	if err != nil {
+		return err
+	}
+
+	// The same workload can be built from the CLI spec syntax...
+	spec := fmt.Sprintf("churn:5:50:50+poisson:0.2+burst:%d:%d:0", burstR, 40*n)
+	wl, err := diffusionlb.WorkloadFromSpec(spec, n, seed)
+	if err != nil {
+		return err
+	}
+	// ...or composed programmatically; here the adversary is appended by
+	// hand because its "after round 200" gating is this example's own rule.
+	adversary := diffusionlb.NewAdversary(32, 4)
+	composed := diffusionlb.WorkloadCompose{wl, gatedMutator{from: 201, m: adversary}}
+
+	runner := &diffusionlb.Runner{
+		Proc:     proc,
+		Workload: composed,
+		Every:    20,
+		Metrics: []diffusionlb.Metric{
+			diffusionlb.MetricDiscrepancy(),
+			diffusionlb.MetricPeakDiscrepancy(),
+			diffusionlb.MetricInjectedLoad(),
+			diffusionlb.MetricTotalLoad(),
+		},
+	}
+	res, err := runner.Run(rounds)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("torus %dx%d, %d rounds, workload %s + adversary:32:4 after round 200\n\n",
+		side, side, rounds, spec)
+	if err := res.Series.WriteTable(os.Stdout, 21); err != nil {
+		return err
+	}
+
+	rec, err := diffusionlb.RoundsToRecover(res.Series, "discrepancy", burstR, 32)
+	if err != nil {
+		return err
+	}
+	peak, err := res.Series.Last("peak_discrepancy")
+	if err != nil {
+		return err
+	}
+	added, removed := proc.Injected()
+	fmt.Printf("\npeak discrepancy %.0f; back under 32 tokens %d rounds after the burst\n", peak, rec)
+	fmt.Printf("externally injected %d tokens, departed %d; final total %d (conserved by the scheme, mutated only by the workload)\n",
+		added, removed, proc.TotalLoad())
+	fmt.Println("\nSOS keeps the imbalance at a small constant under churn and Poisson arrivals,")
+	fmt.Println("absorbs the burst within tens of rounds, and holds steady even while an")
+	fmt.Println("adversary feeds the most-loaded region every round.")
+	return nil
+}
+
+// gatedMutator applies an inner mutator only from a given round on — a
+// user-defined mutator: anything with Name and Deltas composes with the
+// built-ins through WorkloadCompose.
+type gatedMutator struct {
+	from int
+	m    diffusionlb.WorkloadMutator
+}
+
+func (g gatedMutator) Name() string { return fmt.Sprintf("after:%d(%s)", g.from, g.m.Name()) }
+
+func (g gatedMutator) Deltas(round int, loads diffusionlb.WorkloadLoads, out []int64) bool {
+	if round < g.from {
+		return false
+	}
+	return g.m.Deltas(round, loads, out)
+}

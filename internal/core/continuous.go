@@ -185,6 +185,21 @@ func (c *Continuous) MinTransient() float64 { return c.minTransient }
 // NegativeTransientRounds counts rounds with a negative transient load.
 func (c *Continuous) NegativeTransientRounds() int { return c.negTransientRounds }
 
+// Inject implements Injector: it adds deltas to the loads between rounds.
+// The injected totals are folded into the conservation baseline, so
+// ConservationError keeps measuring floating-point drift only, not the
+// external load change.
+func (c *Continuous) Inject(deltas []int64) error {
+	if len(deltas) != len(c.x) {
+		return fmt.Errorf("%w: %d deltas for %d nodes", ErrBadConfig, len(deltas), len(c.x))
+	}
+	for i, dv := range deltas {
+		c.x[i] += float64(dv)
+		c.initialTotal += float64(dv)
+	}
+	return nil
+}
+
 // ConservationError returns Σx(t) − Σx(0), the accumulated floating-point
 // drift of the idealized scheme (exactly the right plot of Figure 6).
 func (c *Continuous) ConservationError() float64 {

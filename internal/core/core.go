@@ -141,6 +141,19 @@ type Process interface {
 	NegativeTransientRounds() int
 }
 
+// Injector is implemented by processes that accept external load injection
+// between rounds — the hook the dynamic-workload subsystem drives. Inject
+// adds deltas[i] to node i's load; it is not a round: the round counter,
+// the scheme's flow memory and the rounding streams are untouched, so a
+// checkpoint taken at a round boundary resumes bit-identically as long as
+// the caller replays the same injections (which workload mutators, being
+// pure functions of (seed, round, loads), do).
+type Injector interface {
+	// Inject applies the per-node load deltas; len(deltas) must equal the
+	// node count.
+	Inject(deltas []int64) error
+}
+
 // graphOf is a small helper used across the engine implementations.
 func graphOf(op *spectral.Operator) *graph.Graph { return op.Graph() }
 

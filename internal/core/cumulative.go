@@ -150,6 +150,22 @@ func (c *CumulativeDiscrete) MinTransient() float64 {
 // NegativeTransientRounds counts rounds with a negative transient load.
 func (c *CumulativeDiscrete) NegativeTransientRounds() int { return c.negTransientRounds }
 
+// Inject implements Injector: deltas are applied to both the discrete loads
+// and the internally simulated continuous reference, so the cumulative-flow
+// tracking keeps measuring the same trajectory.
+func (c *CumulativeDiscrete) Inject(deltas []int64) error {
+	if len(deltas) != len(c.x) {
+		return fmt.Errorf("%w: %d deltas for %d nodes", ErrBadConfig, len(deltas), len(c.x))
+	}
+	if err := c.cont.Inject(deltas); err != nil {
+		return err
+	}
+	for i, dv := range deltas {
+		c.x[i] += dv
+	}
+	return nil
+}
+
 // TotalLoad returns Σ x_i (conserved exactly).
 func (c *CumulativeDiscrete) TotalLoad() int64 {
 	var s int64

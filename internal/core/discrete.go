@@ -39,6 +39,8 @@ type Discrete struct {
 	minEndSet          bool
 	tokensMoved        int64 // Σ over rounds of all positive flows
 	edgeMessages       int64 // directed transfers (arcs with positive flow)
+	injectedTokens     int64 // Σ of positive Inject deltas (arrivals)
+	removedTokens      int64 // Σ of negative Inject deltas (departures)
 
 	// per-worker scratch for compacting a node's positive flows
 	scratchVals [][]float64
@@ -167,7 +169,7 @@ func (d *Discrete) Step() {
 				continue
 			}
 			if needRNG {
-				pcg.Seed(randx.PCGPair(seed, round, uint64(i)))
+				pcg.Seed(randx.PCGPair3(seed, round, uint64(i)))
 			}
 			d.rounder.RoundNode(vals[:cnt], out[:cnt], rng)
 			for k := 0; k < cnt; k++ {
@@ -318,6 +320,8 @@ type Checkpoint struct {
 	MinEndSet          bool
 	TokensMoved        int64
 	EdgeMessages       int64
+	InjectedTokens     int64
+	RemovedTokens      int64
 }
 
 // Checkpoint returns a deep copy of the resumable state. Combined with the
@@ -338,6 +342,8 @@ func (d *Discrete) Checkpoint() Checkpoint {
 		MinEndSet:          d.minEndSet,
 		TokensMoved:        d.tokensMoved,
 		EdgeMessages:       d.edgeMessages,
+		InjectedTokens:     d.injectedTokens,
+		RemovedTokens:      d.removedTokens,
 	}
 	copy(cp.Loads, d.x)
 	copy(cp.Flows, d.flows)
@@ -369,7 +375,36 @@ func (d *Discrete) Restore(cp Checkpoint) error {
 	d.minEndSet = cp.MinEndSet
 	d.tokensMoved = cp.TokensMoved
 	d.edgeMessages = cp.EdgeMessages
+	d.injectedTokens = cp.InjectedTokens
+	d.removedTokens = cp.RemovedTokens
 	return nil
+}
+
+// Inject implements Injector: it adds deltas to the loads between rounds
+// (batch arrivals, hotspot bursts, departures). Injection is not a round —
+// the SOS flow memory, round counter and rounding streams are untouched —
+// so dynamic runs keep the engine's determinism and checkpoint guarantees.
+func (d *Discrete) Inject(deltas []int64) error {
+	if len(deltas) != len(d.x) {
+		return fmt.Errorf("%w: %d deltas for %d nodes", ErrBadConfig, len(deltas), len(d.x))
+	}
+	for i, dv := range deltas {
+		d.x[i] += dv
+		if dv > 0 {
+			d.injectedTokens += dv
+		} else {
+			d.removedTokens -= dv
+		}
+	}
+	return nil
+}
+
+// Injected returns the cumulative externally injected token counts: added
+// is the sum of positive Inject deltas, removed the magnitude of negative
+// ones. TotalLoad() == initial total + added − removed at every round
+// boundary.
+func (d *Discrete) Injected() (added, removed int64) {
+	return d.injectedTokens, d.removedTokens
 }
 
 // Traffic returns the cumulative communication cost of the run so far:

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/metrics"
+)
+
+// fixedSource feeds a rigged uint64 sequence into rand.New so a test can
+// choose the exact Float64 draws a rounder sees.
+type fixedSource struct {
+	vals []uint64
+	i    int
+}
+
+func (s *fixedSource) Uint64() uint64 {
+	v := s.vals[s.i%len(s.vals)]
+	s.i++
+	return v
+}
+
+// float64AsUint encodes f ∈ [0,1) so rand/v2's Float64 (low 53 bits divided
+// by 2⁵³) reproduces a value ≤ f within 2⁻⁵³.
+func float64AsUint(f float64) uint64 {
+	return uint64(f * (1 << 53))
+}
+
+// TestRandomizedRounderNeverDropsSelectedToken is the regression test for
+// the destination-selection undershoot: the selection loop re-accumulates
+// fractional parts, and if that cumulative sum lands below r in floating
+// point, a candidate draw with u < r could fall off the end of the scan and
+// be silently dropped. The fix gives the last positive-fraction arc the
+// whole remainder [cum(last−1), r), so a draw one ulp below r must land
+// there — never nowhere.
+func TestRandomizedRounderNeverDropsSelectedToken(t *testing.T) {
+	cases := [][]float64{
+		// 30 × 0.1: the classic inexact accumulation (Σ ≠ 3 exactly).
+		repeat(0.1, 30),
+		// Thirds never sum exactly either.
+		repeat(1.0/3.0, 7),
+		// A tiny fraction behind large ones: the last arc's own fraction is
+		// small, so the remainder interval is narrow.
+		{2.9999999999999996, 0.5, 1e-12},
+		// Mixed integers (zero fractions) interleaved with fractional arcs.
+		{2.0, 0.25, 3.0, 0.75, 1.0},
+	}
+	for ci, yhat := range cases {
+		var r float64
+		last := -1
+		floors := make([]int64, len(yhat))
+		for k, v := range yhat {
+			floors[k] = int64(math.Floor(v))
+			if f := v - math.Floor(v); f > 0 {
+				r += f
+				last = k
+			}
+		}
+		ceilR := math.Ceil(r)
+		tokens := int(ceilR)
+		// Every candidate draw sits a relative 1e-14 below r — far closer
+		// to r than any arc's own fraction, the worst spot for an
+		// undershooting cumulative scan — while staying strictly below r
+		// through the Float64 encoding round-trip.
+		u := r * (1 - 1e-14) / ceilR
+		src := &fixedSource{vals: []uint64{float64AsUint(u)}}
+		rng := rand.New(src)
+
+		out := make([]int64, len(yhat))
+		RandomizedRounder{}.RoundNode(yhat, out, rng)
+
+		var extra int64
+		for k := range out {
+			if out[k] < floors[k] {
+				t.Fatalf("case %d: arc %d went below its floor: %d < %d", ci, k, out[k], floors[k])
+			}
+			extra += out[k] - floors[k]
+		}
+		if extra != int64(tokens) {
+			t.Errorf("case %d: %d candidate draws below r sent %d tokens — dropped %d",
+				ci, tokens, extra, int64(tokens)-extra)
+		}
+		if out[last] <= floors[last] {
+			t.Errorf("case %d: draw just below r must land on the last positive-fraction arc %d (out=%v)",
+				ci, last, out)
+		}
+	}
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestRandomizedRounderExpectationPreserved: the clamp must not disturb
+// Observation 1 (E[Z_ij] = {Ŷ_ij}).
+func TestRandomizedRounderExpectationPreserved(t *testing.T) {
+	yhat := []float64{0.1, 1.3, 0.25, 2.0, 0.85}
+	sums := make([]float64, len(yhat))
+	const trials = 200000
+	rng := rand.New(rand.NewPCG(1, 2))
+	out := make([]int64, len(yhat))
+	for trial := 0; trial < trials; trial++ {
+		for k := range out {
+			out[k] = 0
+		}
+		RandomizedRounder{}.RoundNode(yhat, out, rng)
+		for k, v := range out {
+			sums[k] += float64(v)
+		}
+	}
+	for k, v := range yhat {
+		mean := sums[k] / trials
+		if math.Abs(mean-v) > 0.01 {
+			t.Errorf("arc %d: E[Z] = %.4f, want %.4f", k, mean, v)
+		}
+	}
+}
+
+// TestEveryArcWrittenEachRound: Phase 2 ownership (Ŷ > 0, or Ŷ == 0 and
+// i < j) must cover every arc every round, on homogeneous and validated
+// heterogeneous speeds alike — a stale flow from the previous round would
+// silently corrupt Phase 3 and the SOS memory. The test poisons the flow
+// array with a sentinel before stepping and checks that no entry survives
+// and that arc/mate stay exactly antisymmetric.
+func TestEveryArcWrittenEachRound(t *testing.T) {
+	g, err := graph.Torus2D(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := map[string]*hetero.Speeds{"homogeneous": nil}
+	sp, err := hetero.New([]float64{
+		1, 4, 1, 1, 2, 1, 1, 1, 1, 3, 1, 1, 1, 1, 1, 1, 8, 1,
+		1, 1, 2, 1, 1, 1, 1, 5, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds["two-class"] = sp
+
+	const sentinel = int64(7_777_777)
+	for name, sp := range speeds {
+		t.Run(name, func(t *testing.T) {
+			op := testOperator(t, g, sp)
+			x0, err := metrics.PointLoad(36, 36*1000, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range []Kind{FOS, SOS} {
+				d, err := NewDiscrete(Config{Op: op, Kind: kind, Beta: 1.8}, RandomizedRounder{}, 3, x0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mate := g.MateIndex()
+				for round := 0; round < 5; round++ {
+					if kind == FOS || round == 0 {
+						// FOS never reads the previous flows, and neither
+						// does SOS's first round (invalid memory), so the
+						// poison is safe to apply there.
+						for a := range d.flows {
+							d.flows[a] = sentinel
+						}
+					}
+					d.Step()
+					for a := range d.flows {
+						if d.flows[a] == sentinel {
+							t.Fatalf("%v round %d: arc %d not written", kind, round, a)
+						}
+						if d.flows[a] != -d.flows[mate[a]] {
+							t.Fatalf("%v round %d: arc %d flow %d not antisymmetric with mate %d",
+								kind, round, a, d.flows[a], d.flows[mate[a]])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpeedsRejectDegenerateValues pins the construction-time validation
+// the engine relies on: a zero, negative or non-finite speed would make
+// z_i = x_i/s_i NaN in Phase 1 and leave arcs unowned in Phase 2.
+func TestSpeedsRejectDegenerateValues(t *testing.T) {
+	for _, bad := range [][]float64{
+		{1, 0},
+		{1, -2},
+		{math.NaN(), 1},
+		{1, math.Inf(1)},
+		{1, math.Inf(-1)},
+		{0.999999, 1},
+	} {
+		if _, err := hetero.New(bad); err == nil {
+			t.Errorf("hetero.New(%v) should fail", bad)
+		}
+	}
+}
+
+// burstMutator is a minimal workload stand-in for the interleaved
+// checkpoint test: +amount at node every period rounds.
+type burstMutator struct {
+	period int
+	node   int
+	amount int64
+}
+
+func (m burstMutator) deltas(round, n int) []int64 {
+	out := make([]int64, n)
+	if round%m.period == 0 {
+		out[m.node] = m.amount
+	}
+	return out
+}
+
+// TestInjectPreservesCheckpointSemantics: a run interrupted by Checkpoint/
+// Restore mid-stream, with load injection applied between rounds on both
+// sides of the cut, must be bit-identical to the uninterrupted run — the
+// core guarantee the dynamic-workload subsystem builds on.
+func TestInjectPreservesCheckpointSemantics(t *testing.T) {
+	op := torusOp(t, 10, 10)
+	n := 100
+	x0, err := metrics.PointLoad(n, int64(n)*500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Op: op, Kind: SOS, Beta: 1.8}
+	wl := burstMutator{period: 7, node: 42, amount: 900}
+
+	drive := func(d *Discrete, from, to int) {
+		for r := from; r < to; r++ {
+			d.Step()
+			if err := d.Inject(wl.deltas(d.Round(), n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ref, err := NewDiscrete(cfg, RandomizedRounder{}, 11, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(ref, 0, 90)
+
+	first, err := NewDiscrete(cfg, RandomizedRounder{}, 11, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(first, 0, 40)
+	cp := first.Checkpoint()
+	drive(first, 40, 55) // diverge the original; the checkpoint must not care
+
+	second, err := NewDiscrete(cfg, RandomizedRounder{}, 11, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	drive(second, 40, 90)
+
+	if second.Round() != ref.Round() {
+		t.Fatalf("rounds diverged: %d vs %d", second.Round(), ref.Round())
+	}
+	for i := range ref.LoadsInt() {
+		if ref.LoadsInt()[i] != second.LoadsInt()[i] {
+			t.Fatalf("node %d: resumed load %d != uninterrupted %d",
+				i, second.LoadsInt()[i], ref.LoadsInt()[i])
+		}
+	}
+	ra, rr := ref.Injected()
+	sa, sr := second.Injected()
+	if ra != sa || rr != sr {
+		t.Fatalf("injection counters diverged: (%d,%d) vs (%d,%d)", sa, sr, ra, rr)
+	}
+	wantTotal := int64(n)*500 + ra - rr
+	if got := ref.TotalLoad(); got != wantTotal {
+		t.Fatalf("total load %d, want initial+injected = %d", got, wantTotal)
+	}
+}
+
+// TestInjectValidatesAndCounts covers the Inject API surface of all three
+// engines: shape validation and the arrival/departure accounting.
+func TestInjectValidatesAndCounts(t *testing.T) {
+	op := torusOp(t, 4, 4)
+	x0 := make([]int64, 16)
+	for i := range x0 {
+		x0[i] = 10
+	}
+	d, err := NewDiscrete(Config{Op: op, Kind: FOS}, nil, 1, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Inject(make([]int64, 7)); err == nil {
+		t.Error("Discrete.Inject should reject a wrong-length delta vector")
+	}
+	deltas := make([]int64, 16)
+	deltas[0], deltas[5] = 100, -30
+	if err := d.Inject(deltas); err != nil {
+		t.Fatal(err)
+	}
+	if added, removed := d.Injected(); added != 100 || removed != 30 {
+		t.Errorf("Injected() = (%d,%d), want (100,30)", added, removed)
+	}
+	if got := d.TotalLoad(); got != 160+70 {
+		t.Errorf("TotalLoad after inject = %d, want 230", got)
+	}
+
+	xf := make([]float64, 16)
+	c, err := NewContinuous(Config{Op: op, Kind: FOS}, xf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Inject(make([]int64, 3)); err == nil {
+		t.Error("Continuous.Inject should reject a wrong-length delta vector")
+	}
+	if err := c.Inject(deltas); err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	// Injection is folded into the conservation baseline: only FP drift
+	// remains, which after one round on small values is far below 1e-6.
+	if drift := math.Abs(c.ConservationError()); drift > 1e-6 {
+		t.Errorf("ConservationError after inject = %g, want ~0", drift)
+	}
+
+	cd, err := NewCumulativeDiscrete(Config{Op: op, Kind: FOS}, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.Inject(deltas); err != nil {
+		t.Fatal(err)
+	}
+	if got := cd.TotalLoad(); got != 160+70 {
+		t.Errorf("CumulativeDiscrete.TotalLoad after inject = %d, want 230", got)
+	}
+	// The internal continuous reference must have moved with the loads.
+	var refTotal float64
+	for _, v := range cd.Reference().LoadsFloat() {
+		refTotal += v
+	}
+	if math.Abs(refTotal-230) > 1e-9 {
+		t.Errorf("cumulative reference total = %g, want 230", refTotal)
+	}
+	cd.Step()
+}

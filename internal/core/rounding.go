@@ -37,10 +37,14 @@ var _ Rounder = RandomizedRounder{}
 // RoundNode implements Rounder.
 func (RandomizedRounder) RoundNode(yhat []float64, out []int64, rng *rand.Rand) {
 	var r float64
+	last := -1 // index of the last arc with a positive fractional part
 	for k, v := range yhat {
 		fl := math.Floor(v)
 		out[k] = int64(fl)
-		r += v - fl
+		if f := v - fl; f > 0 {
+			r += f
+			last = k
+		}
 	}
 	if r <= 0 {
 		return
@@ -54,14 +58,22 @@ func (RandomizedRounder) RoundNode(yhat []float64, out []int64, rng *rand.Rand) 
 		if u >= r {
 			continue
 		}
+		// Re-accumulating the fractional parts can undershoot r in floating
+		// point, so a draw with u < r must never fall off the end of the
+		// cumulative scan: the last positive-fraction arc owns the whole
+		// remainder [cum(last−1), r) — equivalent to clamping its cumulative
+		// entry to r — so every selected token is sent, never dropped.
+		dst := last
 		var cum float64
-		for k, v := range yhat {
+		for k := 0; k < last; k++ {
+			v := yhat[k]
 			cum += v - math.Floor(v)
 			if u < cum {
-				out[k]++
+				dst = k
 				break
 			}
 		}
+		out[dst]++
 	}
 }
 

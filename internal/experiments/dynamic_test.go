@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// TestChurnRecoveryCurvesDistinct pins the dynamic-workload acceptance
+// criterion: under the same hotspot burst, the SOS and FOS recovery curves
+// must be distinct, and both schemes must actually recover.
+func TestChurnRecoveryCurvesDistinct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn recovery run skipped in -short mode")
+	}
+	e, ok := ByID("churn")
+	if !ok {
+		t.Fatal("churn experiment not registered")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	p := Params{Seed: 1, Tiny: true, TableRows: 6, OutDir: dir}
+	if err := e.Run(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Both pure schemes recover (the summary row says "N rounds", not
+	// "never").
+	rowRe := regexp.MustCompile(`(?m)^(fos|sos)\s+\S+\s+\d+\s+\d+\s+(\d+) rounds`)
+	recovered := map[string]int{}
+	for _, m := range rowRe.FindAllStringSubmatch(out, -1) {
+		r, err := strconv.Atoi(m[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		recovered[m[1]] = r
+	}
+	if len(recovered) != 2 {
+		t.Fatalf("expected recovery rows for fos and sos, got %v in:\n%s", recovered, out)
+	}
+	if recovered["fos"] == recovered["sos"] {
+		t.Errorf("fos and sos report identical recovery (%d rounds) — curves not distinct", recovered["fos"])
+	}
+
+	// The dumped merged series must show the curves diverging after the
+	// burst, not just the summary numbers.
+	f, err := os.Open(filepath.Join(dir, "churn_recovery.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := rows[0]
+	col := func(name string) int {
+		for i, h := range head {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing in %v", name, head)
+		return -1
+	}
+	fosC, sosC := col("fos_discrepancy"), col("sos_discrepancy")
+	differ := false
+	for _, row := range rows[1:] {
+		if row[fosC] != row[sosC] {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Error("fos and sos discrepancy series identical at every recorded round")
+	}
+}

@@ -54,6 +54,37 @@ func PCGPair(masterSeed uint64, coords ...uint64) (uint64, uint64) {
 	return splitMix64(s), splitMix64(s ^ 0x5851_f42d_4c95_7f2d)
 }
 
+// Mix2 and Mix3 are allocation-free equivalents of Mix for the two hot
+// coordinate shapes — (masterSeed, round) and (masterSeed, round, node) —
+// used once per node per round in the rounding and workload paths. They
+// produce bit-identical values to the variadic Mix.
+func Mix2(a, b uint64) uint64 {
+	h := uint64(0x8bad_f00d_dead_beef)
+	h = splitMix64(h ^ a)
+	return splitMix64(h ^ b)
+}
+
+// Mix3 is the three-word Mix fast path; see Mix2.
+func Mix3(a, b, c uint64) uint64 {
+	h := uint64(0x8bad_f00d_dead_beef)
+	h = splitMix64(h ^ a)
+	h = splitMix64(h ^ b)
+	return splitMix64(h ^ c)
+}
+
+// PCGPair2 is the allocation-free PCGPair for (masterSeed, coord) streams.
+func PCGPair2(a, b uint64) (uint64, uint64) {
+	s := Mix2(a, b)
+	return splitMix64(s), splitMix64(s ^ 0x5851_f42d_4c95_7f2d)
+}
+
+// PCGPair3 is the allocation-free PCGPair for (masterSeed, round, node)
+// streams, the discrete engine's per-node rounding seed shape.
+func PCGPair3(a, b, c uint64) (uint64, uint64) {
+	s := Mix3(a, b, c)
+	return splitMix64(s), splitMix64(s ^ 0x5851_f42d_4c95_7f2d)
+}
+
 // Perm fills dst with a uniformly random permutation of 0..len(dst)-1 using
 // the Fisher–Yates shuffle.
 func Perm(rng *rand.Rand, dst []int32) {

@@ -112,3 +112,34 @@ func TestPerm(t *testing.T) {
 		}
 	}
 }
+
+// TestFixedArityFastPathsMatchVariadic: Mix2/Mix3 and PCGPair2/PCGPair3
+// exist only to avoid the variadic slice allocation in per-node hot loops;
+// they must be bit-identical to their variadic originals, or counter
+// streams (and every seeded simulation) would silently change.
+func TestFixedArityFastPathsMatchVariadic(t *testing.T) {
+	cases := [][3]uint64{
+		{0, 0, 0},
+		{1, 2, 3},
+		{0xdead_beef, 1 << 63, 42},
+		{7, 0xffff_ffff_ffff_ffff, 9},
+	}
+	for _, c := range cases {
+		if got, want := Mix2(c[0], c[1]), Mix(c[0], c[1]); got != want {
+			t.Errorf("Mix2(%v) = %d, Mix = %d", c[:2], got, want)
+		}
+		if got, want := Mix3(c[0], c[1], c[2]), Mix(c[0], c[1], c[2]); got != want {
+			t.Errorf("Mix3(%v) = %d, Mix = %d", c, got, want)
+		}
+		a2, b2 := PCGPair2(c[0], c[1])
+		av, bv := PCGPair(c[0], c[1])
+		if a2 != av || b2 != bv {
+			t.Errorf("PCGPair2(%v) = (%d,%d), PCGPair = (%d,%d)", c[:2], a2, b2, av, bv)
+		}
+		a3, b3 := PCGPair3(c[0], c[1], c[2])
+		av, bv = PCGPair(c[0], c[1], c[2])
+		if a3 != av || b3 != bv {
+			t.Errorf("PCGPair3(%v) = (%d,%d), PCGPair = (%d,%d)", c, a3, b3, av, bv)
+		}
+	}
+}

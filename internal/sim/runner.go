@@ -7,6 +7,7 @@ import (
 
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/metrics"
+	"diffusionlb/internal/workload"
 )
 
 // Metric samples one scalar per recorded round from a running process.
@@ -85,12 +86,16 @@ func MinLoad() Metric {
 	})
 }
 
-// MinTransient is the running minimum transient load x̆ (Section V).
+// MinTransient is the running minimum transient load x̆ (Section V). Before
+// the first round the process reports the +Inf sentinel; mapping it to 0
+// would make the round-0 row indistinguishable from a true minimum
+// transient of zero in negative-load plots, so the metric reports the
+// current minimum load instead — the value the running minimum starts from.
 func MinTransient() Metric {
 	return MetricFunc("min_transient", func(p core.Process) float64 {
 		v := p.MinTransient()
 		if math.IsInf(v, 1) {
-			return 0
+			return intsOrFloats(p, metrics.MinLoad[int64], metrics.MinLoad[float64])
 		}
 		return v
 	})
@@ -137,6 +142,59 @@ func DeviationFrom(ref core.Process, name string) Metric {
 	})
 }
 
+// PeakDiscrepancy records the running maximum discrepancy over the recorded
+// rounds — the headline "how bad did it get" number for dynamic workloads,
+// where the plain discrepancy dips and spikes with every burst. The running
+// maximum is taken over sampled rounds only, so with Every > 1 a spike
+// between two recording points can be missed; record every round when the
+// exact peak matters.
+//
+// Unlike the other Metric constructors this one carries state (the running
+// peak), so a value is good for a single run: build a fresh PeakDiscrepancy
+// per Runner, never share one metrics slice across runs.
+func PeakDiscrepancy() Metric {
+	peak := math.Inf(-1)
+	return MetricFunc("peak_discrepancy", func(p core.Process) float64 {
+		d := intsOrFloats(p, metrics.Discrepancy[int64], metrics.Discrepancy[float64])
+		if d > peak {
+			peak = d
+		}
+		return peak
+	})
+}
+
+// InjectedLoad samples the cumulative net externally injected load
+// (arrivals − departures) of processes exposing Injected(); it reports 0
+// for processes without injection accounting.
+func InjectedLoad() Metric {
+	return MetricFunc("injected_load", func(p core.Process) float64 {
+		if ip, ok := p.(interface{ Injected() (int64, int64) }); ok {
+			added, removed := ip.Injected()
+			return float64(added - removed)
+		}
+		return 0
+	})
+}
+
+// RoundsToRecover scans a recorded series for the first round at or after
+// fromRound where the named column is at or below threshold, and returns
+// how many rounds past fromRound that took (0 if already recovered at
+// fromRound's row). It returns -1 when the series never recovers — the
+// "rounds-to-rebalance after a burst" recovery metric. The resolution is
+// the recording cadence of the series.
+func RoundsToRecover(s *Series, col string, fromRound int, threshold float64) (int, error) {
+	vals, err := s.Column(col)
+	if err != nil {
+		return -1, err
+	}
+	for i, v := range vals {
+		if s.Round(i) >= fromRound && v <= threshold {
+			return s.Round(i) - fromRound, nil
+		}
+	}
+	return -1, nil
+}
+
 // TokensMoved samples the cumulative token-hop counter of processes that
 // expose Traffic() (the discrete engines and the baselines); it reports 0
 // for processes without traffic accounting.
@@ -156,6 +214,16 @@ func DefaultMetrics() []Metric {
 	return []Metric{MaxMinusAvg(), MaxLocalDiff(), PotentialPerN()}
 }
 
+// DynamicMetrics is the recovery trio every dynamic-workload run records on
+// top of its base metrics: the instantaneous discrepancy, its running peak,
+// and the total load (which only the workload changes). Both the sweep
+// engine and the lbsim free-form mode append exactly this set when a
+// workload is attached. Like PeakDiscrepancy, the returned slice is good
+// for one run.
+func DynamicMetrics() []Metric {
+	return []Metric{Discrepancy(), PeakDiscrepancy(), TotalLoad()}
+}
+
 // Runner drives a process and records metrics.
 type Runner struct {
 	// Proc is the process to drive. Required.
@@ -169,9 +237,22 @@ type Runner struct {
 	// Lockstep processes are stepped once per round before sampling; use
 	// for reference processes consumed by DeviationFrom.
 	Lockstep []core.Process
+	// Workload, when set, mutates the load vector after every round
+	// (dynamic arrivals, hotspot bursts, churn). Proc and every Lockstep
+	// process must implement core.Injector — the same deltas go to all of
+	// them, so reference trajectories see the same external load.
+	Workload workload.Mutator
 	// OnRound, when set, is called after each round (after any lockstep
-	// steps), e.g. to dump visualization frames.
+	// steps and workload injection), e.g. to dump visualization frames.
 	OnRound func(round int, p core.Process)
+}
+
+// workloadLoads adapts a process's load vector to the workload.Loads view.
+func workloadLoads(lv core.LoadView) workload.Loads {
+	if lv.Int != nil {
+		return workload.IntLoads(lv.Int)
+	}
+	return workload.SliceLoads(lv.Float)
 }
 
 // Result is the outcome of a run.
@@ -208,6 +289,27 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 	series := NewSeries(names...)
 	res := &Result{Series: series, SwitchRound: -1}
 
+	var injector core.Injector
+	var deltas []int64
+	if r.Workload != nil {
+		inj, ok := r.Proc.(core.Injector)
+		if !ok {
+			return nil, fmt.Errorf("sim: Workload %q set but process %T does not implement core.Injector",
+				r.Workload.Name(), r.Proc)
+		}
+		// A lockstep reference that cannot absorb the same injections would
+		// silently drift from the main process, corrupting every deviation
+		// metric — reject it up front like the main process.
+		for _, ref := range r.Lockstep {
+			if _, ok := ref.(core.Injector); !ok {
+				return nil, fmt.Errorf("sim: Workload %q set but lockstep process %T does not implement core.Injector",
+					r.Workload.Name(), ref)
+			}
+		}
+		injector = inj
+		deltas = make([]int64, workloadLoads(r.Proc.Loads()).Len())
+	}
+
 	record := func(round int) error {
 		row := make([]float64, len(ms))
 		for i, m := range ms {
@@ -223,6 +325,21 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 		r.Proc.Step()
 		for _, ref := range r.Lockstep {
 			ref.Step()
+		}
+		if injector != nil {
+			for i := range deltas {
+				deltas[i] = 0
+			}
+			if r.Workload.Deltas(round, workloadLoads(r.Proc.Loads()), deltas) {
+				if err := injector.Inject(deltas); err != nil {
+					return nil, fmt.Errorf("sim: workload %q at round %d: %w", r.Workload.Name(), round, err)
+				}
+				for _, ref := range r.Lockstep {
+					if err := ref.(core.Injector).Inject(deltas); err != nil {
+						return nil, fmt.Errorf("sim: workload %q at round %d (lockstep): %w", r.Workload.Name(), round, err)
+					}
+				}
+			}
 		}
 		if r.Policy != nil && res.SwitchRound < 0 && r.Proc.Kind() == core.SOS && r.Policy.Decide(r.Proc) {
 			r.Proc.SetKind(core.FOS)

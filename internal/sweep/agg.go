@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,13 +22,14 @@ type Result struct {
 // Group aggregates the replicates of one (graph, scheme, rounder, speeds,
 // beta) coordinate.
 type Group struct {
-	Graph   string  `json:"graph"`
-	Scheme  string  `json:"scheme"`
-	Rounder string  `json:"rounder"`
-	Speeds  string  `json:"speeds,omitempty"`
-	Beta    float64 `json:"beta"`   // resolved β actually simulated
-	Lambda  float64 `json:"lambda"` // second eigenvalue of the topology
-	Nodes   int     `json:"nodes"`
+	Graph    string  `json:"graph"`
+	Scheme   string  `json:"scheme"`
+	Rounder  string  `json:"rounder"`
+	Speeds   string  `json:"speeds,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	Beta     float64 `json:"beta"`   // resolved β actually simulated
+	Lambda   float64 `json:"lambda"` // second eigenvalue of the topology
+	Nodes    int     `json:"nodes"`
 	// Replicates is the number of series collapsed into the statistics.
 	Replicates int `json:"replicates"`
 	// Rounds is the shared recording grid.
@@ -52,6 +54,9 @@ func (g Group) Label() string {
 	if g.Speeds != "" {
 		parts = append(parts, g.Speeds)
 	}
+	if g.Workload != "" {
+		parts = append(parts, g.Workload)
+	}
 	parts = append(parts, fmt.Sprintf("beta=%.6g", g.Beta))
 	return strings.Join(parts, " ")
 }
@@ -73,8 +78,9 @@ func aggregate(spec Spec, cells []Cell, series []*sim.Series, systems map[sysKey
 		}
 		g := Group{
 			Graph: c.Graph, Scheme: c.Scheme, Rounder: c.Rounder,
-			Speeds: c.Speeds, Beta: beta, Lambda: sys.lambda,
-			Nodes: sys.g.NumNodes(), Replicates: spec.Replicates,
+			Speeds: c.Speeds, Workload: c.Workload, Beta: beta,
+			Lambda: sys.lambda, Nodes: sys.g.NumNodes(),
+			Replicates: spec.Replicates,
 		}
 		for i := 0; i < base.Len(); i++ {
 			g.Rounds = append(g.Rounds, base.Round(i))
@@ -136,41 +142,40 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // WriteCSV writes the result in long form, one row per
 // (group, round, metric):
 //
-//	graph,scheme,rounder,speeds,beta,replicates,round,metric,mean,std,min,max
+//	graph,scheme,rounder,speeds,workload,beta,replicates,round,metric,mean,std,min,max
+//
+// Rows go through encoding/csv, so spec fields containing commas (or quotes
+// or newlines) are quoted per RFC 4180 instead of silently corrupting the
+// row, and the output round-trips through any CSV reader.
 func (r *Result) WriteCSV(w io.Writer) error {
-	var b strings.Builder
-	b.WriteString("graph,scheme,rounder,speeds,beta,replicates,round,metric,mean,std,min,max\n")
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"graph", "scheme", "rounder", "speeds", "workload",
+		"beta", "replicates", "round", "metric", "mean", "std", "min", "max"}); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	record := make([]string, 13)
 	for _, g := range r.Groups {
-		prefix := fmt.Sprintf("%s,%s,%s,%s,%s,%d",
-			g.Graph, g.Scheme, g.Rounder, g.Speeds, f(g.Beta), g.Replicates)
+		record[0], record[1], record[2] = g.Graph, g.Scheme, g.Rounder
+		record[3], record[4] = g.Speeds, g.Workload
+		record[5] = f(g.Beta)
+		record[6] = strconv.Itoa(g.Replicates)
 		for _, col := range g.Columns {
+			record[8] = col.Name
 			for row, round := range g.Rounds {
-				b.Reset()
-				b.WriteString(prefix)
-				b.WriteByte(',')
-				b.WriteString(strconv.Itoa(round))
-				b.WriteByte(',')
-				b.WriteString(col.Name)
-				b.WriteByte(',')
-				b.WriteString(f(col.Mean[row]))
-				b.WriteByte(',')
-				b.WriteString(f(col.Std[row]))
-				b.WriteByte(',')
-				b.WriteString(f(col.Min[row]))
-				b.WriteByte(',')
-				b.WriteString(f(col.Max[row]))
-				b.WriteByte('\n')
-				if _, err := io.WriteString(w, b.String()); err != nil {
+				record[7] = strconv.Itoa(round)
+				record[9] = f(col.Mean[row])
+				record[10] = f(col.Std[row])
+				record[11] = f(col.Min[row])
+				record[12] = f(col.Max[row])
+				if err := cw.Write(record); err != nil {
 					return err
 				}
 			}
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // WriteTable renders each group as an aligned text table of mean±std per

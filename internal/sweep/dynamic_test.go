@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadAxisDeterministicAcrossWorkers is the acceptance criterion of
+// the dynamic-workload subsystem: a sweep over -workload scenarios produces
+// byte-identical aggregated output for one worker and many.
+func TestWorkloadAxisDeterministicAcrossWorkers(t *testing.T) {
+	withProcs(t, 8)
+	spec := Spec{
+		Graphs:     []string{"torus2d:8x8"},
+		Schemes:    []string{"sos", "fos"},
+		Workloads:  []string{"", "burst:20:6400:0", "poisson:0.5+churn:10:50:50", "adversary:64:4"},
+		Replicates: 2,
+		Rounds:     60,
+		Every:      10,
+		BaseSeed:   3,
+	}
+	var outputs [][]byte
+	for _, workers := range []int{1, 8} {
+		res, err := Run(context.Background(), spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Fatal("workload sweep output differs across worker counts")
+	}
+}
+
+// TestWorkloadCellsActuallyInject: a churn-free and a burst cell of the
+// same coordinate must diverge, and the burst cell's total_load column must
+// show the injected tokens.
+func TestWorkloadCellsActuallyInject(t *testing.T) {
+	spec := Spec{
+		Graphs:    []string{"torus2d:8x8"},
+		Schemes:   []string{"sos"},
+		Workloads: []string{"", "burst:20:6400:0"},
+		Rounds:    40,
+		Every:     20,
+		BaseSeed:  3,
+	}
+	res, err := Run(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(res.Groups))
+	}
+	static, dynamic := res.Groups[0], res.Groups[1]
+	if static.Workload != "" || dynamic.Workload != "burst:20:6400:0" {
+		t.Fatalf("group workload labels: %q / %q", static.Workload, dynamic.Workload)
+	}
+	var totalCol *AggColumn
+	for i := range dynamic.Columns {
+		if dynamic.Columns[i].Name == "total_load" {
+			totalCol = &dynamic.Columns[i]
+		}
+	}
+	if totalCol == nil {
+		t.Fatalf("dynamic group lacks the total_load recovery metric (have %v)",
+			func() []string {
+				var names []string
+				for _, c := range dynamic.Columns {
+					names = append(names, c.Name)
+				}
+				return names
+			}())
+	}
+	last := totalCol.Mean[len(totalCol.Mean)-1]
+	if last != 64*1000+6400 {
+		t.Errorf("final total load %g, want %d", last, 64*1000+6400)
+	}
+	if !strings.Contains(dynamic.Label(), "burst:20:6400:0") {
+		t.Errorf("Label %q does not name the workload", dynamic.Label())
+	}
+}
+
+// TestWorkloadSpecValidatedUpfront: a malformed workload axis entry fails
+// before any cell runs.
+func TestWorkloadSpecValidatedUpfront(t *testing.T) {
+	spec := Spec{
+		Graphs:    []string{"cycle:8"},
+		Schemes:   []string{"sos"},
+		Workloads: []string{"tsunami:9"},
+		Rounds:    10,
+	}
+	if _, err := Run(context.Background(), spec, Options{}); err == nil {
+		t.Fatal("bad workload spec should be rejected")
+	}
+}
+
+// TestWriteCSVRoundTripsSpecialFields: spec fields containing commas or
+// quotes must survive a write/parse round trip instead of corrupting the
+// row — the reason WriteCSV goes through encoding/csv.
+func TestWriteCSVRoundTripsSpecialFields(t *testing.T) {
+	res := &Result{Groups: []Group{{
+		Graph:      `custom:4,5`,
+		Scheme:     "sos",
+		Rounder:    `say "hi"`,
+		Speeds:     "twoclass:0.25:4",
+		Workload:   "poisson:0.5+churn:10,20",
+		Beta:       1.5,
+		Replicates: 2,
+		Rounds:     []int{0, 10},
+		Columns: []AggColumn{{
+			Name: "metric,with,commas",
+			Mean: []float64{1, 2}, Std: []float64{0, 0.5},
+			Min: []float64{1, 1.5}, Max: []float64{1, 2.5},
+		}},
+	}}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("written CSV does not parse back: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2", len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != 13 {
+			t.Fatalf("row has %d fields, want 13: %v", len(row), row)
+		}
+	}
+	first := rows[1]
+	if first[0] != `custom:4,5` || first[2] != `say "hi"` ||
+		first[4] != "poisson:0.5+churn:10,20" || first[8] != "metric,with,commas" {
+		t.Errorf("fields corrupted in round trip: %v", first)
+	}
+	if first[7] != "0" || rows[2][7] != "10" {
+		t.Errorf("round fields wrong: %v / %v", first[7], rows[2][7])
+	}
+	if first[9] != "1" || rows[2][9] != "2" {
+		t.Errorf("mean fields wrong: %v / %v", first[9], rows[2][9])
+	}
+}

@@ -14,13 +14,15 @@ import (
 	"diffusionlb/internal/randx"
 	"diffusionlb/internal/sim"
 	"diffusionlb/internal/spectral"
+	"diffusionlb/internal/workload"
 )
 
 // Salts keep the derived seed families (graph construction, speed
 // assignment, cell rounding streams) disjoint from each other.
 const (
-	seedSaltGraph  = 0x6772_6170_6800_0001 // "graph"
-	seedSaltSpeeds = 0x7370_6565_6400_0001 // "speed"
+	seedSaltGraph    = 0x6772_6170_6800_0001 // "graph"
+	seedSaltSpeeds   = 0x7370_6565_6400_0001 // "speed"
+	seedSaltWorkload = 0x776f_726b_6c00_0001 // "workl"
 )
 
 // Options configures Run.
@@ -216,11 +218,20 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, error) {
 	if !sys.sp.IsHomogeneous() {
 		ms = append(ms, sim.HeteroMaxMinusTarget())
 	}
+	// The workload's rounding streams are salted off the cell seed, so a
+	// cell's dynamics depend only on its coordinate — never on scheduling.
+	wl, err := workload.FromSpec(c.Workload, n, randx.Mix(c.Seed, seedSaltWorkload))
+	if err != nil {
+		return nil, err
+	}
+	if wl != nil {
+		ms = append(ms, sim.DynamicMetrics()...)
+	}
 	var policy core.SwitchPolicy
 	if spec.SwitchAt > 0 {
 		policy = core.SwitchAtRound{Round: spec.SwitchAt}
 	}
-	runner := &sim.Runner{Proc: proc, Every: spec.Every, Policy: policy, Metrics: ms}
+	runner := &sim.Runner{Proc: proc, Every: spec.Every, Policy: policy, Metrics: ms, Workload: wl}
 	res, err := runner.Run(spec.Rounds)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/randx"
+	"diffusionlb/internal/workload"
 )
 
 // Spec describes a grid of independent simulation cells as the cross
@@ -24,6 +25,10 @@ type Spec struct {
 	// Speeds lists heterogeneous speed specs; the empty string is the
 	// homogeneous network. Empty means [""].
 	Speeds []string `json:"speeds,omitempty"`
+	// Workloads lists dynamic-workload specs (workload.FromSpec syntax,
+	// e.g. "burst:100:50000", "poisson:0.5+churn:50:200:200"); the empty
+	// string is the paper's static setting. Empty means [""].
+	Workloads []string `json:"workloads,omitempty"`
 	// Betas lists SOS β overrides; 0 means the spectral optimum β_opt.
 	// Empty means [0]. FOS ignores β, so for FOS schemes the axis
 	// collapses to a single cell instead of duplicating identical runs
@@ -57,6 +62,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Speeds) == 0 {
 		s.Speeds = []string{""}
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []string{""}
 	}
 	if len(s.Betas) == 0 {
 		s.Betas = []float64{0}
@@ -99,6 +107,11 @@ func (s Spec) validate() error {
 			}
 		}
 	}
+	for _, wl := range s.Workloads {
+		if err := workload.ValidateSpec(wl); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
 	for _, b := range s.Betas {
 		// 0 selects β_opt; core needs SOS β strictly inside (0, 2), so
 		// reject the boundary here rather than after system construction.
@@ -132,11 +145,13 @@ type Cell struct {
 	// Group is the index of the aggregation group (all replicates of the
 	// same coordinate share one group).
 	Group int
-	// Graph, Scheme, Rounder, Speeds, Beta, Replicate are the coordinate.
+	// Graph, Scheme, Rounder, Speeds, Workload, Beta, Replicate are the
+	// coordinate.
 	Graph     string
 	Scheme    string
 	Rounder   string
 	Speeds    string
+	Workload  string
 	Beta      float64
 	Replicate int
 	// Seed is derived from (BaseSeed, axis indices, replicate) via
@@ -147,11 +162,12 @@ type Cell struct {
 }
 
 // Expand enumerates every cell of the sweep in deterministic order:
-// graphs → schemes → rounders → speeds → betas → replicates, with the
-// replicate index innermost so one group occupies a contiguous index range.
+// graphs → schemes → rounders → speeds → workloads → betas → replicates,
+// with the replicate index innermost so one group occupies a contiguous
+// index range.
 func (s Spec) Expand() []Cell {
 	s = s.withDefaults()
-	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Betas)*s.Replicates)
+	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Workloads)*len(s.Betas)*s.Replicates)
 	group := 0
 	fosBetas := []float64{0}
 	for gi, g := range s.Graphs {
@@ -162,25 +178,29 @@ func (s Spec) Expand() []Cell {
 			}
 			for ri, rd := range s.Rounders {
 				for pi, sp := range s.Speeds {
-					for bi, beta := range schemeBetas {
-						for rep := 0; rep < s.Replicates; rep++ {
-							cells = append(cells, Cell{
-								Index:     len(cells),
-								Group:     group,
-								Graph:     g,
-								Scheme:    sc,
-								Rounder:   rd,
-								Speeds:    sp,
-								Beta:      beta,
-								Replicate: rep,
-								Seed: randx.Mix(s.BaseSeed,
-									uint64(gi), uint64(si), uint64(ri),
-									uint64(pi), uint64(bi), uint64(rep)),
-								graphIdx:  gi,
-								speedsIdx: pi,
-							})
+					for wi, wl := range s.Workloads {
+						for bi, beta := range schemeBetas {
+							for rep := 0; rep < s.Replicates; rep++ {
+								cells = append(cells, Cell{
+									Index:     len(cells),
+									Group:     group,
+									Graph:     g,
+									Scheme:    sc,
+									Rounder:   rd,
+									Speeds:    sp,
+									Workload:  wl,
+									Beta:      beta,
+									Replicate: rep,
+									Seed: randx.Mix(s.BaseSeed,
+										uint64(gi), uint64(si), uint64(ri),
+										uint64(pi), uint64(wi), uint64(bi),
+										uint64(rep)),
+									graphIdx:  gi,
+									speedsIdx: pi,
+								})
+							}
+							group++
 						}
-						group++
 					}
 				}
 			}
@@ -199,7 +219,7 @@ func (s Spec) NumCells() int {
 		if kind, err := parseKind(sc); err == nil && kind == core.FOS {
 			nb = 1
 		}
-		perGraph += nb * len(s.Rounders) * len(s.Speeds) * s.Replicates
+		perGraph += nb * len(s.Rounders) * len(s.Speeds) * len(s.Workloads) * s.Replicates
 	}
 	return len(s.Graphs) * perGraph
 }

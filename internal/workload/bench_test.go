@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchLoads builds an n-node load vector with a mild gradient so the
+// adversary's top-k scan has real work to do.
+func benchLoads(n int) IntLoads {
+	loads := make(IntLoads, n)
+	for i := range loads {
+		loads[i] = int64(1000 + (i*37)%512)
+	}
+	return loads
+}
+
+func benchMutator(b *testing.B, spec string, n int) {
+	b.Helper()
+	m, err := FromSpec(spec, n, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := benchLoads(n)
+	out := make([]int64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range out {
+			out[k] = 0
+		}
+		m.Deltas(i+1, loads, out)
+	}
+}
+
+// BenchmarkPoissonDeltas is the hot path of dynamic sweeps: one Poisson
+// draw per node per round from reseeded counter streams.
+func BenchmarkPoissonDeltas(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchMutator(b, "poisson:0.5", n)
+		})
+	}
+}
+
+// BenchmarkAdversaryDeltas measures the O(n·k) most-loaded selection scan.
+func BenchmarkAdversaryDeltas(b *testing.B) {
+	for _, k := range []int{1, 16} {
+		b.Run(fmt.Sprintf("top=%d", k), func(b *testing.B) {
+			benchMutator(b, fmt.Sprintf("adversary:100:%d", k), 16384)
+		})
+	}
+}
+
+// BenchmarkChurnDeltas measures batch arrivals/departures.
+func BenchmarkChurnDeltas(b *testing.B) {
+	benchMutator(b, "churn:1:500:500", 16384)
+}
+
+// BenchmarkComposedWorkload is the full production-shaped mix.
+func BenchmarkComposedWorkload(b *testing.B) {
+	benchMutator(b, "poisson:0.25+churn:5:200:200+hotspot:50:10000+adversary:64:4", 16384)
+}

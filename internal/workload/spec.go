@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"diffusionlb/internal/randx"
+)
+
+// ErrBadSpec reports a malformed workload spec.
+var ErrBadSpec = errors.New("workload: invalid spec")
+
+// FromSpec builds a Mutator from a compact textual spec, the syntax shared
+// by the lbsim CLI and the sweep engine:
+//
+//	burst:ROUND:AMOUNT[:NODE]       one-shot hotspot (default node 0)
+//	hotspot:PERIOD:AMOUNT[:NODE]    recurring burst every PERIOD rounds;
+//	                                without NODE each burst hits a node
+//	                                drawn from the (seed, round) stream
+//	poisson:RATE[:UNTIL]            Poisson(RATE) arrivals at every node
+//	                                each round (UNTIL > 0 stops them)
+//	churn:PERIOD:ARRIVE:DEPART[:UNTIL]
+//	                                batch arrivals/departures at random
+//	                                nodes every PERIOD rounds
+//	adversary:AMOUNT[:TOP]          AMOUNT tokens per round onto the TOP
+//	                                most-loaded nodes (default 1)
+//
+// Parts joined with "+" compose: "burst:100:50000+poisson:0.5". The empty
+// spec means no workload and returns (nil, nil). n is the node count
+// (bounds-checks fixed nodes); seed is the master seed the mutator's
+// counter streams derive from, with each composed part salted by its
+// position so parts stay statistically independent.
+func FromSpec(spec string, n int, seed uint64) (Mutator, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrBadSpec, n)
+	}
+	parts := strings.Split(spec, "+")
+	muts := make(Compose, 0, len(parts))
+	for pi, part := range parts {
+		m, err := fromOneSpec(part, n, randx.Mix(seed, uint64(pi)))
+		if err != nil {
+			return nil, err
+		}
+		muts = append(muts, m)
+	}
+	if len(muts) == 1 {
+		return muts[0], nil
+	}
+	return muts, nil
+}
+
+// ValidateSpec reports whether spec parses, without needing the real node
+// count (sweep validation runs before graphs are built). Node indices are
+// only checked for well-formedness here; the real bounds check happens when
+// the cell builds its mutator against the actual graph.
+func ValidateSpec(spec string) error {
+	_, err := FromSpec(spec, 1<<31-1, 0)
+	return err
+}
+
+// fromOneSpec parses a single "+"-free part.
+func fromOneSpec(part string, n int, seed uint64) (Mutator, error) {
+	fields := strings.Split(part, ":")
+	bad := func(msg string) error {
+		return fmt.Errorf("%w: %q: %s", ErrBadSpec, part, msg)
+	}
+	argInt := func(i int) (int64, error) {
+		if i >= len(fields) {
+			return 0, bad(fmt.Sprintf("missing argument %d", i))
+		}
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			return 0, bad(fmt.Sprintf("argument %d: %v", i, err))
+		}
+		return v, nil
+	}
+	optInt := func(i int, def int64) (int64, error) {
+		if i >= len(fields) {
+			return def, nil
+		}
+		return argInt(i)
+	}
+	tooMany := func(max int) error {
+		if len(fields) > max {
+			return bad(fmt.Sprintf("at most %d arguments", max-1))
+		}
+		return nil
+	}
+	switch fields[0] {
+	case "burst":
+		round, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		node, err := optInt(3, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := tooMany(4); err != nil {
+			return nil, err
+		}
+		if round < 1 {
+			return nil, bad("burst round must be >= 1")
+		}
+		if amount < 0 {
+			return nil, bad("amount must be >= 0 (departures are churn's job, which never drives a node below zero)")
+		}
+		if node < 0 || node >= int64(n) {
+			return nil, bad(fmt.Sprintf("node %d outside [0,%d)", node, n))
+		}
+		return NewBurst(int(round), int(node), amount), nil
+	case "hotspot":
+		period, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		node, err := optInt(3, -1)
+		if err != nil {
+			return nil, err
+		}
+		if err := tooMany(4); err != nil {
+			return nil, err
+		}
+		if period < 1 {
+			return nil, bad("hotspot period must be >= 1")
+		}
+		if amount < 0 {
+			return nil, bad("amount must be >= 0")
+		}
+		// Omitting NODE means "draw a node per burst"; an explicit negative
+		// is a typo, not a request for that mode.
+		if len(fields) > 3 && (node < 0 || node >= int64(n)) {
+			return nil, bad(fmt.Sprintf("node %d outside [0,%d)", node, n))
+		}
+		return NewHotspot(int(period), amount, int(node), seed), nil
+	case "poisson":
+		if len(fields) < 2 {
+			return nil, bad("missing argument 1")
+		}
+		rate, err := strconv.ParseFloat(fields[1], 64)
+		// The sampler is O(rate) per node per round, so an absurd rate is a
+		// hang, not a simulation; 1e4 tokens/node/round is far beyond any
+		// sensible scenario.
+		if err != nil || rate < 0 || rate != rate || rate > 1e4 {
+			return nil, bad("rate must be a float in [0, 10000]")
+		}
+		until, err := optInt(2, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := tooMany(3); err != nil {
+			return nil, err
+		}
+		if until < 0 {
+			return nil, bad("until must be >= 0 (0 = never stop)")
+		}
+		return NewPoisson(rate, int(until), seed), nil
+	case "churn":
+		period, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		arrive, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		depart, err := argInt(3)
+		if err != nil {
+			return nil, err
+		}
+		until, err := optInt(4, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := tooMany(5); err != nil {
+			return nil, err
+		}
+		if period < 1 {
+			return nil, bad("churn period must be >= 1")
+		}
+		if arrive < 0 || depart < 0 {
+			return nil, bad("arrive/depart must be >= 0")
+		}
+		if until < 0 {
+			return nil, bad("until must be >= 0 (0 = never stop)")
+		}
+		return NewChurn(int(period), arrive, depart, int(until), seed), nil
+	case "adversary":
+		amount, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		top, err := optInt(2, 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := tooMany(3); err != nil {
+			return nil, err
+		}
+		if amount < 0 {
+			return nil, bad("amount must be >= 0")
+		}
+		if top < 1 {
+			return nil, bad("top must be >= 1")
+		}
+		return NewAdversary(amount, int(top)), nil
+	default:
+		return nil, bad("unknown kind (burst|hotspot|poisson|churn|adversary)")
+	}
+}
+
+// specName renders the canonical colon-joined spec form of a mutator.
+func specName(parts ...any) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(':')
+		}
+		fmt.Fprintf(&b, "%v", p)
+	}
+	return b.String()
+}
