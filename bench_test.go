@@ -407,13 +407,18 @@ func BenchmarkAblationBetaSweep(b *testing.B) {
 func BenchmarkAblationSwitchPolicies(b *testing.B) {
 	policies := []struct {
 		name   string
-		policy func() diffusionlb.SwitchPolicy
+		policy func() diffusionlb.AdaptivePolicy
 	}{
-		{"never", func() diffusionlb.SwitchPolicy { return diffusionlb.NeverSwitch{} }},
-		{"fixed-round", func() diffusionlb.SwitchPolicy { return diffusionlb.SwitchAtRound{Round: 150} }},
-		{"local-diff", func() diffusionlb.SwitchPolicy { return diffusionlb.SwitchOnLocalDiff{Threshold: 16} }},
-		{"potential-stall", func() diffusionlb.SwitchPolicy {
-			return &diffusionlb.SwitchOnPotentialStall{Window: 25, Factor: 0.01}
+		{"never", func() diffusionlb.AdaptivePolicy { return diffusionlb.OneShot(diffusionlb.NeverSwitch{}) }},
+		{"fixed-round", func() diffusionlb.AdaptivePolicy { return diffusionlb.OneShot(diffusionlb.SwitchAtRound{Round: 150}) }},
+		{"local-diff", func() diffusionlb.AdaptivePolicy {
+			return diffusionlb.OneShot(diffusionlb.SwitchOnLocalDiff{Threshold: 16})
+		}},
+		{"potential-stall", func() diffusionlb.AdaptivePolicy {
+			return diffusionlb.OneShot(&diffusionlb.SwitchOnPotentialStall{Window: 25, Factor: 0.01})
+		}},
+		{"adaptive-band", func() diffusionlb.AdaptivePolicy {
+			return &diffusionlb.HysteresisBand{Lo: 16, Hi: 64, Cooldown: 25}
 		}},
 	}
 	for _, pc := range policies {
@@ -425,7 +430,7 @@ func BenchmarkAblationSwitchPolicies(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				diffusionlb.RunHybrid(proc, pc.policy(), 400)
+				diffusionlb.RunAdaptive(proc, pc.policy(), 400)
 				final = metrics.MaxMinusAvg(proc.LoadsInt())
 			}
 			b.ReportMetric(final, "final-max-minus-avg")

@@ -24,14 +24,18 @@
 //	    identical for every -workers value.
 //
 //	lbsim -graph torus2d:100x100 -scheme sos -rounder randomized \
-//	      -rounds 1000 [-avg 1000] [-switch 500] [-csv out.csv] \
+//	      -rounds 1000 [-avg 1000] [-policy adaptive:16:64:100] [-csv out.csv] \
 //	      [-workload burst:100:500000+poisson:0.5]
 //	    Free-form run: any graph, scheme and rounder, with the paper's
 //	    three metrics recorded. -workload injects dynamic load between
 //	    rounds (hotspot bursts, Poisson arrivals, churn, an adversarial
 //	    most-loaded-region feeder) and adds the discrepancy, peak
-//	    discrepancy and total load recovery metrics; it is also a sweep
-//	    axis in -sweep mode.
+//	    discrepancy and total load recovery metrics. -policy attaches a
+//	    hybrid switch policy (at:N | local:T | stall:W:F |
+//	    adaptive:LO:HI[:CD]); the adaptive hysteresis band re-arms SOS
+//	    when a post-switch burst re-inflates the local difference.
+//	    -switch N is the legacy alias for -policy at:N. Both -workload
+//	    and -policy are also sweep axes in -sweep mode.
 //
 //	lbsim -graph hypercube:16 -spectrum
 //	    Print n, |E|, d, λ and β_opt for a graph.
@@ -84,7 +88,8 @@ func run(args []string) error {
 		avg          = fs.Int64("avg", 1000, "average initial load (all placed on node 0)")
 		speedsSpec   = fs.String("speeds", "", "processor speeds: twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED (empty = homogeneous; comma-separated list in -sweep mode)")
 		workloadSpec = fs.String("workload", "", "dynamic workload: burst:ROUND:AMOUNT[:NODE] | hotspot:PERIOD:AMOUNT[:NODE] | poisson:RATE[:UNTIL] | churn:PERIOD:ARRIVE:DEPART[:UNTIL] | adversary:AMOUNT[:TOP], joined with '+' (empty = static; comma-separated list in -sweep mode)")
-		switchAt     = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never)")
+		policySpec   = fs.String("policy", "", "hybrid switch policy: at:ROUND | local:THRESHOLD | stall:WINDOW:FACTOR | adaptive:LO:HI[:COOLDOWN] | never (empty = never; comma-separated list in -sweep mode; supersedes -switch)")
+		switchAt     = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never; legacy alias for -policy at:N)")
 		every        = fs.Int("every", 0, "recording cadence (0 = auto)")
 		csvPath      = fs.String("csv", "", "write the recorded series to this CSV file")
 		spectrum     = fs.Bool("spectrum", false, "print spectral data for -graph and exit")
@@ -139,6 +144,7 @@ func run(args []string) error {
 			Rounders:    splitList(*rounder),
 			Speeds:      splitList(*speedsSpec),
 			Workloads:   splitList(*workloadSpec),
+			Policies:    splitList(*policySpec),
 			Betas:       betaVals,
 			Replicates:  *replicates,
 			Rounds:      *rounds,
@@ -206,6 +212,7 @@ func run(args []string) error {
 			switchAt: *switchAt, every: *every, csvPath: *csvPath,
 			seed: *seed, workers: sw, tableRows: *tableRows,
 			hetero: speeds != nil, workload: *workloadSpec,
+			policy: *policySpec,
 		})
 
 	default:
@@ -259,6 +266,7 @@ func flagWasSet(fs *flag.FlagSet, name string) bool {
 type freeFormConfig struct {
 	scheme, rounder, csvPath string
 	workload                 string
+	policy                   string
 	rounds                   int
 	avg                      int64
 	switchAt, every          int
@@ -312,9 +320,20 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 			every = 1
 		}
 	}
-	var policy diffusionlb.SwitchPolicy
-	if cfg.switchAt > 0 {
-		policy = diffusionlb.SwitchAtRound{Round: cfg.switchAt}
+	// -policy supersedes the legacy -switch alias; a negative -switch used
+	// to silently mean "never switch", so reject it loudly instead.
+	if cfg.switchAt < 0 {
+		return fmt.Errorf("negative -switch %d (use 0 for never, or -policy)", cfg.switchAt)
+	}
+	policySpec := cfg.policy
+	if policySpec == "" && cfg.switchAt > 0 {
+		policySpec = fmt.Sprintf("at:%d", cfg.switchAt)
+	} else if policySpec != "" && cfg.switchAt > 0 {
+		return fmt.Errorf("set either -policy or -switch, not both")
+	}
+	policy, err := diffusionlb.PolicyFromSpec(policySpec)
+	if err != nil {
+		return err
 	}
 	ms := diffusionlb.DefaultMetrics()
 	if cfg.hetero {
@@ -327,13 +346,13 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 	if wl != nil {
 		ms = append(ms, diffusionlb.DynamicMetrics()...)
 	}
-	runner := &diffusionlb.Runner{Proc: proc, Every: every, Policy: policy, Metrics: ms, Workload: wl}
+	runner := &diffusionlb.Runner{Proc: proc, Every: every, Adaptive: policy, Metrics: ms, Workload: wl}
 	res, err := runner.Run(cfg.rounds)
 	if err != nil {
 		return err
 	}
-	if res.SwitchRound >= 0 {
-		fmt.Printf("switched to FOS at round %d\n", res.SwitchRound)
+	for _, ev := range res.Switches {
+		fmt.Printf("switched to %s at round %d\n", ev.To, ev.Round)
 	}
 	if err := res.Series.WriteTable(os.Stdout, cfg.tableRows); err != nil {
 		return err

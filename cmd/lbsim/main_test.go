@@ -202,3 +202,50 @@ func TestSplitListAndParseFloats(t *testing.T) {
 		t.Error("parseFloats should reject non-numbers")
 	}
 }
+
+func TestRunFreeFormPolicy(t *testing.T) {
+	// The adaptive hysteresis band with a mid-run burst: plateau switch,
+	// burst re-arm.
+	if err := run([]string{"-graph", "torus2d:8x8", "-scheme", "sos",
+		"-workload", "burst:20:6400:0", "-policy", "adaptive:8:64:5",
+		"-rounds", "60"}); err != nil {
+		t.Fatal(err)
+	}
+	// One-way policies through the same flag.
+	if err := run([]string{"-graph", "torus2d:8x8", "-scheme", "sos",
+		"-policy", "local:16", "-rounds", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", "torus2d:8x8", "-scheme", "sos",
+		"-policy", "stall:10:0.01", "-rounds", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyFlagErrors(t *testing.T) {
+	cases := [][]string{
+		// A negative -switch used to silently mean "never switch".
+		{"-graph", "torus2d:4x4", "-switch", "-5"},
+		{"-sweep", "-graph", "cycle:8", "-switch", "-5", "-rounds", "10"},
+		// -policy supersedes -switch; both together is ambiguous.
+		{"-graph", "torus2d:4x4", "-policy", "at:10", "-switch", "5"},
+		{"-sweep", "-graph", "cycle:8", "-policy", "at:10", "-switch", "5", "-rounds", "10"},
+		// Malformed specs fail loudly in both modes.
+		{"-graph", "torus2d:4x4", "-policy", "warp:9"},
+		{"-sweep", "-graph", "cycle:8", "-policy", "adaptive:64:16", "-rounds", "10"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunSweepPolicyAxis(t *testing.T) {
+	if err := run([]string{"-sweep", "-graph", "torus2d:6x6",
+		"-scheme", "sos", "-workload", "burst:10:3600:0",
+		"-policy", ",at:10,adaptive:8:64:5",
+		"-rounds", "30", "-every", "10", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+}

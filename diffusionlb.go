@@ -241,7 +241,8 @@ var RounderByName = core.RounderByName
 
 // --- hybrid switching ---
 
-// SwitchPolicy decides when a hybrid run switches from SOS to FOS.
+// SwitchPolicy decides when a hybrid run switches from SOS to FOS
+// (one-way, at most once; see AdaptivePolicy for re-arming controllers).
 type SwitchPolicy = core.SwitchPolicy
 
 // SwitchAtRound switches after a fixed round.
@@ -257,18 +258,48 @@ type SwitchOnPotentialStall = core.SwitchOnPotentialStall
 // NeverSwitch never switches.
 type NeverSwitch = core.NeverSwitch
 
+// AdaptivePolicy is the bidirectional switch controller: SOS→FOS on the
+// plateau, FOS→SOS re-arm when a workload burst re-inflates the signal.
+type AdaptivePolicy = core.AdaptivePolicy
+
+// HysteresisBand is the re-arming controller over φ_local with a
+// [Lo, Hi] hysteresis band and a switch cooldown.
+type HysteresisBand = core.HysteresisBand
+
+// SwitchEvent records one scheme switch of a hybrid/adaptive run.
+type SwitchEvent = core.SwitchEvent
+
+// AdaptiveProcess wraps a Process so a policy is applied after every Step
+// (see Adapt).
+type AdaptiveProcess = core.AdaptiveProcess
+
 // Driving helpers.
 var (
 	// Run drives a process for a fixed number of rounds.
 	Run = core.Run
 	// RunUntil drives a process until a predicate fires.
 	RunUntil = core.RunUntil
-	// RunHybrid drives a process with a switch policy.
+	// RunHybrid drives a process with a one-way switch policy.
 	RunHybrid = core.RunHybrid
+	// RunAdaptive drives a process with an adaptive policy, returning the
+	// switch history.
+	RunAdaptive = core.RunAdaptive
 	// ConvergedWithin builds a discrepancy-based stop predicate.
 	ConvergedWithin = core.ConvergedWithin
 	// ProportionallyConvergedWithin is the heterogeneous analogue.
 	ProportionallyConvergedWithin = core.ProportionallyConvergedWithin
+	// OneShot adapts a one-way SwitchPolicy into an AdaptivePolicy.
+	OneShot = core.OneShot
+	// PolicyFromSpec parses the textual policy syntax shared with the
+	// lbsim CLI and the sweep engine, e.g. "adaptive:16:64:100".
+	PolicyFromSpec = core.PolicyFromSpec
+	// Adapt wraps a Process so a policy runs after every Step.
+	Adapt = core.Adapt
+	// ApplyAdaptive evaluates a policy against a process and actuates the
+	// switch it requests.
+	ApplyAdaptive = core.ApplyAdaptive
+	// ResetPolicy clears a stateful policy's per-run state for reuse.
+	ResetPolicy = core.ResetPolicy
 )
 
 // --- simulation harness ---

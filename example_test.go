@@ -52,3 +52,37 @@ func ExampleRunHybrid() {
 	// switched: true
 	// final kind: FOS
 }
+
+// ExamplePolicyFromSpec shows the re-arming adaptive hybrid: the
+// hysteresis band switches to FOS once the network is balanced and re-arms
+// SOS when a workload burst re-inflates the local difference.
+func ExamplePolicyFromSpec() {
+	g, _ := diffusionlb.Torus2D(12, 12)
+	sys, _ := diffusionlb.NewSystem(g, nil)
+	n := g.NumNodes()
+	x0 := make([]int64, n)
+	for i := range x0 {
+		x0[i] = 100 // balanced start: the dynamics are the story
+	}
+	proc, _ := sys.NewDiscrete(diffusionlb.SOS, nil, 3, x0)
+
+	policy, _ := diffusionlb.PolicyFromSpec("adaptive:8:64:10")
+	wl, _ := diffusionlb.WorkloadFromSpec(fmt.Sprintf("burst:50:%d:0", 50*n), n, 3)
+	runner := &diffusionlb.Runner{Proc: proc, Adaptive: policy, Workload: wl, Every: 1}
+	res, _ := runner.Run(300)
+
+	plateau := len(res.Switches) > 0 && res.Switches[0].To == diffusionlb.FOS
+	rearmed := false
+	for _, ev := range res.Switches {
+		if ev.To == diffusionlb.SOS && ev.Round >= 50 {
+			rearmed = true
+		}
+	}
+	fmt.Printf("switched to FOS on the balanced plateau: %v\n", plateau)
+	fmt.Printf("re-armed SOS at the burst: %v\n", rearmed)
+	fmt.Printf("final kind: %v\n", proc.Kind())
+	// Output:
+	// switched to FOS on the balanced plateau: true
+	// re-armed SOS at the burst: true
+	// final kind: FOS
+}

@@ -35,22 +35,6 @@ func main() {
 	}
 }
 
-// hybridProc switches its embedded SOS process to FOS the first time the
-// maximum local load difference drops to 16 — evaluated once per step.
-type hybridProc struct {
-	*diffusionlb.Discrete
-	switched bool
-}
-
-func (h *hybridProc) Step() {
-	h.Discrete.Step()
-	if !h.switched && h.Kind() == diffusionlb.SOS &&
-		(diffusionlb.SwitchOnLocalDiff{Threshold: 16}).Decide(h.Discrete) {
-		h.SetKind(diffusionlb.FOS)
-		h.switched = true
-	}
-}
-
 func run() error {
 	g, err := diffusionlb.Torus2D(side, side)
 	if err != nil {
@@ -85,9 +69,13 @@ func run() error {
 				return nil, err
 			}
 			// The paper's recipe: switch to FOS once the local difference
-			// hits a constant; RunUntil below then drives the FOS phase.
-			diffusionlb.RunHybrid(proc, diffusionlb.SwitchOnLocalDiff{Threshold: 16}, 0)
-			return &hybridProc{Discrete: proc}, nil
+			// hits a constant. Adapt evaluates the policy after every Step,
+			// so the RunUntil driver below needs no switching logic.
+			policy, err := diffusionlb.PolicyFromSpec("local:16")
+			if err != nil {
+				return nil, err
+			}
+			return diffusionlb.Adapt(proc, policy), nil
 		}},
 		{"random matchings [17]", func() (diffusionlb.Process, error) {
 			return diffusionlb.NewMatchingBalancer(sys.Operator(), seed, x0)

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"diffusionlb/internal/metrics"
 )
@@ -12,13 +15,32 @@ import (
 // reached; it also notes that the maximum local load difference is a good
 // switching signal because it is locally computable.
 //
+// SwitchPolicy is one-way: it can only ever fire SOS→FOS, once. Adaptive
+// controllers that re-arm SOS after a workload burst implement
+// AdaptivePolicy instead; OneShot adapts any SwitchPolicy into one.
+//
 // Policies may keep state across rounds; Decide is called after every
-// completed round with the process to inspect.
+// completed round with the process to inspect. Stateful policies implement
+// Reset() — see ResetPolicy.
 type SwitchPolicy interface {
 	// Decide reports whether the process should switch to FOS now.
 	Decide(p Process) bool
-	// Name identifies the policy in reports.
+	// Name identifies the policy in reports, in the PolicyFromSpec
+	// spelling; for parser-constructed policies it round-trips through
+	// PolicyFromSpec (hand-constructed values may use parameters the
+	// parser rejects, e.g. a zero stall factor).
 	Name() string
+}
+
+// localDiff samples φ_local = max load difference across an edge, the
+// locally-computable switching signal the policies below share.
+func localDiff(p Process) float64 {
+	g := p.Operator().Graph()
+	lv := p.Loads()
+	if lv.Int != nil {
+		return metrics.MaxLocalDiff(g, lv.Int)
+	}
+	return metrics.MaxLocalDiff(g, lv.Float)
 }
 
 // SwitchAtRound switches unconditionally after a fixed number of completed
@@ -29,7 +51,7 @@ type SwitchAtRound struct{ Round int }
 func (s SwitchAtRound) Decide(p Process) bool { return p.Round() >= s.Round }
 
 // Name implements SwitchPolicy.
-func (s SwitchAtRound) Name() string { return fmt.Sprintf("at-round-%d", s.Round) }
+func (s SwitchAtRound) Name() string { return fmt.Sprintf("at:%d", s.Round) }
 
 // SwitchOnLocalDiff switches once the maximum local load difference drops
 // to Threshold or below — the locally-computable signal the paper
@@ -37,27 +59,38 @@ func (s SwitchAtRound) Name() string { return fmt.Sprintf("at-round-%d", s.Round
 type SwitchOnLocalDiff struct{ Threshold float64 }
 
 // Decide implements SwitchPolicy.
-func (s SwitchOnLocalDiff) Decide(p Process) bool {
-	g := p.Operator().Graph()
-	lv := p.Loads()
-	if lv.Int != nil {
-		return metrics.MaxLocalDiff(g, lv.Int) <= s.Threshold
-	}
-	return metrics.MaxLocalDiff(g, lv.Float) <= s.Threshold
-}
+func (s SwitchOnLocalDiff) Decide(p Process) bool { return localDiff(p) <= s.Threshold }
 
 // Name implements SwitchPolicy.
-func (s SwitchOnLocalDiff) Name() string { return fmt.Sprintf("local-diff<=%g", s.Threshold) }
+func (s SwitchOnLocalDiff) Name() string { return fmt.Sprintf("local:%g", s.Threshold) }
 
 // SwitchOnPotentialStall switches when the 2-norm potential has improved by
 // less than Factor (e.g. 0.01 = 1%) over the last Window rounds — the
 // "end of the exponential decay phase" signal visible in Figure 1.
+//
+// The policy keeps a bounded ring of the last Window+1 potential samples
+// (memory is O(Window), not O(rounds)). A value is tied to one trajectory:
+// call Reset (or build a fresh policy) before reusing it for another run,
+// or its first Window decisions are corrupted by the previous run's tail.
 type SwitchOnPotentialStall struct {
 	Window int
 	Factor float64
 
-	history []float64
+	ring  []float64 // last Window+1 samples, oldest at head once full
+	head  int
+	count int
 }
+
+// window resolves the default Window.
+func (s *SwitchOnPotentialStall) window() int {
+	if s.Window <= 0 {
+		return 50
+	}
+	return s.Window
+}
+
+// Reset discards the sample history so the value can start a fresh run.
+func (s *SwitchOnPotentialStall) Reset() { s.head, s.count = 0, 0 }
 
 // Decide implements SwitchPolicy.
 func (s *SwitchOnPotentialStall) Decide(p Process) bool {
@@ -68,15 +101,21 @@ func (s *SwitchOnPotentialStall) Decide(p Process) bool {
 	} else {
 		phi = metrics.Potential(lv.Float, p.Operator().Speeds())
 	}
-	s.history = append(s.history, phi)
-	w := s.Window
-	if w <= 0 {
-		w = 50
+	w := s.window()
+	if len(s.ring) != w+1 {
+		// First use, or Window changed mid-run (which discards history).
+		s.ring = make([]float64, w+1)
+		s.Reset()
 	}
-	if len(s.history) <= w {
+	s.ring[s.head] = phi
+	s.head = (s.head + 1) % len(s.ring)
+	if s.count < len(s.ring) {
+		s.count++
+	}
+	if s.count <= w {
 		return false
 	}
-	old := s.history[len(s.history)-1-w]
+	old := s.ring[s.head] // oldest of the stored samples: w rounds ago
 	if old <= 0 {
 		return true
 	}
@@ -86,7 +125,7 @@ func (s *SwitchOnPotentialStall) Decide(p Process) bool {
 
 // Name implements SwitchPolicy.
 func (s *SwitchOnPotentialStall) Name() string {
-	return fmt.Sprintf("potential-stall(w=%d,f=%g)", s.Window, s.Factor)
+	return fmt.Sprintf("stall:%d:%g", s.window(), s.Factor)
 }
 
 // NeverSwitch is the identity policy (pure SOS or pure FOS run).
@@ -97,6 +136,357 @@ func (NeverSwitch) Decide(Process) bool { return false }
 
 // Name implements SwitchPolicy.
 func (NeverSwitch) Name() string { return "never" }
+
+// --- adaptive (bidirectional) switching ---
+
+// AdaptivePolicy is the bidirectional generalisation of SwitchPolicy: a
+// controller that may move a hybrid run SOS→FOS when the balance signal
+// plateaus and re-arm SOS (FOS→SOS) when a workload burst re-inflates it,
+// any number of times. The SOS scheme's speedup comes from its flow memory
+// (the second-order iteration of Muthukrishnan–Ghosh–Schultz), so a burst
+// detected after the one-shot switch should restart SOS rather than limp
+// home at FOS pace.
+type AdaptivePolicy interface {
+	// Decide returns the scheme kind the process should run from the next
+	// round on, and whether to switch now. (_, false) keeps the current
+	// kind. Decide is called after every completed round (after any
+	// external workload injection, so controllers see post-burst loads).
+	Decide(p Process) (Kind, bool)
+	// Name identifies the policy in reports, in the PolicyFromSpec
+	// spelling; for parser-constructed policies it round-trips through
+	// PolicyFromSpec.
+	Name() string
+}
+
+// SwitchEvent records one scheme switch of an adaptive (or one-shot) run.
+type SwitchEvent struct {
+	// Round is the completed round after which the switch happened; the
+	// new kind applies from the next round on.
+	Round int `json:"round"`
+	// From and To are the scheme kinds on either side of the switch.
+	From Kind `json:"from"`
+	To   Kind `json:"to"`
+}
+
+// String renders the event compactly, e.g. "150:SOS->FOS".
+func (e SwitchEvent) String() string {
+	return fmt.Sprintf("%d:%s->%s", e.Round, e.From, e.To)
+}
+
+// oneShot adapts a one-way SwitchPolicy into an AdaptivePolicy preserving
+// the legacy hybrid semantics: it only ever fires while the process runs
+// SOS, so after the SOS→FOS switch the wrapped policy is never consulted
+// again (unless something else re-arms SOS).
+type oneShot struct{ sp SwitchPolicy }
+
+// OneShot adapts a one-way SwitchPolicy into an AdaptivePolicy that fires
+// SOS→FOS at most once. A nil policy never switches.
+func OneShot(sp SwitchPolicy) AdaptivePolicy { return oneShot{sp: sp} }
+
+// Decide implements AdaptivePolicy.
+func (o oneShot) Decide(p Process) (Kind, bool) {
+	if o.sp == nil || p.Kind() != SOS {
+		return 0, false
+	}
+	if o.sp.Decide(p) {
+		return FOS, true
+	}
+	return 0, false
+}
+
+// Name implements AdaptivePolicy.
+func (o oneShot) Name() string {
+	if o.sp == nil {
+		return "never"
+	}
+	return o.sp.Name()
+}
+
+// Reset forwards to the wrapped policy if it is stateful.
+func (o oneShot) Reset() { ResetPolicy(o.sp) }
+
+// HysteresisBand is the re-arming adaptive controller: it switches to FOS
+// when φ_local (the max local load difference) drops to Lo or below — the
+// paper's plateau signal — and re-arms SOS when φ_local climbs back to Hi
+// or above, e.g. after a workload burst. The band Lo < Hi plus the Cooldown
+// (a minimum number of rounds between consecutive switches) prevents
+// thrashing when φ_local hovers near a threshold.
+//
+// φ_local is locally computable (a max over edges), so the controller is
+// implementable in a distributed deployment, like the paper's switch
+// signal. The zero Cooldown is valid (no rate limit). A value carries the
+// round of its last switch; call Reset (or build a fresh policy, e.g. via
+// PolicyFromSpec) before reusing it for another run.
+type HysteresisBand struct {
+	// Lo is the switch-to-FOS threshold: φ_local <= Lo on an SOS round
+	// fires the plateau switch.
+	Lo float64
+	// Hi is the re-arm threshold: φ_local >= Hi on an FOS round restarts
+	// SOS. Must exceed Lo.
+	Hi float64
+	// Cooldown is the minimum number of rounds between two switches.
+	Cooldown int
+
+	lastSwitch int // 1 + round of the last switch; 0 = never switched
+}
+
+// Reset clears the cooldown anchor so the value can start a fresh run.
+func (h *HysteresisBand) Reset() { h.lastSwitch = 0 }
+
+// Decide implements AdaptivePolicy.
+func (h *HysteresisBand) Decide(p Process) (Kind, bool) {
+	// An inverted or degenerate band (Hi <= Lo) would fire both directions
+	// on consecutive rounds and thrash the scheme; PolicyFromSpec rejects
+	// it, and a hand-constructed one never fires rather than oscillating.
+	if h.Hi <= h.Lo {
+		return 0, false
+	}
+	if h.lastSwitch > 0 && p.Round()-(h.lastSwitch-1) < h.Cooldown {
+		return 0, false
+	}
+	phi := localDiff(p)
+	switch p.Kind() {
+	case SOS:
+		if phi <= h.Lo {
+			h.lastSwitch = p.Round() + 1
+			return FOS, true
+		}
+	case FOS:
+		if phi >= h.Hi {
+			h.lastSwitch = p.Round() + 1
+			return SOS, true
+		}
+	}
+	return 0, false
+}
+
+// Name implements AdaptivePolicy.
+func (h *HysteresisBand) Name() string {
+	return fmt.Sprintf("adaptive:%g:%g:%d", h.Lo, h.Hi, h.Cooldown)
+}
+
+// ResetPolicy clears any per-run state the policy value carries (stall
+// history, hysteresis cooldown anchor), making it safe to reuse for a
+// fresh run. Stateless policies and nil are no-ops. Callers that cannot
+// reset (shared values) should build fresh policies instead, e.g. via
+// PolicyFromSpec — that is what sweep cells do.
+func ResetPolicy(policy any) {
+	if r, ok := policy.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
+
+// ErrBadPolicySpec reports a malformed switch-policy spec.
+var ErrBadPolicySpec = errors.New("core: invalid policy spec")
+
+// PolicyFromSpec builds a fresh AdaptivePolicy from a compact textual
+// spec, the syntax shared by the lbsim CLI and the sweep engine (mirroring
+// workload.FromSpec):
+//
+//	at:ROUND              switch SOS→FOS after a fixed round
+//	local:THRESHOLD       switch SOS→FOS once φ_local <= THRESHOLD
+//	stall:WINDOW:FACTOR   switch SOS→FOS when the potential improved by
+//	                      less than FACTOR over the last WINDOW rounds
+//	adaptive:LO:HI[:COOLDOWN]
+//	                      re-arming hysteresis band: →FOS at φ_local <= LO,
+//	                      back →SOS at φ_local >= HI, at most one switch
+//	                      per COOLDOWN rounds (default 50)
+//	never                 never switch
+//
+// The empty spec means no policy and returns (nil, nil). Every call
+// returns a fresh value, so stateful policies never leak history between
+// runs; Name() of the result is the canonical spec and re-parses.
+func PolicyFromSpec(spec string) (AdaptivePolicy, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	fields := strings.Split(spec, ":")
+	bad := func(msg string) error {
+		return fmt.Errorf("%w: %q: %s", ErrBadPolicySpec, spec, msg)
+	}
+	argInt := func(i int) (int, error) {
+		if i >= len(fields) {
+			return 0, bad(fmt.Sprintf("missing argument %d", i))
+		}
+		v, err := strconv.Atoi(fields[i])
+		if err != nil {
+			return 0, bad(fmt.Sprintf("argument %d: %v", i, err))
+		}
+		return v, nil
+	}
+	argFloat := func(i int) (float64, error) {
+		if i >= len(fields) {
+			return 0, bad(fmt.Sprintf("missing argument %d", i))
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil || v != v {
+			return 0, bad(fmt.Sprintf("argument %d: not a number", i))
+		}
+		return v, nil
+	}
+	tooMany := func(max int) error {
+		if len(fields) > max {
+			return bad(fmt.Sprintf("at most %d arguments", max-1))
+		}
+		return nil
+	}
+	switch fields[0] {
+	case "never":
+		if err := tooMany(1); err != nil {
+			return nil, err
+		}
+		return OneShot(NeverSwitch{}), nil
+	case "at":
+		round, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		if err := tooMany(2); err != nil {
+			return nil, err
+		}
+		if round < 1 {
+			return nil, bad("switch round must be >= 1")
+		}
+		return OneShot(SwitchAtRound{Round: round}), nil
+	case "local":
+		thr, err := argFloat(1)
+		if err != nil {
+			return nil, err
+		}
+		if err := tooMany(2); err != nil {
+			return nil, err
+		}
+		if thr < 0 {
+			return nil, bad("threshold must be >= 0")
+		}
+		return OneShot(SwitchOnLocalDiff{Threshold: thr}), nil
+	case "stall":
+		window, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		factor, err := argFloat(2)
+		if err != nil {
+			return nil, err
+		}
+		if err := tooMany(3); err != nil {
+			return nil, err
+		}
+		if window < 1 {
+			return nil, bad("window must be >= 1")
+		}
+		if factor <= 0 {
+			return nil, bad("factor must be > 0")
+		}
+		return OneShot(&SwitchOnPotentialStall{Window: window, Factor: factor}), nil
+	case "adaptive":
+		lo, err := argFloat(1)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := argFloat(2)
+		if err != nil {
+			return nil, err
+		}
+		cooldown := 50
+		if len(fields) > 3 {
+			cooldown, err = argInt(3)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := tooMany(4); err != nil {
+			return nil, err
+		}
+		if lo < 0 {
+			return nil, bad("lo must be >= 0")
+		}
+		if hi <= lo {
+			return nil, bad("hi must exceed lo (hysteresis band)")
+		}
+		if cooldown < 0 {
+			return nil, bad("cooldown must be >= 0")
+		}
+		return &HysteresisBand{Lo: lo, Hi: hi, Cooldown: cooldown}, nil
+	default:
+		return nil, bad("unknown kind (at|local|stall|adaptive|never)")
+	}
+}
+
+// ApplyAdaptive evaluates the policy against p and actuates the switch it
+// requests, reporting the event. A request for the current kind is a no-op.
+func ApplyAdaptive(p Process, policy AdaptivePolicy) (SwitchEvent, bool) {
+	kind, ok := policy.Decide(p)
+	if !ok || kind == p.Kind() {
+		return SwitchEvent{}, false
+	}
+	from := p.Kind()
+	p.SetKind(kind)
+	return SwitchEvent{Round: p.Round(), From: from, To: kind}, true
+}
+
+// AdaptiveProcess wraps a Process so that an AdaptivePolicy is applied
+// after every Step, recording the switch history — the drop-in way to put
+// adaptive switching under drivers that only know Process (RunUntil, the
+// baselines). Don't also hand the wrapper to a Runner with a policy set,
+// or the policy runs twice per round.
+type AdaptiveProcess struct {
+	Process
+	policy   AdaptivePolicy
+	switches []SwitchEvent
+}
+
+// Adapt wraps p so policy is evaluated after every Step. A nil policy
+// never switches.
+func Adapt(p Process, policy AdaptivePolicy) *AdaptiveProcess {
+	return &AdaptiveProcess{Process: p, policy: policy}
+}
+
+// Step implements Process.
+func (a *AdaptiveProcess) Step() {
+	a.Process.Step()
+	if a.policy == nil {
+		return
+	}
+	if ev, ok := ApplyAdaptive(a.Process, a.policy); ok {
+		a.switches = append(a.switches, ev)
+	}
+}
+
+// Switches returns the switch history so far (shared slice; do not mutate).
+func (a *AdaptiveProcess) Switches() []SwitchEvent { return a.switches }
+
+// Unwrap returns the wrapped process.
+func (a *AdaptiveProcess) Unwrap() Process { return a.Process }
+
+// Traffic forwards the wrapped process's cumulative token/message counters
+// (zeros if it keeps none), so traffic accounting stays visible through
+// the wrapper.
+func (a *AdaptiveProcess) Traffic() (tokens, messages int64) {
+	if tp, ok := a.Process.(interface{ Traffic() (int64, int64) }); ok {
+		return tp.Traffic()
+	}
+	return 0, 0
+}
+
+// Injected forwards the wrapped process's arrival/departure counters
+// (zeros if it keeps none).
+func (a *AdaptiveProcess) Injected() (added, removed int64) {
+	if ip, ok := a.Process.(interface{ Injected() (int64, int64) }); ok {
+		return ip.Injected()
+	}
+	return 0, 0
+}
+
+// Inject implements Injector by forwarding to the wrapped process, so
+// dynamic workloads drive through the wrapper; it errors if the wrapped
+// process accepts no injection.
+func (a *AdaptiveProcess) Inject(deltas []int64) error {
+	if inj, ok := a.Process.(Injector); ok {
+		return inj.Inject(deltas)
+	}
+	return fmt.Errorf("core: %T does not implement Injector", a.Process)
+}
 
 // RunHybrid drives p for maxRounds rounds, switching p to FOS the first
 // time policy fires. It returns the round at which the switch happened, or
@@ -111,6 +501,22 @@ func RunHybrid(p Process, policy SwitchPolicy, maxRounds int) (switchRound int) 
 		}
 	}
 	return switchRound
+}
+
+// RunAdaptive drives p for maxRounds rounds under an adaptive policy and
+// returns the switch history (nil if the policy never fired).
+func RunAdaptive(p Process, policy AdaptivePolicy, maxRounds int) []SwitchEvent {
+	var events []SwitchEvent
+	for r := 0; r < maxRounds; r++ {
+		p.Step()
+		if policy == nil {
+			continue
+		}
+		if ev, ok := ApplyAdaptive(p, policy); ok {
+			events = append(events, ev)
+		}
+	}
+	return events
 }
 
 // Run drives p for rounds rounds.

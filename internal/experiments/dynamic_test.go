@@ -5,13 +5,16 @@ import (
 	"encoding/csv"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strconv"
 	"testing"
+
+	"diffusionlb/internal/core"
 )
 
 // TestChurnRecoveryCurvesDistinct pins the dynamic-workload acceptance
-// criterion: under the same hotspot burst, the SOS and FOS recovery curves
+// criterion: under the same hotspot bursts, the SOS and FOS recovery curves
 // must be distinct, and both schemes must actually recover.
 func TestChurnRecoveryCurvesDistinct(t *testing.T) {
 	if testing.Short() {
@@ -29,8 +32,8 @@ func TestChurnRecoveryCurvesDistinct(t *testing.T) {
 	}
 	out := buf.String()
 
-	// Both pure schemes recover (the summary row says "N rounds", not
-	// "never").
+	// Both pure schemes recover from the first burst (the summary row says
+	// "N rounds", not "never").
 	rowRe := regexp.MustCompile(`(?m)^(fos|sos)\s+\S+\s+\d+\s+\d+\s+(\d+) rounds`)
 	recovered := map[string]int{}
 	for _, m := range rowRe.FindAllStringSubmatch(out, -1) {
@@ -78,5 +81,69 @@ func TestChurnRecoveryCurvesDistinct(t *testing.T) {
 	}
 	if !differ {
 		t.Error("fos and sos discrepancy series identical at every recorded round")
+	}
+}
+
+// TestChurnAdaptiveRearms pins the re-arming acceptance criterion: the
+// adaptive hysteresis band must re-switch FOS→SOS after a post-switch
+// burst and recover the second burst measurably faster than the one-shot
+// hybrid (which is stuck at FOS pace), with a bit-identical switch history
+// for every per-step worker count.
+func TestChurnAdaptiveRearms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn adaptive run skipped in -short mode")
+	}
+	p := Params{Seed: 1, Tiny: true}
+	setup, results, err := runChurnVariants(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]churnOutcome{}
+	for _, o := range results {
+		byName[o.name] = o
+	}
+	hybrid, adaptive := byName["hybrid"], byName["adaptive"]
+
+	// The one-shot hybrid switches exactly once (the balanced start is
+	// already at its plateau) and never re-arms.
+	if len(hybrid.switches) != 1 || hybrid.switches[0].To != core.FOS {
+		t.Fatalf("one-shot hybrid switch history = %v, want exactly one ->FOS", hybrid.switches)
+	}
+	// The adaptive controller must re-arm SOS after the first burst landed
+	// (i.e. a FOS→SOS event at or after burst1, which follows its own
+	// plateau switch to FOS).
+	rearms := 0
+	for _, ev := range adaptive.switches {
+		if ev.To == core.SOS && ev.Round >= setup.burst1 {
+			rearms++
+		}
+	}
+	if rearms == 0 {
+		t.Fatalf("adaptive policy never re-armed SOS after a burst; history = %v", adaptive.switches)
+	}
+	// Both must recover from the second (post-switch) burst, and the
+	// adaptive run must be strictly faster than the FOS-stuck hybrid.
+	if adaptive.recover2 < 0 || hybrid.recover2 < 0 {
+		t.Fatalf("second-burst recovery missing: adaptive=%d hybrid=%d", adaptive.recover2, hybrid.recover2)
+	}
+	if adaptive.recover2 >= hybrid.recover2 {
+		t.Errorf("adaptive recovered the post-switch burst in %d rounds, not faster than one-shot hybrid's %d",
+			adaptive.recover2, hybrid.recover2)
+	}
+	t.Logf("second-burst recovery: adaptive %d rounds vs one-shot hybrid %d rounds; adaptive history %v",
+		adaptive.recover2, hybrid.recover2, adaptive.switches)
+
+	// Switch histories are part of the determinism contract: per-step
+	// parallelism must not change a single decision.
+	p.Workers = 4
+	_, parResults, err := runChurnVariants(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if !reflect.DeepEqual(results[i].switches, parResults[i].switches) {
+			t.Errorf("%s switch history differs across step-worker counts: %v vs %v",
+				results[i].name, results[i].switches, parResults[i].switches)
+		}
 	}
 }

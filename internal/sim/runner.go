@@ -232,8 +232,18 @@ type Runner struct {
 	Metrics []Metric
 	// Every is the recording cadence in rounds (default 1).
 	Every int
-	// Policy optionally switches the scheme to FOS mid-run (hybrid).
+	// Policy optionally switches the scheme to FOS mid-run (one-way
+	// hybrid). Internally it runs as core.OneShot(Policy); set Adaptive
+	// instead for bidirectional (re-arming) controllers. Setting both is
+	// an error.
 	Policy core.SwitchPolicy
+	// Adaptive optionally drives the scheme kind every round (hysteresis
+	// re-arming, custom controllers). It is evaluated after workload
+	// injection, so the controller sees post-burst loads the same round
+	// they land. Stateful policies are tied to one trajectory: build a
+	// fresh one per run (e.g. via core.PolicyFromSpec) or call
+	// core.ResetPolicy between runs.
+	Adaptive core.AdaptivePolicy
 	// Lockstep processes are stepped once per round before sampling; use
 	// for reference processes consumed by DeviationFrom.
 	Lockstep []core.Process
@@ -259,9 +269,12 @@ func workloadLoads(lv core.LoadView) workload.Loads {
 type Result struct {
 	// Series holds the recorded metric table.
 	Series *Series
-	// SwitchRound is the round at which the hybrid policy fired (-1 if
-	// never).
+	// SwitchRound is the round of the first scheme switch (-1 if none) —
+	// the legacy one-shot view of Switches.
 	SwitchRound int
+	// Switches is the full scheme-switch history; adaptive policies may
+	// switch any number of times. Nil when no policy fired.
+	Switches []core.SwitchEvent
 	// Rounds is the total number of rounds executed.
 	Rounds int
 }
@@ -288,6 +301,14 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 	}
 	series := NewSeries(names...)
 	res := &Result{Series: series, SwitchRound: -1}
+
+	policy := r.Adaptive
+	if r.Policy != nil {
+		if policy != nil {
+			return nil, errors.New("sim: set either Runner.Policy or Runner.Adaptive, not both")
+		}
+		policy = core.OneShot(r.Policy)
+	}
 
 	var injector core.Injector
 	var deltas []int64
@@ -341,9 +362,17 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 				}
 			}
 		}
-		if r.Policy != nil && res.SwitchRound < 0 && r.Proc.Kind() == core.SOS && r.Policy.Decide(r.Proc) {
-			r.Proc.SetKind(core.FOS)
-			res.SwitchRound = round
+		// Policy evaluation deliberately follows workload injection above:
+		// an adaptive controller must see the post-burst loads in the same
+		// round the burst lands, or re-arming lags the recording by a round.
+		if policy != nil {
+			if ev, ok := core.ApplyAdaptive(r.Proc, policy); ok {
+				ev.Round = round // the driver's round counter, not p.Round()
+				res.Switches = append(res.Switches, ev)
+				if res.SwitchRound < 0 {
+					res.SwitchRound = round
+				}
+			}
 		}
 		if r.OnRound != nil {
 			r.OnRound(round, r.Proc)

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"diffusionlb/internal/core"
 	"diffusionlb/internal/sim"
 )
 
@@ -20,18 +21,22 @@ type Result struct {
 }
 
 // Group aggregates the replicates of one (graph, scheme, rounder, speeds,
-// beta) coordinate.
+// workload, policy, beta) coordinate.
 type Group struct {
 	Graph    string  `json:"graph"`
 	Scheme   string  `json:"scheme"`
 	Rounder  string  `json:"rounder"`
 	Speeds   string  `json:"speeds,omitempty"`
 	Workload string  `json:"workload,omitempty"`
-	Beta     float64 `json:"beta"`   // resolved β actually simulated
-	Lambda   float64 `json:"lambda"` // second eigenvalue of the topology
+	Policy   string  `json:"policy,omitempty"` // switch-policy spec ("" = never)
+	Beta     float64 `json:"beta"`             // resolved β actually simulated
+	Lambda   float64 `json:"lambda"`           // second eigenvalue of the topology
 	Nodes    int     `json:"nodes"`
 	// Replicates is the number of series collapsed into the statistics.
 	Replicates int `json:"replicates"`
+	// Switches is the number of scheme switches per replicate, in
+	// replicate order (omitted when no policy is set).
+	Switches []int `json:"switches,omitempty"`
 	// Rounds is the shared recording grid.
 	Rounds []int `json:"rounds"`
 	// Columns holds one aggregated statistic set per recorded metric.
@@ -57,6 +62,9 @@ func (g Group) Label() string {
 	if g.Workload != "" {
 		parts = append(parts, g.Workload)
 	}
+	if g.Policy != "" {
+		parts = append(parts, g.Policy)
+	}
 	parts = append(parts, fmt.Sprintf("beta=%.6g", g.Beta))
 	return strings.Join(parts, " ")
 }
@@ -64,7 +72,7 @@ func (g Group) Label() string {
 // aggregate collapses the per-cell series (indexed like cells) into groups.
 // Summation runs in replicate order, so the floating-point results are
 // identical for every worker count.
-func aggregate(spec Spec, cells []Cell, series []*sim.Series, systems map[sysKey]*system) (*Result, error) {
+func aggregate(spec Spec, cells []Cell, series []*sim.Series, switches [][]core.SwitchEvent, systems map[sysKey]*system) (*Result, error) {
 	res := &Result{Spec: spec}
 	for start := 0; start < len(cells); start += spec.Replicates {
 		c := cells[start]
@@ -78,9 +86,15 @@ func aggregate(spec Spec, cells []Cell, series []*sim.Series, systems map[sysKey
 		}
 		g := Group{
 			Graph: c.Graph, Scheme: c.Scheme, Rounder: c.Rounder,
-			Speeds: c.Speeds, Workload: c.Workload, Beta: beta,
+			Speeds: c.Speeds, Workload: c.Workload, Policy: c.Policy, Beta: beta,
 			Lambda: sys.lambda, Nodes: sys.g.NumNodes(),
 			Replicates: spec.Replicates,
+		}
+		if c.Policy != "" {
+			g.Switches = make([]int, 0, spec.Replicates)
+			for _, sw := range switches[start : start+spec.Replicates] {
+				g.Switches = append(g.Switches, len(sw))
+			}
 		}
 		for i := 0; i < base.Len(); i++ {
 			g.Rounds = append(g.Rounds, base.Round(i))
@@ -142,32 +156,39 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // WriteCSV writes the result in long form, one row per
 // (group, round, metric):
 //
-//	graph,scheme,rounder,speeds,workload,beta,replicates,round,metric,mean,std,min,max
+//	graph,scheme,rounder,speeds,workload,policy,beta,replicates,switches,round,metric,mean,std,min,max
 //
-// Rows go through encoding/csv, so spec fields containing commas (or quotes
-// or newlines) are quoted per RFC 4180 instead of silently corrupting the
-// row, and the output round-trips through any CSV reader.
+// switches is the per-replicate scheme-switch count joined with "|" (empty
+// when no policy is set). Rows go through encoding/csv, so spec fields
+// containing commas (or quotes or newlines) are quoted per RFC 4180
+// instead of silently corrupting the row, and the output round-trips
+// through any CSV reader.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"graph", "scheme", "rounder", "speeds", "workload",
-		"beta", "replicates", "round", "metric", "mean", "std", "min", "max"}); err != nil {
+	if err := cw.Write([]string{"graph", "scheme", "rounder", "speeds", "workload", "policy",
+		"beta", "replicates", "switches", "round", "metric", "mean", "std", "min", "max"}); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
-	record := make([]string, 13)
+	record := make([]string, 15)
 	for _, g := range r.Groups {
 		record[0], record[1], record[2] = g.Graph, g.Scheme, g.Rounder
-		record[3], record[4] = g.Speeds, g.Workload
-		record[5] = f(g.Beta)
-		record[6] = strconv.Itoa(g.Replicates)
+		record[3], record[4], record[5] = g.Speeds, g.Workload, g.Policy
+		record[6] = f(g.Beta)
+		record[7] = strconv.Itoa(g.Replicates)
+		counts := make([]string, len(g.Switches))
+		for i, n := range g.Switches {
+			counts[i] = strconv.Itoa(n)
+		}
+		record[8] = strings.Join(counts, "|")
 		for _, col := range g.Columns {
-			record[8] = col.Name
+			record[10] = col.Name
 			for row, round := range g.Rounds {
-				record[7] = strconv.Itoa(round)
-				record[9] = f(col.Mean[row])
-				record[10] = f(col.Std[row])
-				record[11] = f(col.Min[row])
-				record[12] = f(col.Max[row])
+				record[9] = strconv.Itoa(round)
+				record[11] = f(col.Mean[row])
+				record[12] = f(col.Std[row])
+				record[13] = f(col.Min[row])
+				record[14] = f(col.Max[row])
 				if err := cw.Write(record); err != nil {
 					return err
 				}
@@ -182,8 +203,12 @@ func (r *Result) WriteCSV(w io.Writer) error {
 // metric, downsampled to maxRows rows (the sim.Series table format).
 func (r *Result) WriteTable(w io.Writer, maxRows int) error {
 	for _, g := range r.Groups {
-		if _, err := fmt.Fprintf(w, "\n[%s]  n=%d lambda=%.8f replicates=%d\n",
-			g.Label(), g.Nodes, g.Lambda, g.Replicates); err != nil {
+		banner := fmt.Sprintf("\n[%s]  n=%d lambda=%.8f replicates=%d",
+			g.Label(), g.Nodes, g.Lambda, g.Replicates)
+		if g.Policy != "" {
+			banner += fmt.Sprintf(" switches=%v", g.Switches)
+		}
+		if _, err := fmt.Fprintln(w, banner); err != nil {
 			return err
 		}
 		names := make([]string, 0, 2*len(g.Columns))

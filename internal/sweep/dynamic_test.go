@@ -114,8 +114,10 @@ func TestWriteCSVRoundTripsSpecialFields(t *testing.T) {
 		Rounder:    `say "hi"`,
 		Speeds:     "twoclass:0.25:4",
 		Workload:   "poisson:0.5+churn:10,20",
+		Policy:     "adaptive:16:64,100",
 		Beta:       1.5,
 		Replicates: 2,
+		Switches:   []int{1, 3},
 		Rounds:     []int{0, 10},
 		Columns: []AggColumn{{
 			Name: "metric,with,commas",
@@ -135,19 +137,109 @@ func TestWriteCSVRoundTripsSpecialFields(t *testing.T) {
 		t.Fatalf("got %d rows, want header + 2", len(rows))
 	}
 	for _, row := range rows {
-		if len(row) != 13 {
-			t.Fatalf("row has %d fields, want 13: %v", len(row), row)
+		if len(row) != 15 {
+			t.Fatalf("row has %d fields, want 15: %v", len(row), row)
 		}
 	}
 	first := rows[1]
 	if first[0] != `custom:4,5` || first[2] != `say "hi"` ||
-		first[4] != "poisson:0.5+churn:10,20" || first[8] != "metric,with,commas" {
+		first[4] != "poisson:0.5+churn:10,20" || first[5] != "adaptive:16:64,100" ||
+		first[10] != "metric,with,commas" {
 		t.Errorf("fields corrupted in round trip: %v", first)
 	}
-	if first[7] != "0" || rows[2][7] != "10" {
-		t.Errorf("round fields wrong: %v / %v", first[7], rows[2][7])
+	if first[8] != "1|3" {
+		t.Errorf("switch counts wrong: %v", first[8])
 	}
-	if first[9] != "1" || rows[2][9] != "2" {
-		t.Errorf("mean fields wrong: %v / %v", first[9], rows[2][9])
+	if first[9] != "0" || rows[2][9] != "10" {
+		t.Errorf("round fields wrong: %v / %v", first[9], rows[2][9])
+	}
+	if first[11] != "1" || rows[2][11] != "2" {
+		t.Errorf("mean fields wrong: %v / %v", first[11], rows[2][11])
+	}
+}
+
+// TestPoliciesAxis: the policies axis expands like the workloads axis, the
+// groups carry the policy name and per-replicate switch counts, and an
+// adaptive cell under a burst workload actually re-arms (count > 1).
+func TestPoliciesAxis(t *testing.T) {
+	spec := Spec{
+		Graphs:     []string{"torus2d:8x8"},
+		Schemes:    []string{"sos"},
+		Workloads:  []string{"burst:20:6400:0"},
+		Policies:   []string{"", "at:10", "adaptive:8:64:5"},
+		Replicates: 2,
+		Rounds:     60,
+		Every:      10,
+		BaseSeed:   3,
+	}
+	if got := spec.NumCells(); got != 6 {
+		t.Fatalf("NumCells = %d, want 3 policies x 2 replicates", got)
+	}
+	res, err := Run(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(res.Groups))
+	}
+	byPolicy := map[string]Group{}
+	for _, g := range res.Groups {
+		byPolicy[g.Policy] = g
+	}
+	if g := byPolicy[""]; g.Switches != nil {
+		t.Errorf("policy-free group reports switch counts %v", g.Switches)
+	}
+	if g := byPolicy["at:10"]; len(g.Switches) != 2 || g.Switches[0] != 1 || g.Switches[1] != 1 {
+		t.Errorf("at:10 switch counts = %v, want [1 1]", g.Switches)
+	}
+	ad := byPolicy["adaptive:8:64:5"]
+	if len(ad.Switches) != 2 {
+		t.Fatalf("adaptive switch counts = %v, want one per replicate", ad.Switches)
+	}
+	for _, n := range ad.Switches {
+		if n < 2 {
+			t.Errorf("adaptive cell switched %d times; the burst should have re-armed it at least once", n)
+		}
+	}
+	if !strings.Contains(ad.Label(), "adaptive:8:64:5") {
+		t.Errorf("Label %q does not name the policy", ad.Label())
+	}
+}
+
+// TestSwitchAtLegacyAlias: SwitchAt > 0 maps onto the policies axis, and
+// the validation gaps of the old wiring (negative switch_at silently
+// meaning "never", SwitchAt alongside an explicit policies axis) are now
+// loud errors.
+func TestSwitchAtLegacyAlias(t *testing.T) {
+	spec := Spec{
+		Graphs:   []string{"torus2d:8x8"},
+		Schemes:  []string{"sos"},
+		SwitchAt: 10,
+		Rounds:   30,
+		Every:    10,
+	}
+	res, err := Run(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Groups[0]
+	if g.Policy != "at:10" || len(g.Switches) != 1 || g.Switches[0] != 1 {
+		t.Fatalf("legacy SwitchAt group = policy %q switches %v, want at:10 [1]", g.Policy, g.Switches)
+	}
+
+	bad := spec
+	bad.SwitchAt = -5
+	if _, err := Run(context.Background(), bad, Options{}); err == nil {
+		t.Error("negative switch_at must be rejected, not treated as never")
+	}
+	both := spec
+	both.Policies = []string{"local:16"}
+	if _, err := Run(context.Background(), both, Options{}); err == nil {
+		t.Error("switch_at together with policies must be rejected")
+	}
+	badPolicy := Spec{Graphs: []string{"cycle:8"}, Schemes: []string{"sos"},
+		Policies: []string{"warp:9"}, Rounds: 10}
+	if _, err := Run(context.Background(), badPolicy, Options{}); err == nil {
+		t.Error("malformed policy spec must fail validation before any cell runs")
 	}
 }

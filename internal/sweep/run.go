@@ -51,13 +51,14 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	}
 
 	series := make([]*sim.Series, len(cells))
+	switches := make([][]core.SwitchEvent, len(cells))
 	var done atomic.Int64
 	err = Map(ctx, opts.Workers, len(cells), func(ctx context.Context, i int) error {
-		s, err := runCell(spec, cells[i], systems[sysKey{cells[i].graphIdx, cells[i].speedsIdx}])
+		s, sw, err := runCell(spec, cells[i], systems[sysKey{cells[i].graphIdx, cells[i].speedsIdx}])
 		if err != nil {
 			return fmt.Errorf("sweep: cell %d (%s %s %s): %w", i, cells[i].Graph, cells[i].Scheme, cells[i].Rounder, err)
 		}
-		series[i] = s
+		series[i], switches[i] = s, sw
 		if opts.OnCell != nil {
 			opts.OnCell(int(done.Add(1)), len(cells))
 		}
@@ -66,7 +67,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return aggregate(spec, cells, series, systems)
+	return aggregate(spec, cells, series, switches, systems)
 }
 
 // sysKey identifies one prebuilt system: a graph axis entry paired with a
@@ -176,11 +177,12 @@ func analyticLambda(gSpec string, sp *hetero.Speeds) (float64, bool) {
 	return 0, false
 }
 
-// runCell executes one cell to completion and returns its recorded series.
-func runCell(spec Spec, c Cell, sys *system) (*sim.Series, error) {
+// runCell executes one cell to completion and returns its recorded series
+// and scheme-switch history.
+func runCell(spec Spec, c Cell, sys *system) (*sim.Series, []core.SwitchEvent, error) {
 	kind, err := parseKind(c.Scheme)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	beta := c.Beta
 	if beta == 0 {
@@ -189,7 +191,7 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, error) {
 	n := sys.g.NumNodes()
 	x0, err := metrics.PointLoad(n, spec.Avg*int64(n), 0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg := core.Config{Op: sys.op, Kind: kind, Beta: beta, Workers: spec.StepWorkers}
 
@@ -206,12 +208,12 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, error) {
 	default:
 		rounder, ok := core.RounderByName(c.Rounder)
 		if !ok {
-			return nil, fmt.Errorf("unknown rounder %q", c.Rounder)
+			return nil, nil, fmt.Errorf("unknown rounder %q", c.Rounder)
 		}
 		proc, err = core.NewDiscrete(cfg, rounder, c.Seed, x0)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	ms := sim.DefaultMetrics()
@@ -222,19 +224,22 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, error) {
 	// cell's dynamics depend only on its coordinate — never on scheduling.
 	wl, err := workload.FromSpec(c.Workload, n, randx.Mix(c.Seed, seedSaltWorkload))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if wl != nil {
 		ms = append(ms, sim.DynamicMetrics()...)
 	}
-	var policy core.SwitchPolicy
-	if spec.SwitchAt > 0 {
-		policy = core.SwitchAtRound{Round: spec.SwitchAt}
+	// Every cell parses its own fresh policy value: stateful policies
+	// (stall history, hysteresis cooldown) must never carry one replicate's
+	// trajectory into the next.
+	policy, err := core.PolicyFromSpec(c.Policy)
+	if err != nil {
+		return nil, nil, err
 	}
-	runner := &sim.Runner{Proc: proc, Every: spec.Every, Policy: policy, Metrics: ms, Workload: wl}
+	runner := &sim.Runner{Proc: proc, Every: spec.Every, Adaptive: policy, Metrics: ms, Workload: wl}
 	res, err := runner.Run(spec.Rounds)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return res.Series, nil
+	return res.Series, res.Switches, nil
 }

@@ -29,6 +29,13 @@ type Spec struct {
 	// e.g. "burst:100:50000", "poisson:0.5+churn:50:200:200"); the empty
 	// string is the paper's static setting. Empty means [""].
 	Workloads []string `json:"workloads,omitempty"`
+	// Policies lists hybrid switch-policy specs (core.PolicyFromSpec
+	// syntax: "at:2500", "local:16", "stall:50:0.01",
+	// "adaptive:16:64:100"); the empty string never switches. One-way
+	// policies only ever fire on SOS cells; the re-arming "adaptive"
+	// controller drives the kind of either scheme. Empty means [""], or
+	// ["at:N"] when the legacy SwitchAt field is set.
+	Policies []string `json:"policies,omitempty"`
 	// Betas lists SOS β overrides; 0 means the spectral optimum β_opt.
 	// Empty means [0]. FOS ignores β, so for FOS schemes the axis
 	// collapses to a single cell instead of duplicating identical runs
@@ -45,6 +52,9 @@ type Spec struct {
 	// (default 1000).
 	Avg int64 `json:"avg"`
 	// SwitchAt switches SOS cells to FOS at this round (0 = never).
+	//
+	// Deprecated: legacy alias for Policies = ["at:SwitchAt"]; setting
+	// both is an error, and negative values are rejected.
 	SwitchAt int `json:"switch_at,omitempty"`
 	// BaseSeed is the master seed every cell seed is derived from
 	// (default 1).
@@ -65,6 +75,17 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Workloads) == 0 {
 		s.Workloads = []string{""}
+	}
+	if len(s.Policies) == 0 {
+		if s.SwitchAt > 0 {
+			// Legacy alias; SwitchAt is cleared so the normalized spec has
+			// one canonical policy representation (validate rejects specs
+			// that set both fields explicitly).
+			s.Policies = []string{fmt.Sprintf("at:%d", s.SwitchAt)}
+			s.SwitchAt = 0
+		} else {
+			s.Policies = []string{""}
+		}
 	}
 	if len(s.Betas) == 0 {
 		s.Betas = []float64{0}
@@ -112,6 +133,21 @@ func (s Spec) validate() error {
 			return fmt.Errorf("sweep: %w", err)
 		}
 	}
+	// A negative switch round used to silently mean "never switch"; reject
+	// it at spec-validation time instead.
+	if s.SwitchAt < 0 {
+		return fmt.Errorf("sweep: negative switch_at %d (use 0 for never, or a policies entry)", s.SwitchAt)
+	}
+	// withDefaults folds SwitchAt into Policies and clears it, so a still
+	// positive SwitchAt here means both fields were set explicitly.
+	if s.SwitchAt > 0 && len(s.Policies) > 0 {
+		return fmt.Errorf("sweep: set either switch_at or policies, not both")
+	}
+	for _, ps := range s.Policies {
+		if _, err := core.PolicyFromSpec(ps); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
 	for _, b := range s.Betas {
 		// 0 selects β_opt; core needs SOS β strictly inside (0, 2), so
 		// reject the boundary here rather than after system construction.
@@ -145,13 +181,14 @@ type Cell struct {
 	// Group is the index of the aggregation group (all replicates of the
 	// same coordinate share one group).
 	Group int
-	// Graph, Scheme, Rounder, Speeds, Workload, Beta, Replicate are the
-	// coordinate.
+	// Graph, Scheme, Rounder, Speeds, Workload, Policy, Beta, Replicate
+	// are the coordinate.
 	Graph     string
 	Scheme    string
 	Rounder   string
 	Speeds    string
 	Workload  string
+	Policy    string
 	Beta      float64
 	Replicate int
 	// Seed is derived from (BaseSeed, axis indices, replicate) via
@@ -162,12 +199,12 @@ type Cell struct {
 }
 
 // Expand enumerates every cell of the sweep in deterministic order:
-// graphs → schemes → rounders → speeds → workloads → betas → replicates,
-// with the replicate index innermost so one group occupies a contiguous
-// index range.
+// graphs → schemes → rounders → speeds → workloads → policies → betas →
+// replicates, with the replicate index innermost so one group occupies a
+// contiguous index range.
 func (s Spec) Expand() []Cell {
 	s = s.withDefaults()
-	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Workloads)*len(s.Betas)*s.Replicates)
+	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Workloads)*len(s.Policies)*len(s.Betas)*s.Replicates)
 	group := 0
 	fosBetas := []float64{0}
 	for gi, g := range s.Graphs {
@@ -179,27 +216,30 @@ func (s Spec) Expand() []Cell {
 			for ri, rd := range s.Rounders {
 				for pi, sp := range s.Speeds {
 					for wi, wl := range s.Workloads {
-						for bi, beta := range schemeBetas {
-							for rep := 0; rep < s.Replicates; rep++ {
-								cells = append(cells, Cell{
-									Index:     len(cells),
-									Group:     group,
-									Graph:     g,
-									Scheme:    sc,
-									Rounder:   rd,
-									Speeds:    sp,
-									Workload:  wl,
-									Beta:      beta,
-									Replicate: rep,
-									Seed: randx.Mix(s.BaseSeed,
-										uint64(gi), uint64(si), uint64(ri),
-										uint64(pi), uint64(wi), uint64(bi),
-										uint64(rep)),
-									graphIdx:  gi,
-									speedsIdx: pi,
-								})
+						for li, pol := range s.Policies {
+							for bi, beta := range schemeBetas {
+								for rep := 0; rep < s.Replicates; rep++ {
+									cells = append(cells, Cell{
+										Index:     len(cells),
+										Group:     group,
+										Graph:     g,
+										Scheme:    sc,
+										Rounder:   rd,
+										Speeds:    sp,
+										Workload:  wl,
+										Policy:    pol,
+										Beta:      beta,
+										Replicate: rep,
+										Seed: randx.Mix(s.BaseSeed,
+											uint64(gi), uint64(si), uint64(ri),
+											uint64(pi), uint64(wi), uint64(li),
+											uint64(bi), uint64(rep)),
+										graphIdx:  gi,
+										speedsIdx: pi,
+									})
+								}
+								group++
 							}
-							group++
 						}
 					}
 				}
@@ -219,7 +259,7 @@ func (s Spec) NumCells() int {
 		if kind, err := parseKind(sc); err == nil && kind == core.FOS {
 			nb = 1
 		}
-		perGraph += nb * len(s.Rounders) * len(s.Speeds) * len(s.Workloads) * s.Replicates
+		perGraph += nb * len(s.Rounders) * len(s.Speeds) * len(s.Workloads) * len(s.Policies) * s.Replicates
 	}
 	return len(s.Graphs) * perGraph
 }
