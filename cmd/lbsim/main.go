@@ -25,17 +25,23 @@
 //
 //	lbsim -graph torus2d:100x100 -scheme sos -rounder randomized \
 //	      -rounds 1000 [-avg 1000] [-policy adaptive:16:64:100] [-csv out.csv] \
-//	      [-workload burst:100:500000+poisson:0.5]
+//	      [-workload burst:100:500000+poisson:0.5] \
+//	      [-speeds twoclass:0.25:4 -env throttle:at=200,frac=0.125,factor=0.25]
 //	    Free-form run: any graph, scheme and rounder, with the paper's
 //	    three metrics recorded. -workload injects dynamic load between
 //	    rounds (hotspot bursts, Poisson arrivals, churn, an adversarial
 //	    most-loaded-region feeder) and adds the discrepancy, peak
-//	    discrepancy and total load recovery metrics. -policy attaches a
-//	    hybrid switch policy (at:N | local:T | stall:W:F |
-//	    adaptive:LO:HI[:CD]); the adaptive hysteresis band re-arms SOS
-//	    when a post-switch burst re-inflates the local difference.
-//	    -switch N is the legacy alias for -policy at:N. Both -workload
-//	    and -policy are also sweep axes in -sweep mode.
+//	    discrepancy and total load recovery metrics. -env makes the
+//	    processor speeds time-varying (throttle/boost events, drain/
+//	    restore ramps, random-walk jitter): the diffusion operator is
+//	    reweighted in place at every speed change and the ideal-drift and
+//	    speed-sum metrics are added. -policy attaches a hybrid switch
+//	    policy (at:N | local:T | stall:W:F | adaptive:LO:HI[:CD]); the
+//	    adaptive hysteresis band re-arms SOS when a post-switch burst — or
+//	    a speed event — re-inflates the speed-normalized local difference.
+//	    -switch N is the legacy alias for -policy at:N. -workload, -env
+//	    and -policy are also sweep axes in -sweep mode (-env lists are
+//	    ';'-separated because env specs contain commas).
 //
 //	lbsim -graph hypercube:16 -spectrum
 //	    Print n, |E|, d, λ and β_opt for a graph.
@@ -46,6 +52,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,11 +61,43 @@ import (
 	"strings"
 
 	"diffusionlb"
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/envdyn"
 	"diffusionlb/internal/experiments"
 	"diffusionlb/internal/graph"
 	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/sweep"
+	"diffusionlb/internal/workload"
 )
+
+// Spec grammars, one line each, appended to parser errors so a typo shows
+// the valid syntax (and printed in README's grammar table).
+const (
+	speedsGrammar   = "speeds grammar:   twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED"
+	workloadGrammar = "workload grammar: burst:ROUND:AMOUNT[:NODE] | hotspot:PERIOD:AMOUNT[:NODE] | poisson:RATE[:UNTIL] | churn:PERIOD:ARRIVE:DEPART[:UNTIL] | adversary:AMOUNT[:TOP], joined with '+'"
+	policyGrammar   = "policy grammar:   at:ROUND | local:THRESHOLD | stall:WINDOW:FACTOR | adaptive:LO:HI[:COOLDOWN] | never"
+	envGrammar      = "env grammar:      throttle:at=R,frac=F,factor=X[,until=U][,sel=fast|slow|random] | throttle:every=P,dur=D,frac=F,factor=X | boost:<throttle keys> | drain:at=R,frac=F[,ramp=T][,restore=R2[,rramp=T2]] | jitter:sigma=S[,cap=C][,frac=F], joined with '+'"
+)
+
+// withGrammar appends the relevant spec grammar to spec-parse errors, so
+// `lbsim -workload tsunami:9` teaches the valid syntax instead of only
+// naming the failing token.
+func withGrammar(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, hetero.ErrBadSpec):
+		return fmt.Errorf("%w\n%s", err, speedsGrammar)
+	case errors.Is(err, workload.ErrBadSpec):
+		return fmt.Errorf("%w\n%s", err, workloadGrammar)
+	case errors.Is(err, core.ErrBadPolicySpec):
+		return fmt.Errorf("%w\n%s", err, policyGrammar)
+	case errors.Is(err, envdyn.ErrBadSpec):
+		return fmt.Errorf("%w\n%s", err, envGrammar)
+	}
+	return err
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -88,6 +127,7 @@ func run(args []string) error {
 		avg          = fs.Int64("avg", 1000, "average initial load (all placed on node 0)")
 		speedsSpec   = fs.String("speeds", "", "processor speeds: twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED (empty = homogeneous; comma-separated list in -sweep mode)")
 		workloadSpec = fs.String("workload", "", "dynamic workload: burst:ROUND:AMOUNT[:NODE] | hotspot:PERIOD:AMOUNT[:NODE] | poisson:RATE[:UNTIL] | churn:PERIOD:ARRIVE:DEPART[:UNTIL] | adversary:AMOUNT[:TOP], joined with '+' (empty = static; comma-separated list in -sweep mode)")
+		envSpec      = fs.String("env", "", "environment dynamics (time-varying speeds): throttle:at=R,frac=F,factor=X | boost:... | drain:at=R,frac=F[,ramp=T][,restore=R2] | jitter:sigma=S, joined with '+' (empty = fixed speeds; ';'-separated list in -sweep mode, since env specs contain commas)")
 		policySpec   = fs.String("policy", "", "hybrid switch policy: at:ROUND | local:THRESHOLD | stall:WINDOW:FACTOR | adaptive:LO:HI[:COOLDOWN] | never (empty = never; comma-separated list in -sweep mode; supersedes -switch)")
 		switchAt     = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never; legacy alias for -policy at:N)")
 		every        = fs.Int("every", 0, "recording cadence (0 = auto)")
@@ -139,20 +179,21 @@ func run(args []string) error {
 			return err
 		}
 		spec := sweep.Spec{
-			Graphs:      splitList(*graphSpec),
-			Schemes:     splitList(*scheme),
-			Rounders:    splitList(*rounder),
-			Speeds:      splitList(*speedsSpec),
-			Workloads:   splitList(*workloadSpec),
-			Policies:    splitList(*policySpec),
-			Betas:       betaVals,
-			Replicates:  *replicates,
-			Rounds:      *rounds,
-			Every:       *every,
-			Avg:         *avg,
-			SwitchAt:    *switchAt,
-			BaseSeed:    *seed,
-			StepWorkers: *stepWorkers,
+			Graphs:       splitList(*graphSpec),
+			Schemes:      splitList(*scheme),
+			Rounders:     splitList(*rounder),
+			Speeds:       splitList(*speedsSpec),
+			Workloads:    splitList(*workloadSpec),
+			Environments: splitListOn(*envSpec, ";"),
+			Policies:     splitList(*policySpec),
+			Betas:        betaVals,
+			Replicates:   *replicates,
+			Rounds:       *rounds,
+			Every:        *every,
+			Avg:          *avg,
+			SwitchAt:     *switchAt,
+			BaseSeed:     *seed,
+			StepWorkers:  *stepWorkers,
 		}
 		if len(spec.Graphs) == 0 {
 			return fmt.Errorf("-sweep needs at least one -graph spec")
@@ -163,7 +204,7 @@ func run(args []string) error {
 		defer stop()
 		res, err := sweep.Run(ctx, spec, sweep.Options{Workers: *workers})
 		if err != nil {
-			return err
+			return withGrammar(err)
 		}
 		switch *format {
 		case "json":
@@ -185,7 +226,7 @@ func run(args []string) error {
 		}
 		speeds, err := buildSpeeds(*speedsSpec, g.NumNodes(), *seed)
 		if err != nil {
-			return err
+			return withGrammar(err)
 		}
 		sys, err := diffusionlb.NewSystem(g, speeds)
 		if err != nil {
@@ -212,7 +253,7 @@ func run(args []string) error {
 			switchAt: *switchAt, every: *every, csvPath: *csvPath,
 			seed: *seed, workers: sw, tableRows: *tableRows,
 			hetero: speeds != nil, workload: *workloadSpec,
-			policy: *policySpec,
+			policy: *policySpec, env: *envSpec,
 		})
 
 	default:
@@ -224,10 +265,16 @@ func run(args []string) error {
 // splitList splits a comma-separated axis list, trimming blanks; the empty
 // string yields nil (axis default).
 func splitList(s string) []string {
+	return splitListOn(s, ",")
+}
+
+// splitListOn is splitList with an explicit separator — the environments
+// axis uses ";" because its specs contain commas.
+func splitListOn(s, sep string) []string {
 	if s == "" {
 		return nil
 	}
-	parts := strings.Split(s, ",")
+	parts := strings.Split(s, sep)
 	out := make([]string, 0, len(parts))
 	for _, p := range parts {
 		out = append(out, strings.TrimSpace(p))
@@ -267,6 +314,7 @@ type freeFormConfig struct {
 	scheme, rounder, csvPath string
 	workload                 string
 	policy                   string
+	env                      string
 	rounds                   int
 	avg                      int64
 	switchAt, every          int
@@ -333,7 +381,7 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 	}
 	policy, err := diffusionlb.PolicyFromSpec(policySpec)
 	if err != nil {
-		return err
+		return withGrammar(err)
 	}
 	ms := diffusionlb.DefaultMetrics()
 	if cfg.hetero {
@@ -341,18 +389,34 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 	}
 	wl, err := diffusionlb.WorkloadFromSpec(cfg.workload, n, cfg.seed)
 	if err != nil {
-		return err
+		return withGrammar(err)
 	}
 	if wl != nil {
 		ms = append(ms, diffusionlb.DynamicMetrics()...)
 	}
-	runner := &diffusionlb.Runner{Proc: proc, Every: every, Adaptive: policy, Metrics: ms, Workload: wl}
+	env, err := diffusionlb.EnvironmentFromSpec(cfg.env, n, cfg.seed)
+	if err != nil {
+		return withGrammar(err)
+	}
+	if env != nil {
+		ms = append(ms, diffusionlb.EnvironmentMetrics()...)
+	}
+	runner := &diffusionlb.Runner{Proc: proc, Every: every, Adaptive: policy, Metrics: ms, Workload: wl, Environment: env}
 	res, err := runner.Run(cfg.rounds)
 	if err != nil {
 		return err
 	}
 	for _, ev := range res.Switches {
 		fmt.Printf("switched to %s at round %d\n", ev.To, ev.Round)
+	}
+	// Jittery environments change speeds every round; cap the printout.
+	const maxEventLines = 8
+	for i, ev := range res.SpeedEvents {
+		if i == maxEventLines {
+			fmt.Printf("... %d more speed events\n", len(res.SpeedEvents)-maxEventLines)
+			break
+		}
+		fmt.Printf("speeds changed at round %d (%d nodes, sum=%g)\n", ev.Round, ev.Nodes, ev.Sum)
 	}
 	if err := res.Series.WriteTable(os.Stdout, cfg.tableRows); err != nil {
 		return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"strings"
 	"testing"
 )
 
@@ -238,6 +239,73 @@ func TestPolicyFlagErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+}
+
+func TestRunFreeFormEnvironment(t *testing.T) {
+	// One-shot throttle of the fast class with the adaptive policy: the
+	// speed event must flow through the whole free-form stack.
+	if err := run([]string{"-graph", "torus2d:8x8", "-speeds", "twoclass:0.25:4",
+		"-scheme", "sos", "-env", "throttle:at=20,frac=0.125,factor=0.25",
+		"-policy", "adaptive:16:64:10", "-rounds", "60"}); err != nil {
+		t.Fatal(err)
+	}
+	// Jitter on the continuous engine (Retarget on all engine kinds).
+	if err := run([]string{"-graph", "cycle:10", "-speeds", "range:4",
+		"-scheme", "fos", "-rounder", "continuous",
+		"-env", "jitter:sigma=0.1,cap=2", "-rounds", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", "cycle:10", "-speeds", "range:4",
+		"-scheme", "sos", "-rounder", "cumulative",
+		"-env", "drain:at=5,frac=0.2,ramp=4,restore=12", "-rounds", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweepEnvironmentAxis(t *testing.T) {
+	// ';'-separated env list: static vs throttle vs composed drain+jitter.
+	if err := run([]string{"-sweep", "-graph", "torus2d:6x6",
+		"-scheme", "sos", "-speeds", "twoclass:0.25:4",
+		"-env", ";throttle:at=10,frac=0.125,factor=0.25;drain:at=5,frac=0.1+jitter:sigma=0.05",
+		"-rounds", "25", "-every", "5", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecErrorsPrintGrammar(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-graph", "torus2d:4x4", "-speeds", "warp:9"}, "speeds grammar"},
+		{[]string{"-graph", "torus2d:4x4", "-speeds", "twoclass:0.5"}, "speeds grammar"},
+		{[]string{"-graph", "torus2d:4x4", "-workload", "tsunami:9"}, "workload grammar"},
+		{[]string{"-graph", "torus2d:4x4", "-policy", "warp:9"}, "policy grammar"},
+		{[]string{"-graph", "torus2d:4x4", "-env", "warp:x=1"}, "env grammar"},
+		{[]string{"-graph", "torus2d:4x4", "-env", "throttle:frac=0.5"}, "env grammar"},
+		// Sweep-mode validation errors carry the grammar too.
+		{[]string{"-sweep", "-graph", "cycle:8", "-env", "warp:x=1", "-rounds", "10"}, "env grammar"},
+		{[]string{"-sweep", "-graph", "cycle:8", "-workload", "tsunami:9", "-rounds", "10"}, "workload grammar"},
+		{[]string{"-sweep", "-graph", "cycle:8", "-speeds", "warp:9", "-rounds", "10"}, "speeds grammar"},
+		{[]string{"-sweep", "-graph", "cycle:8", "-policy", "warp:9", "-rounds", "10"}, "policy grammar"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("run(%v) should fail", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) error %q does not show the %s", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestSplitListOn(t *testing.T) {
+	got := splitListOn("a,b; c,d", ";")
+	if len(got) != 2 || got[0] != "a,b" || got[1] != "c,d" {
+		t.Errorf("splitListOn = %v", got)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 
 	"diffusionlb/internal/baselines"
 	"diffusionlb/internal/core"
+	"diffusionlb/internal/envdyn"
 	"diffusionlb/internal/graph"
 	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/metrics"
@@ -382,6 +383,56 @@ var (
 // WorkloadCompose applies several mutators in order, summing their deltas —
 // the programmatic counterpart of joining specs with "+".
 type WorkloadCompose = workload.Compose
+
+// --- time-varying environments ---
+
+// EnvironmentDynamics produces deterministic per-node speed multipliers per
+// round (throttle/boost events, drain/restore ramps, jitter); set it as the
+// Runner's Environment field and the operator is reweighted in place
+// whenever the effective speeds change.
+type EnvironmentDynamics = envdyn.Dynamics
+
+// EnvThrottle, EnvDrain and EnvJitter are the individual speed dynamics;
+// EnvCompose multiplies several together.
+type (
+	EnvThrottle = envdyn.Throttle
+	EnvDrain    = envdyn.Drain
+	EnvJitter   = envdyn.Jitter
+	EnvCompose  = envdyn.Compose
+)
+
+// EnvApplier evaluates dynamics against base speeds round by round for
+// callers driving processes by hand (the Runner owns one internally).
+type EnvApplier = envdyn.Applier
+
+// Retargeter is implemented by processes that pick up a mid-run operator
+// change (all three engines do); the environment subsystem drives it.
+type Retargeter = core.Retargeter
+
+// SpeedEvent records one effective speed change of a dynamic-environment
+// run (see RunResult.SpeedEvents).
+type SpeedEvent = sim.SpeedEvent
+
+// Environment constructors and helpers.
+var (
+	// EnvironmentFromSpec parses the textual environment syntax shared with
+	// the lbsim CLI and the sweep engine, e.g.
+	// "throttle:at=100,frac=0.25,factor=0.25+jitter:sigma=0.05".
+	EnvironmentFromSpec = envdyn.FromSpec
+	// NewEnvApplier builds an applier over base speeds.
+	NewEnvApplier = envdyn.NewApplier
+	// MetricIdealLoadDrift records max|x_i − x̄_i| against the operator's
+	// current (possibly reweighted) speeds.
+	MetricIdealLoadDrift = sim.IdealLoadDrift
+	// MetricSpeedSum records Σ s_i of the current speeds.
+	MetricSpeedSum = sim.SpeedSum
+	// EnvironmentMetrics is the drift/speed-sum pair dynamic-environment
+	// runs record.
+	EnvironmentMetrics = sim.EnvironmentMetrics
+	// RoundsToRetrack measures rounds-to-re-track after a speed event from
+	// a recorded series.
+	RoundsToRetrack = sim.RoundsToRetrack
+)
 
 // --- initial load distributions ---
 

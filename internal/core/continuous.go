@@ -16,6 +16,9 @@ type Continuous struct {
 	kind    Kind
 	beta    float64
 	workers int
+	// alpha is the process's private copy of the operator's per-arc α
+	// coefficients, refreshed by Retarget.
+	alpha []float64
 
 	x     []float64 // loads at the beginning of the current round
 	next  []float64 // scratch for x(t+1)
@@ -30,6 +33,7 @@ type Continuous struct {
 	minTransient       float64
 	negTransientRounds int
 	initialTotal       float64
+	retargetCount      int
 }
 
 var _ Process = (*Continuous)(nil)
@@ -49,6 +53,7 @@ func NewContinuous(cfg Config, initial []float64) (*Continuous, error) {
 		kind:         cfg.Kind,
 		beta:         cfg.Beta,
 		workers:      cfg.Workers,
+		alpha:        cfg.Op.Alphas(),
 		x:            make([]float64, n),
 		next:         make([]float64, n),
 		z:            make([]float64, n),
@@ -68,7 +73,7 @@ func (c *Continuous) Step() {
 	sp := speedsOf(c.op)
 	n := g.NumNodes()
 	offsets, arcs := g.Offsets(), g.Arcs()
-	alpha := c.op.Alphas()
+	alpha := c.alpha
 
 	// Normalized loads z_i = x_i/s_i (the heterogeneous flow potential).
 	homog := sp.IsHomogeneous()
@@ -184,6 +189,25 @@ func (c *Continuous) MinTransient() float64 { return c.minTransient }
 
 // NegativeTransientRounds counts rounds with a negative transient load.
 func (c *Continuous) NegativeTransientRounds() int { return c.negTransientRounds }
+
+// Retarget implements Retargeter: it installs op (over the same graph
+// shape) as the diffusion operator for subsequent rounds and refreshes the
+// engine's α cache; loads, SOS flow memory and the round counter are
+// untouched.
+func (c *Continuous) Retarget(op *spectral.Operator) error {
+	if err := retargetCheck(op, len(c.x), len(c.flows)); err != nil {
+		return err
+	}
+	c.op = op
+	if err := op.AlphasInto(c.alpha); err != nil {
+		return err
+	}
+	c.retargetCount++
+	return nil
+}
+
+// Retargets returns the number of operator changes applied so far.
+func (c *Continuous) Retargets() int { return c.retargetCount }
 
 // Inject implements Injector: it adds deltas to the loads between rounds.
 // The injected totals are folded into the conservation baseline, so

@@ -154,6 +154,35 @@ type Injector interface {
 	Inject(deltas []int64) error
 }
 
+// Retargeter is implemented by processes that can pick up a mid-run change
+// of their diffusion operator — the hook the environment-dynamics subsystem
+// drives: when processor speeds change, the driver reweights the operator
+// in place (spectral.Operator.Reweight) and calls Retarget so the engine
+// refreshes its operator-derived caches. Retarget is not a round: it
+// preserves the load vector, the scheme's flow memory, the round counter
+// and the rounding streams, so a checkpoint taken at a round boundary
+// resumes bit-identically as long as the caller replays the same speed
+// trajectory (which envdyn dynamics, being pure functions of (seed, round),
+// do). Passing a different operator instance is allowed when it covers the
+// same graph shape (node and arc counts).
+type Retargeter interface {
+	// Retarget installs op as the process's diffusion operator for
+	// subsequent rounds.
+	Retarget(op *spectral.Operator) error
+}
+
+// retargetCheck validates the common Retarget preconditions.
+func retargetCheck(op *spectral.Operator, nodes, arcs int) error {
+	if op == nil {
+		return fmt.Errorf("%w: Retarget: nil operator", ErrBadConfig)
+	}
+	if op.Graph().NumNodes() != nodes || op.Graph().NumArcs() != arcs {
+		return fmt.Errorf("%w: Retarget: operator shape %d nodes/%d arcs does not match process %d/%d",
+			ErrBadConfig, op.Graph().NumNodes(), op.Graph().NumArcs(), nodes, arcs)
+	}
+	return nil
+}
+
 // graphOf is a small helper used across the engine implementations.
 func graphOf(op *spectral.Operator) *graph.Graph { return op.Graph() }
 

@@ -150,6 +150,16 @@ func (c *CumulativeDiscrete) MinTransient() float64 {
 // NegativeTransientRounds counts rounds with a negative transient load.
 func (c *CumulativeDiscrete) NegativeTransientRounds() int { return c.negTransientRounds }
 
+// Retarget implements Retargeter by forwarding to the internally simulated
+// continuous reference (which owns the operator), so the cumulative-flow
+// tracking follows the same reweighted trajectory.
+func (c *CumulativeDiscrete) Retarget(op *spectral.Operator) error {
+	return c.cont.Retarget(op)
+}
+
+// Retargets returns the number of operator changes applied so far.
+func (c *CumulativeDiscrete) Retargets() int { return c.cont.Retargets() }
+
 // Inject implements Injector: deltas are applied to both the discrete loads
 // and the internally simulated continuous reference, so the cumulative-flow
 // tracking keeps measuring the same trajectory.

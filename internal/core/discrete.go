@@ -23,6 +23,10 @@ type Discrete struct {
 	workers int
 	rounder Rounder
 	seed    uint64
+	// alpha is the process's private copy of the operator's per-arc α
+	// coefficients (hot-loop access without re-copying per round); it is
+	// refreshed by Retarget.
+	alpha []float64
 
 	x         []int64   // loads at the beginning of the current round
 	flows     []int64   // y_D of the last completed round, per arc
@@ -41,6 +45,7 @@ type Discrete struct {
 	edgeMessages       int64 // directed transfers (arcs with positive flow)
 	injectedTokens     int64 // Σ of positive Inject deltas (arrivals)
 	removedTokens      int64 // Σ of negative Inject deltas (departures)
+	retargetCount      int   // number of Retarget calls (speed events)
 
 	// per-worker scratch for compacting a node's positive flows
 	scratchVals [][]float64
@@ -78,6 +83,7 @@ func NewDiscrete(cfg Config, rounder Rounder, seed uint64, initial []int64) (*Di
 		workers:     cfg.Workers,
 		rounder:     rounder,
 		seed:        seed,
+		alpha:       cfg.Op.Alphas(),
 		x:           make([]int64, n),
 		flows:       make([]int64, cfg.Op.Graph().NumArcs()),
 		scheduled:   make([]float64, cfg.Op.Graph().NumArcs()),
@@ -105,7 +111,7 @@ func (d *Discrete) Step() {
 	sp := speedsOf(d.op)
 	n := g.NumNodes()
 	offsets, arcs, mate := g.Offsets(), g.Arcs(), g.MateIndex()
-	alpha := d.op.Alphas()
+	alpha := d.alpha
 
 	// Phase 0: normalized loads z_i = x_i/s_i.
 	homog := sp.IsHomogeneous()
@@ -322,6 +328,12 @@ type Checkpoint struct {
 	EdgeMessages       int64
 	InjectedTokens     int64
 	RemovedTokens      int64
+	// Retargets counts the operator changes applied before the snapshot, so
+	// a resumed dynamic-environment run reports the same diagnostics. The
+	// operator state itself is NOT captured: the resuming driver replays the
+	// deterministic speed trajectory (or re-applies the effective speeds)
+	// before continuing.
+	Retargets int
 }
 
 // Checkpoint returns a deep copy of the resumable state. Combined with the
@@ -344,6 +356,7 @@ func (d *Discrete) Checkpoint() Checkpoint {
 		EdgeMessages:       d.edgeMessages,
 		InjectedTokens:     d.injectedTokens,
 		RemovedTokens:      d.removedTokens,
+		Retargets:          d.retargetCount,
 	}
 	copy(cp.Loads, d.x)
 	copy(cp.Flows, d.flows)
@@ -377,8 +390,29 @@ func (d *Discrete) Restore(cp Checkpoint) error {
 	d.edgeMessages = cp.EdgeMessages
 	d.injectedTokens = cp.InjectedTokens
 	d.removedTokens = cp.RemovedTokens
+	d.retargetCount = cp.Retargets
 	return nil
 }
+
+// Retarget implements Retargeter: it installs op (over the same graph
+// shape) as the diffusion operator for subsequent rounds and refreshes the
+// engine's α cache. Loads, flow memory, the round counter and the rounding
+// streams are untouched — see the interface contract for why this keeps
+// dynamic-environment runs checkpoint/restore safe.
+func (d *Discrete) Retarget(op *spectral.Operator) error {
+	if err := retargetCheck(op, len(d.x), len(d.flows)); err != nil {
+		return err
+	}
+	d.op = op
+	if err := op.AlphasInto(d.alpha); err != nil {
+		return err
+	}
+	d.retargetCount++
+	return nil
+}
+
+// Retargets returns the number of operator changes applied so far.
+func (d *Discrete) Retargets() int { return d.retargetCount }
 
 // Inject implements Injector: it adds deltas to the loads between rounds
 // (batch arrivals, hotspot bursts, departures). Injection is not a round —

@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"diffusionlb/internal/metrics"
+	"diffusionlb/internal/spectral"
 )
 
 // SwitchPolicy decides when a hybrid run should switch from SOS to FOS.
@@ -32,15 +34,24 @@ type SwitchPolicy interface {
 	Name() string
 }
 
-// localDiff samples φ_local = max load difference across an edge, the
-// locally-computable switching signal the policies below share.
+// localDiff samples the speed-normalized φ_local = max |x_u/s_u − x_v/s_v|
+// across an edge, the locally-computable switching signal the policies
+// below share. Normalizing by speeds matters in the heterogeneous model:
+// raw cross-edge load differences stay large even at the speed-proportional
+// ideal, while the normalized gradient — the quantity that actually drives
+// flows — goes to zero there, so thresholds keep one meaning for every
+// speed profile (and the homogeneous case is unchanged). Reading speeds
+// through the operator also means a mid-run Reweight moves the signal the
+// same round, which is what lets a hysteresis controller detect a throttle
+// event.
 func localDiff(p Process) float64 {
 	g := p.Operator().Graph()
+	sp := p.Operator().Speeds()
 	lv := p.Loads()
 	if lv.Int != nil {
-		return metrics.MaxLocalDiff(g, lv.Int)
+		return metrics.HeteroMaxLocalDiff(g, lv.Int, sp)
 	}
-	return metrics.MaxLocalDiff(g, lv.Float)
+	return metrics.HeteroMaxLocalDiff(g, lv.Float, sp)
 }
 
 // SwitchAtRound switches unconditionally after a fixed number of completed
@@ -319,8 +330,8 @@ func PolicyFromSpec(spec string) (AdaptivePolicy, error) {
 			return 0, bad(fmt.Sprintf("missing argument %d", i))
 		}
 		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil || v != v {
-			return 0, bad(fmt.Sprintf("argument %d: not a number", i))
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, bad(fmt.Sprintf("argument %d: not a finite number", i))
 		}
 		return v, nil
 	}
@@ -486,6 +497,16 @@ func (a *AdaptiveProcess) Inject(deltas []int64) error {
 		return inj.Inject(deltas)
 	}
 	return fmt.Errorf("core: %T does not implement Injector", a.Process)
+}
+
+// Retarget implements Retargeter by forwarding to the wrapped process, so
+// environment dynamics drive through the wrapper; it errors if the wrapped
+// process cannot retarget.
+func (a *AdaptiveProcess) Retarget(op *spectral.Operator) error {
+	if rt, ok := a.Process.(Retargeter); ok {
+		return rt.Retarget(op)
+	}
+	return fmt.Errorf("core: %T does not implement Retargeter", a.Process)
 }
 
 // RunHybrid drives p for maxRounds rounds, switching p to FOS the first

@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+// FuzzPolicyFromSpec: no input may panic — malformed specs must error — and
+// every accepted spec must have a canonical Name that reparses to itself.
+func FuzzPolicyFromSpec(f *testing.F) {
+	for _, s := range []string{
+		"at:2500", "local:16", "stall:50:0.01", "adaptive:16:64:100",
+		"adaptive:16:64", "never", "", "x", ":::", "at:-5", "local:NaN",
+		"adaptive:64:16", "stall:0:0.1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := PolicyFromSpec(spec)
+		if err != nil || p == nil {
+			return
+		}
+		name := p.Name()
+		again, err := PolicyFromSpec(name)
+		if err != nil {
+			t.Fatalf("Name %q of accepted spec %q does not reparse: %v", name, spec, err)
+		}
+		if again.Name() != name {
+			t.Fatalf("Name not canonical: %q -> %q", name, again.Name())
+		}
+	})
+}

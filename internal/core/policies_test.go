@@ -229,6 +229,8 @@ func TestPolicyFromSpecErrors(t *testing.T) {
 		"local",              // missing threshold
 		"local:-1",           // negative threshold
 		"local:NaN",          // NaN threshold
+		"local:Inf",          // non-finite threshold (fires round 1 forever)
+		"adaptive:16:Inf",    // non-finite band edge (can never re-arm)
 		"stall:0:0.01",       // window < 1
 		"stall:50:0",         // factor must be > 0
 		"stall:50",           // missing factor

@@ -1,0 +1,375 @@
+package envdyn
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"diffusionlb/internal/hetero"
+)
+
+func twoClass(t testing.TB) *hetero.Speeds {
+	t.Helper()
+	sp, err := hetero.TwoClass(64, 0.25, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func mustDyn(t testing.TB, spec string, n int, seed uint64) Dynamics {
+	t.Helper()
+	d, err := FromSpec(spec, n, seed)
+	if err != nil {
+		t.Fatalf("FromSpec(%q): %v", spec, err)
+	}
+	return d
+}
+
+func factorsAt(t testing.TB, d Dynamics, base *hetero.Speeds, n, round int) []float64 {
+	t.Helper()
+	mult := make([]float64, n)
+	for i := range mult {
+		mult[i] = 1
+	}
+	d.Factors(round, base, mult)
+	return mult
+}
+
+func TestThrottleOneShot(t *testing.T) {
+	base := twoClass(t)
+	d := mustDyn(t, "throttle:at=10,frac=0.125,factor=0.25,until=20", 64, 1)
+	// Before the event: identity.
+	for _, r := range []int{1, 9} {
+		for i, m := range factorsAt(t, d, base, 64, r) {
+			if m != 1 {
+				t.Fatalf("round %d: node %d multiplier %g before the event", r, i, m)
+			}
+		}
+	}
+	// Active window: exactly round(0.125*64) = 8 nodes at 0.25, and they
+	// must be the fastest (base speed 4) ones.
+	for _, r := range []int{10, 19} {
+		mult := factorsAt(t, d, base, 64, r)
+		count := 0
+		for i, m := range mult {
+			switch m {
+			case 1:
+			case 0.25:
+				count++
+				if base.Of(i) != 4 {
+					t.Errorf("round %d: throttled node %d has base speed %g, want a fast node", r, i, base.Of(i))
+				}
+			default:
+				t.Fatalf("round %d: unexpected multiplier %g", r, m)
+			}
+		}
+		if count != 8 {
+			t.Fatalf("round %d: %d nodes throttled, want 8", r, count)
+		}
+	}
+	// After until: identity again.
+	for i, m := range factorsAt(t, d, base, 64, 20) {
+		if m != 1 {
+			t.Fatalf("node %d multiplier %g after until", i, m)
+		}
+	}
+}
+
+func TestThrottleRecurring(t *testing.T) {
+	d := mustDyn(t, "throttle:every=10,dur=3,frac=0.5,factor=0.5", 8, 1)
+	base := hetero.Homogeneous(8)
+	active := func(r int) bool {
+		for _, m := range factorsAt(t, d, base, 8, r) {
+			if m != 1 {
+				return true
+			}
+		}
+		return false
+	}
+	// "First Dur rounds of every period", 1-based: {1,2,3}, {11,12,13}, …
+	for r, want := range map[int]bool{1: true, 3: true, 4: false, 10: false, 11: true, 13: true, 14: false, 21: true} {
+		if got := active(r); got != want {
+			t.Errorf("round %d: active=%v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestDrainRampAndRestore(t *testing.T) {
+	base := twoClass(t)
+	d := mustDyn(t, "drain:at=10,frac=0.125,ramp=4,restore=20,rramp=2", 64, 1)
+	sel := -1
+	step := func(r int) float64 {
+		mult := factorsAt(t, d, base, 64, r)
+		for i, m := range mult {
+			if m != 1 {
+				if sel < 0 {
+					sel = i
+				}
+				return mult[sel]
+			}
+		}
+		if sel >= 0 {
+			return mult[sel]
+		}
+		return 1
+	}
+	want := map[int]float64{9: 1, 10: 0.75, 11: 0.5, 12: 0.25, 13: 0, 19: 0, 20: 0.5, 21: 1, 30: 1}
+	for r, m := range want {
+		if got := step(r); got != m {
+			t.Errorf("round %d: multiplier %g, want %g", r, got, m)
+		}
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	base := twoClass(t)
+	d1 := mustDyn(t, "jitter:sigma=0.1,cap=2", 64, 9)
+	d2 := mustDyn(t, "jitter:sigma=0.1,cap=2", 64, 9)
+	// Sequential drive of d1 vs out-of-order queries on d2: the walk must be
+	// a pure function of the round.
+	var seq [][]float64
+	for r := 1; r <= 50; r++ {
+		seq = append(seq, factorsAt(t, d1, base, 64, r))
+	}
+	for _, r := range []int{50, 3, 27, 1} {
+		got := factorsAt(t, d2, base, 64, r)
+		if !reflect.DeepEqual(got, seq[r-1]) {
+			t.Fatalf("round %d: out-of-order query differs from sequential drive", r)
+		}
+	}
+	for r, mult := range seq {
+		for i, m := range mult {
+			if m < 0.5-1e-12 || m > 2+1e-12 {
+				t.Fatalf("round %d node %d: multiplier %g outside [1/cap, cap]", r+1, i, m)
+			}
+		}
+	}
+	// The walk must actually move something.
+	moved := false
+	for _, mult := range seq {
+		for _, m := range mult {
+			if m != 1 {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Error("jitter never changed any multiplier in 50 rounds")
+	}
+}
+
+// TestJitterCapHoldsForLargeSigma: when Sigma exceeds ln(Cap) a single walk
+// step overshoots the band, so the multiplier itself must be clamped —
+// regression test for the documented [1/Cap, Cap] bound.
+func TestJitterCapHoldsForLargeSigma(t *testing.T) {
+	base := hetero.Homogeneous(16)
+	d := mustDyn(t, "jitter:sigma=2", 16, 9) // default cap 4, sigma > ln 4
+	for r := 1; r <= 200; r++ {
+		for i, m := range factorsAt(t, d, base, 16, r) {
+			if m < 0.25-1e-12 || m > 4+1e-12 {
+				t.Fatalf("round %d node %d: multiplier %g outside [1/4, 4]", r, i, m)
+			}
+		}
+	}
+}
+
+func TestComposeMultiplies(t *testing.T) {
+	base := hetero.Homogeneous(8)
+	d := mustDyn(t, "throttle:at=5,frac=1,factor=0.5+throttle:at=7,frac=1,factor=0.5", 8, 1)
+	if m := factorsAt(t, d, base, 8, 6)[0]; m != 0.5 {
+		t.Errorf("round 6 multiplier %g, want 0.5", m)
+	}
+	if m := factorsAt(t, d, base, 8, 7)[0]; m != 0.25 {
+		t.Errorf("round 7 multiplier %g, want 0.25 (composed)", m)
+	}
+}
+
+func TestComposeWrapper(t *testing.T) {
+	d := mustDyn(t, "compose(throttle:at=5,frac=1,factor=0.5+jitter:sigma=0.1)", 8, 1)
+	want := "throttle:at=5,frac=1,factor=0.5+jitter:sigma=0.1"
+	if d.Name() != want {
+		t.Errorf("Name() = %q, want %q", d.Name(), want)
+	}
+}
+
+func TestNameRoundTrips(t *testing.T) {
+	specs := []string{
+		"throttle:at=100,frac=0.25,factor=0.25",
+		"throttle:at=100,frac=0.25,factor=0.25,until=200",
+		"throttle:every=50,dur=10,frac=0.5,factor=0.75,sel=random",
+		"boost:at=10,frac=0.1,factor=4",
+		"drain:at=10,frac=0.125",
+		"drain:at=10,frac=0.125,ramp=4,restore=20,rramp=2,sel=slow",
+		"jitter:sigma=0.1",
+		"jitter:sigma=0.1,cap=2,frac=0.5,sel=fast",
+		"throttle:at=5,frac=1,factor=0.5+jitter:sigma=0.05",
+	}
+	for _, spec := range specs {
+		d := mustDyn(t, spec, 64, 3)
+		if d.Name() != spec {
+			t.Errorf("Name(%q) = %q, want the canonical input back", spec, d.Name())
+		}
+		again := mustDyn(t, d.Name(), 64, 3)
+		if again.Name() != d.Name() {
+			t.Errorf("Name %q does not reparse to itself (got %q)", d.Name(), again.Name())
+		}
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	bad := []string{
+		"warp:at=1",
+		"throttle",
+		"throttle:frac=0.5,factor=0.5",                     // no schedule
+		"throttle:at=0,frac=0.5,factor=0.5",                // at < 1
+		"throttle:at=5,frac=0.5,factor=2",                  // throttle must slow down
+		"boost:at=5,frac=0.5,factor=0.5",                   // boost must speed up
+		"throttle:at=5,frac=1.5,factor=0.5",                // frac > 1
+		"throttle:at=5,frac=0.5,factor=0.5,until=5",        // until <= at
+		"throttle:at=5,every=10,dur=2,frac=0.5,factor=0.5", // both schedules
+		"throttle:every=10,frac=0.5,factor=0.5",            // recurring without dur
+		"throttle:every=10,dur=20,frac=0.5,factor=0.5",     // dur > every
+		"throttle:at=5,frac=0.5,factor=0.5,boop=1",         // unknown key
+		"throttle:at=5,at=6,frac=0.5,factor=0.5",           // duplicate key
+		"throttle:at=x,frac=0.5,factor=0.5",                // non-numeric
+		"throttle:at=5,frac=NaN,factor=0.5",                // non-finite
+		"throttle:at=5,frac=0.5,factor=0.5,sel=psychic",    // bad selection
+		"drain:frac=0.5",                                   // missing at
+		"drain:at=5,frac=0.5,rramp=3",                      // rramp without restore
+		"drain:at=5,frac=0.5,ramp=10,restore=8",            // restore before drain ends
+		"jitter:cap=2",                                     // missing sigma
+		"jitter:sigma=0",                                   // sigma <= 0
+		"jitter:sigma=0.1,cap=1",                           // cap <= 1
+		"compose(throttle:at=5,frac=1,factor=0.5",          // unterminated
+		"compose()",                               // empty
+		"throttle:at=5,frac=0.5,factor=0.5+",      // empty part
+		"throttle:at=5,frac=0.5,factor=0.5,until", // bare key
+	}
+	for _, spec := range bad {
+		if _, err := FromSpec(spec, 64, 1); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("FromSpec(%q) = %v, want ErrBadSpec", spec, err)
+		}
+	}
+	if d, err := FromSpec("", 64, 1); d != nil || err != nil {
+		t.Errorf("empty spec should be (nil, nil), got (%v, %v)", d, err)
+	}
+	if _, err := FromSpec("jitter:sigma=0.1", 0, 1); err == nil {
+		t.Error("n <= 0 must be rejected")
+	}
+	if err := ValidateSpec("throttle:at=5,frac=0.5,factor=0.5"); err != nil {
+		t.Errorf("ValidateSpec rejected a valid spec: %v", err)
+	}
+	if err := ValidateSpec("warp:x=1"); err == nil {
+		t.Error("ValidateSpec accepted garbage")
+	}
+}
+
+func TestApplierClampsAndDetectsChanges(t *testing.T) {
+	base := twoClass(t)
+	dyn := mustDyn(t, "throttle:at=10,frac=0.125,factor=0.125,until=20", 64, 1)
+	a, err := NewApplier(base, 64, dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: no event yet, no change, base pointer returned.
+	sp, changed, err := a.SpeedsAt(1)
+	if err != nil || changed != 0 || sp != base {
+		t.Fatalf("round 1: (%v, %d, %v), want (base, 0, nil)", sp, changed, err)
+	}
+	// Round 10: 8 fast nodes drop to max(1, 4*0.125) = 1 (the clamp floor).
+	sp, changed, err = a.SpeedsAt(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 8 {
+		t.Fatalf("round 10: %d nodes changed, want 8", changed)
+	}
+	ones := 0
+	for i := 0; i < 64; i++ {
+		if sp.Of(i) < 1 {
+			t.Fatalf("clamp violated: speed %g < 1", sp.Of(i))
+		}
+		if base.Of(i) == 4 && sp.Of(i) == 1 {
+			ones++
+		}
+	}
+	if ones != 8 {
+		t.Errorf("%d fast nodes clamped to 1, want 8", ones)
+	}
+	// Round 11: same effective speeds — no re-reweight needed.
+	if _, changed, _ = a.SpeedsAt(11); changed != 0 {
+		t.Errorf("round 11 reported %d changes for an unchanged environment", changed)
+	}
+	// Round 20: restored to base values.
+	sp, changed, err = a.SpeedsAt(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 8 {
+		t.Errorf("round 20: %d nodes changed, want 8 restored", changed)
+	}
+	for i := 0; i < 64; i++ {
+		if sp.Of(i) != base.Of(i) {
+			t.Fatalf("node %d not restored: %g vs base %g", i, sp.Of(i), base.Of(i))
+		}
+	}
+}
+
+func TestApplierValidation(t *testing.T) {
+	dyn := mustDyn(t, "jitter:sigma=0.1", 8, 1)
+	if _, err := NewApplier(nil, 0, dyn); err == nil {
+		t.Error("n <= 0 must fail")
+	}
+	if _, err := NewApplier(nil, 8, nil); err == nil {
+		t.Error("nil dynamics must fail")
+	}
+	if _, err := NewApplier(twoClass(t), 8, dyn); err == nil {
+		t.Error("base length mismatch must fail")
+	}
+	a, err := NewApplier(nil, 8, dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base().Len() != 8 || !a.Base().IsHomogeneous() {
+		t.Error("nil base must resolve to homogeneous speeds")
+	}
+}
+
+// FuzzFromSpec: no input may panic, and every accepted spec must have a
+// canonical Name that reparses to itself.
+func FuzzFromSpec(f *testing.F) {
+	for _, s := range []string{
+		"throttle:at=100,frac=0.25,factor=0.25",
+		"boost:every=50,dur=10,frac=0.5,factor=2",
+		"drain:at=10,frac=0.125,ramp=4,restore=20,rramp=2",
+		"jitter:sigma=0.1,cap=2",
+		"compose(throttle:at=5,frac=1,factor=0.5+jitter:sigma=0.05)",
+		"throttle:at=5,frac=0.5", "x", "", ":::", "throttle:at=,frac=1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		d, err := FromSpec(spec, 32, 1)
+		if err != nil || d == nil {
+			return
+		}
+		name := d.Name()
+		again, err := FromSpec(name, 32, 1)
+		if err != nil {
+			t.Fatalf("Name %q of accepted spec %q does not reparse: %v", name, spec, err)
+		}
+		if again.Name() != name {
+			t.Fatalf("Name not canonical: %q -> %q", name, again.Name())
+		}
+		// Factors must not panic on a few representative rounds.
+		base := hetero.Homogeneous(32)
+		mult := make([]float64, 32)
+		for _, r := range []int{1, 2, 100} {
+			for i := range mult {
+				mult[i] = 1
+			}
+			d.Factors(r, base, mult)
+		}
+	})
+}

@@ -1,0 +1,361 @@
+package envdyn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"diffusionlb/internal/randx"
+)
+
+// ErrBadSpec reports a malformed environment spec.
+var ErrBadSpec = errors.New("envdyn: invalid spec")
+
+// FromSpec builds a Dynamics from a compact textual spec, the syntax shared
+// by the lbsim CLI and the sweep engine. Unlike the positional grammars of
+// the other spec families, environment components take key=value arguments
+// (they have too many optional knobs for positions to stay readable):
+//
+//	throttle:at=R,frac=F,factor=X[,until=U][,sel=fast|slow|random]
+//	    from round R on, the selected F·n nodes run at X times their base
+//	    speed (X in (0, 1]); until=U restores them at round U
+//	throttle:every=P,dur=D,frac=F,factor=X[,sel=...]
+//	    recurring: active during the first D rounds of every P-round period
+//	boost:...
+//	    same keys as throttle with factor >= 1 (speed-up events)
+//	drain:at=R,frac=F[,ramp=T][,restore=R2[,rramp=T2]][,sel=...]
+//	    ramp the selected nodes' speed to the floor of 1 over T rounds from
+//	    round R (a leave proxy); restore=R2 ramps back up over T2 rounds (a
+//	    join proxy)
+//	jitter:sigma=S[,cap=C][,frac=F][,sel=...]
+//	    bounded random-walk speed drift exp(S·w_i(t)), multiplier clamped
+//	    to [1/C, C] (default C=4); default selection is every node
+//
+// Parts joined with "+" compose multiplicatively, and "compose(...)" is an
+// accepted wrapper around a "+"-joined list:
+// "throttle:at=100,frac=0.25,factor=0.25+jitter:sigma=0.05". The empty spec
+// means a static environment and returns (nil, nil). n is the node count
+// (must be positive); seed is the master seed the selection and jitter
+// streams derive from, with each composed part salted by its position.
+//
+// The selection fraction resolves to max(1, round(F·n)) nodes; sel=fast
+// (the default for throttle/boost/drain) targets the highest base speeds
+// with ties broken toward the lowest index.
+func FromSpec(spec string, n int, seed uint64) (Dynamics, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrBadSpec, n)
+	}
+	if inner, ok := strings.CutPrefix(spec, "compose("); ok {
+		body, ok := strings.CutSuffix(inner, ")")
+		if !ok || body == "" {
+			return nil, fmt.Errorf("%w: %q: unterminated or empty compose(...)", ErrBadSpec, spec)
+		}
+		spec = body
+	}
+	parts := strings.Split(spec, "+")
+	dyns := make(Compose, 0, len(parts))
+	for pi, part := range parts {
+		d, err := fromOneSpec(part, randx.Mix(seed, uint64(pi)))
+		if err != nil {
+			return nil, err
+		}
+		dyns = append(dyns, d)
+	}
+	if len(dyns) == 1 {
+		return dyns[0], nil
+	}
+	return dyns, nil
+}
+
+// ValidateSpec reports whether spec parses, without needing the real node
+// count (sweep validation runs before graphs are built).
+func ValidateSpec(spec string) error {
+	_, err := FromSpec(spec, 1<<31-1, 0)
+	return err
+}
+
+// kvArgs parses the comma-separated key=value argument list of one
+// component, rejecting duplicate, unknown and malformed keys.
+type kvArgs struct {
+	part string
+	m    map[string]string
+}
+
+func parseKV(part, args string, allowed []string) (*kvArgs, error) {
+	kv := &kvArgs{part: part, m: map[string]string{}}
+	if args == "" {
+		return kv, nil
+	}
+	ok := func(key string) bool {
+		for _, a := range allowed {
+			if a == key {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range strings.Split(args, ",") {
+		k, v, found := strings.Cut(f, "=")
+		if !found || k == "" || v == "" {
+			return nil, kv.bad(fmt.Sprintf("argument %q is not key=value", f))
+		}
+		if !ok(k) {
+			return nil, kv.bad(fmt.Sprintf("unknown key %q (valid: %s)", k, strings.Join(allowed, ", ")))
+		}
+		if _, dup := kv.m[k]; dup {
+			return nil, kv.bad(fmt.Sprintf("duplicate key %q", k))
+		}
+		kv.m[k] = v
+	}
+	return kv, nil
+}
+
+func (kv *kvArgs) bad(msg string) error {
+	return fmt.Errorf("%w: %q: %s", ErrBadSpec, kv.part, msg)
+}
+
+func (kv *kvArgs) has(key string) bool { _, ok := kv.m[key]; return ok }
+
+func (kv *kvArgs) intVal(key string, def int) (int, error) {
+	v, ok := kv.m[key]
+	if !ok {
+		return def, nil
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, kv.bad(fmt.Sprintf("%s=%q: not an integer", key, v))
+	}
+	return i, nil
+}
+
+func (kv *kvArgs) floatVal(key string, def float64) (float64, error) {
+	v, ok := kv.m[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, kv.bad(fmt.Sprintf("%s=%q: not a finite number", key, v))
+	}
+	return f, nil
+}
+
+func (kv *kvArgs) selVal(def string) (string, error) {
+	v, ok := kv.m["sel"]
+	if !ok {
+		return def, nil
+	}
+	switch v {
+	case SelFast, SelSlow, SelRandom:
+		return v, nil
+	}
+	return "", kv.bad(fmt.Sprintf("sel=%q (fast|slow|random)", v))
+}
+
+// require errors unless the key was present in the input.
+func (kv *kvArgs) require(keys ...string) error {
+	for _, k := range keys {
+		if !kv.has(k) {
+			return kv.bad(fmt.Sprintf("missing required key %q", k))
+		}
+	}
+	return nil
+}
+
+// fromOneSpec parses a single "+"-free component.
+func fromOneSpec(part string, seed uint64) (Dynamics, error) {
+	kind, args, _ := strings.Cut(part, ":")
+	bad := func(msg string) error {
+		return fmt.Errorf("%w: %q: %s", ErrBadSpec, part, msg)
+	}
+	switch kind {
+	case "throttle", "boost":
+		kv, err := parseKV(part, args, []string{"at", "until", "every", "dur", "frac", "factor", "sel"})
+		if err != nil {
+			return nil, err
+		}
+		if err := kv.require("frac", "factor"); err != nil {
+			return nil, err
+		}
+		t := &Throttle{Boost: kind == "boost", Seed: seed}
+		if t.At, err = kv.intVal("at", 0); err != nil {
+			return nil, err
+		}
+		if t.Until, err = kv.intVal("until", 0); err != nil {
+			return nil, err
+		}
+		if t.Every, err = kv.intVal("every", 0); err != nil {
+			return nil, err
+		}
+		if t.Dur, err = kv.intVal("dur", 0); err != nil {
+			return nil, err
+		}
+		if t.Frac, err = kv.floatVal("frac", 0); err != nil {
+			return nil, err
+		}
+		if t.Factor, err = kv.floatVal("factor", 0); err != nil {
+			return nil, err
+		}
+		if t.Sel, err = kv.selVal(SelFast); err != nil {
+			return nil, err
+		}
+		switch {
+		case kv.has("at") && kv.has("every"):
+			return nil, bad("set either at=... (one-shot) or every=...,dur=... (recurring), not both")
+		case kv.has("every"):
+			if t.Every < 1 {
+				return nil, bad("every must be >= 1")
+			}
+			if !kv.has("dur") || t.Dur < 1 || t.Dur > t.Every {
+				return nil, bad("recurring mode needs dur in [1, every]")
+			}
+			if kv.has("until") {
+				return nil, bad("until only applies to one-shot mode")
+			}
+		case kv.has("at"):
+			if t.At < 1 {
+				return nil, bad("at must be >= 1")
+			}
+			if kv.has("dur") {
+				return nil, bad("dur only applies to recurring mode")
+			}
+			if t.Until != 0 && t.Until <= t.At {
+				return nil, bad("until must exceed at")
+			}
+		default:
+			return nil, bad("missing schedule: at=... or every=...,dur=...")
+		}
+		if t.Frac <= 0 || t.Frac > 1 {
+			return nil, bad("frac must be in (0, 1]")
+		}
+		if t.Factor <= 0 {
+			return nil, bad("factor must be > 0")
+		}
+		if kind == "throttle" && t.Factor > 1 {
+			return nil, bad("throttle factor must be <= 1 (use boost for speed-ups)")
+		}
+		if kind == "boost" && t.Factor < 1 {
+			return nil, bad("boost factor must be >= 1 (use throttle for slow-downs)")
+		}
+		return t, nil
+
+	case "drain":
+		kv, err := parseKV(part, args, []string{"at", "ramp", "restore", "rramp", "frac", "sel"})
+		if err != nil {
+			return nil, err
+		}
+		if err := kv.require("at", "frac"); err != nil {
+			return nil, err
+		}
+		d := &Drain{Seed: seed}
+		if d.At, err = kv.intVal("at", 0); err != nil {
+			return nil, err
+		}
+		if d.Ramp, err = kv.intVal("ramp", 1); err != nil {
+			return nil, err
+		}
+		if d.Restore, err = kv.intVal("restore", 0); err != nil {
+			return nil, err
+		}
+		if d.RestoreRamp, err = kv.intVal("rramp", 1); err != nil {
+			return nil, err
+		}
+		if d.Frac, err = kv.floatVal("frac", 0); err != nil {
+			return nil, err
+		}
+		if d.Sel, err = kv.selVal(SelFast); err != nil {
+			return nil, err
+		}
+		if d.At < 1 {
+			return nil, bad("at must be >= 1")
+		}
+		if d.Ramp < 1 {
+			return nil, bad("ramp must be >= 1")
+		}
+		if d.Frac <= 0 || d.Frac > 1 {
+			return nil, bad("frac must be in (0, 1]")
+		}
+		if kv.has("rramp") && !kv.has("restore") {
+			return nil, bad("rramp needs restore")
+		}
+		if kv.has("restore") {
+			if d.Restore < d.At+d.Ramp {
+				return nil, bad("restore must be >= at+ramp (drain completes first)")
+			}
+			if d.RestoreRamp < 1 {
+				return nil, bad("rramp must be >= 1")
+			}
+		}
+		return d, nil
+
+	case "jitter":
+		kv, err := parseKV(part, args, []string{"sigma", "cap", "frac", "sel"})
+		if err != nil {
+			return nil, err
+		}
+		if err := kv.require("sigma"); err != nil {
+			return nil, err
+		}
+		j := &Jitter{Seed: seed}
+		if j.Sigma, err = kv.floatVal("sigma", 0); err != nil {
+			return nil, err
+		}
+		if j.Cap, err = kv.floatVal("cap", 4); err != nil {
+			return nil, err
+		}
+		if j.Frac, err = kv.floatVal("frac", 1); err != nil {
+			return nil, err
+		}
+		if j.Sel, err = kv.selVal(SelRandom); err != nil {
+			return nil, err
+		}
+		if j.Sigma <= 0 || j.Sigma > 2 {
+			return nil, bad("sigma must be in (0, 2]")
+		}
+		if j.Cap <= 1 || j.Cap > 1e6 {
+			return nil, bad("cap must be in (1, 1e6]")
+		}
+		if j.Frac <= 0 || j.Frac > 1 {
+			return nil, bad("frac must be in (0, 1]")
+		}
+		return j, nil
+
+	default:
+		return nil, bad("unknown kind (throttle|boost|drain|jitter)")
+	}
+}
+
+// specBuilder renders the canonical key=value spec form of a component.
+type specBuilder struct {
+	b     strings.Builder
+	first bool
+}
+
+func (s *specBuilder) kind(kind string) {
+	s.b.WriteString(kind)
+	s.first = true
+}
+
+func (s *specBuilder) add(key string, val any) {
+	if s.first {
+		s.b.WriteByte(':')
+		s.first = false
+	} else {
+		s.b.WriteByte(',')
+	}
+	fmt.Fprintf(&s.b, "%s=%v", key, val)
+}
+
+// sel appends the selection key unless it is the component default.
+func (s *specBuilder) sel(sel, def string) {
+	if sel != "" && sel != def {
+		s.add("sel", sel)
+	}
+}
+
+func (s *specBuilder) String() string { return s.b.String() }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"diffusionlb/internal/core"
+)
+
+// TestThrottleAdaptiveRetracksFasterThanFOS pins the acceptance criterion
+// of the time-varying-environment subsystem: after the mid-run throttle
+// event the re-arming adaptive hybrid re-tracks the moved ideal load
+// measurably faster than FOS, and does so by actually re-arming SOS on the
+// event round.
+func TestThrottleAdaptiveRetracksFasterThanFOS(t *testing.T) {
+	setup, results, err := runThrottleVariants(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]throttleOutcome{}
+	for _, o := range results {
+		byName[o.name] = o
+	}
+	fos, sos, adaptive := byName["fos"], byName["sos"], byName["adaptive"]
+
+	// Every variant saw the identical speed event.
+	for _, o := range results {
+		if len(o.speedEvents) != 1 {
+			t.Fatalf("%s saw %d speed events, want 1", o.name, len(o.speedEvents))
+		}
+		ev := o.speedEvents[0]
+		if ev.Round != setup.event || ev.Nodes == 0 {
+			t.Fatalf("%s speed event %+v, want the round-%d throttle", o.name, ev, setup.event)
+		}
+		if !reflect.DeepEqual(o.speedEvents, fos.speedEvents) {
+			t.Fatalf("%s speed events differ from fos's: %v vs %v", o.name, o.speedEvents, fos.speedEvents)
+		}
+		// The event moves the target, not the loads: drift must jump hard.
+		if o.post < 20*o.pre {
+			t.Errorf("%s drift %g -> %g across the event; the moved ideal should dominate", o.name, o.pre, o.post)
+		}
+	}
+
+	// The adaptive hybrid plateau-switches to FOS early, then re-arms SOS
+	// exactly when the reweighted operator inflates the normalized signal.
+	rearmed := false
+	for _, ev := range adaptive.switches {
+		if ev.Round == setup.event && ev.To == core.SOS {
+			rearmed = true
+		}
+	}
+	if !rearmed {
+		t.Fatalf("adaptive did not re-arm SOS on the event round %d: %v", setup.event, adaptive.switches)
+	}
+
+	// Re-tracking: adaptive (at ~SOS pace) must beat FOS measurably; "never
+	// re-tracked" counts as slower than anything.
+	if adaptive.retrack < 0 {
+		t.Fatal("adaptive never re-tracked the new ideal load")
+	}
+	if fos.retrack >= 0 && adaptive.retrack >= fos.retrack {
+		t.Errorf("adaptive re-tracked in %d rounds, FOS in %d — no speedup", adaptive.retrack, fos.retrack)
+	}
+	if sos.retrack < 0 {
+		t.Error("pure SOS never re-tracked — scenario mis-sized")
+	}
+}
+
+// TestThrottleDeterministicAcrossWorkers is the other half of the
+// acceptance criterion: switch histories, speed-event histories and the
+// recorded series are identical for every cell-worker and step-worker
+// count.
+func TestThrottleDeterministicAcrossWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	type snapshot struct {
+		outcomes [][2]interface{}
+		rows     [][]float64
+	}
+	take := func(cellWorkers, stepWorkers int) snapshot {
+		p := Params{Seed: 1, RoundsOverride: 120, Tiny: true,
+			CellWorkers: cellWorkers, Workers: stepWorkers}
+		_, results, err := runThrottleVariants(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s snapshot
+		for _, o := range results {
+			s.outcomes = append(s.outcomes, [2]interface{}{o.switches, o.speedEvents})
+			last := o.series.Len() - 1
+			s.rows = append(s.rows, o.series.Row(last))
+		}
+		return s
+	}
+	base := take(1, 1)
+	for _, w := range [][2]int{{4, 1}, {1, 4}, {8, 8}} {
+		got := take(w[0], w[1])
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("cellWorkers=%d stepWorkers=%d: outcomes differ from sequential", w[0], w[1])
+		}
+	}
+}

@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"negload", "deviation", "traffic", "hetero", "churn",
+		"negload", "deviation", "traffic", "hetero", "churn", "throttle",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

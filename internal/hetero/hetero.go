@@ -24,6 +24,9 @@ type Speeds struct {
 	sum   float64
 	max   float64
 	homog bool
+	// name is the canonical spec for parser-built vectors (SpeedsFromSpec);
+	// empty for programmatically constructed ones.
+	name string
 }
 
 // Homogeneous returns the all-ones speed assignment for n nodes.
@@ -76,6 +79,16 @@ func (sp *Speeds) Len() int {
 
 // IsHomogeneous reports whether every speed equals 1.
 func (sp *Speeds) IsHomogeneous() bool { return sp == nil || sp.homog }
+
+// Name returns the canonical spec string for vectors built by
+// SpeedsFromSpec (it re-parses to the same vector under the same seed and
+// node count) and "" for programmatically constructed ones.
+func (sp *Speeds) Name() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.name
+}
 
 // Of returns s_i.
 func (sp *Speeds) Of(i int) float64 {

@@ -1,66 +1,128 @@
 package hetero
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// ErrBadSpec reports a malformed speeds spec (as opposed to ErrBadSpeeds,
+// which reports an invalid speed vector).
+var ErrBadSpec = errors.New("hetero: invalid speeds spec")
 
 // SpeedsFromSpec builds processor speeds from a compact textual spec, the
 // syntax shared by the lbsim CLI and the sweep engine:
 //
 //	twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED
 //
-// The empty spec means homogeneous speeds and returns (nil, nil).
+// The empty spec means homogeneous speeds and returns (nil, nil). The
+// result's Name() is the canonical spec and re-parses to the same vector
+// under the same (n, seed).
 func SpeedsFromSpec(spec string, n int, seed uint64) (*Speeds, error) {
 	if spec == "" {
 		return nil, nil
 	}
 	parts := strings.Split(spec, ":")
+	bad := func(msg string) error {
+		return fmt.Errorf("%w: %q: %s", ErrBadSpec, spec, msg)
+	}
 	num := func(i int) (float64, error) {
 		if i >= len(parts) {
-			return 0, fmt.Errorf("hetero: speeds spec %q: missing argument %d", spec, i)
+			return 0, bad(fmt.Sprintf("missing argument %d", i))
 		}
-		return strconv.ParseFloat(parts[i], 64)
+		v, err := strconv.ParseFloat(parts[i], 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, bad(fmt.Sprintf("argument %d (%q): not a finite number", i, parts[i]))
+		}
+		return v, nil
 	}
+	exactly := func(want int) error {
+		if len(parts) != want {
+			return bad(fmt.Sprintf("takes exactly %d arguments", want-1))
+		}
+		return nil
+	}
+	var (
+		sp  *Speeds
+		err error
+	)
 	switch parts[0] {
 	case "twoclass":
-		frac, err := num(1)
-		if err != nil {
+		if err = exactly(3); err != nil {
 			return nil, err
 		}
-		speed, err := num(2)
-		if err != nil {
+		var frac, speed float64
+		if frac, err = num(1); err != nil {
 			return nil, err
 		}
-		return TwoClass(n, frac, speed, seed)
+		if speed, err = num(2); err != nil {
+			return nil, err
+		}
+		if sp, err = TwoClass(n, frac, speed, seed); err != nil {
+			return nil, err
+		}
+		sp.name = specName("twoclass", frac, speed)
 	case "range":
-		max, err := num(1)
-		if err != nil {
+		if err = exactly(2); err != nil {
 			return nil, err
 		}
-		return UniformRange(n, max, seed)
+		var max float64
+		if max, err = num(1); err != nil {
+			return nil, err
+		}
+		if sp, err = UniformRange(n, max, seed); err != nil {
+			return nil, err
+		}
+		sp.name = specName("range", max)
 	case "powerlaw":
-		alpha, err := num(1)
-		if err != nil {
+		if err = exactly(3); err != nil {
 			return nil, err
 		}
-		max, err := num(2)
-		if err != nil {
+		var alpha, max float64
+		if alpha, err = num(1); err != nil {
 			return nil, err
 		}
-		return PowerLaw(n, alpha, max, seed)
+		if max, err = num(2); err != nil {
+			return nil, err
+		}
+		if sp, err = PowerLaw(n, alpha, max, seed); err != nil {
+			return nil, err
+		}
+		sp.name = specName("powerlaw", alpha, max)
 	case "single":
-		idx, err := num(1)
-		if err != nil {
+		if err = exactly(3); err != nil {
 			return nil, err
 		}
-		speed, err := num(2)
-		if err != nil {
+		var idx, speed float64
+		if idx, err = num(1); err != nil {
 			return nil, err
 		}
-		return SingleFast(n, int(idx), speed)
+		if idx != math.Trunc(idx) {
+			return nil, bad("node index must be an integer")
+		}
+		if speed, err = num(2); err != nil {
+			return nil, err
+		}
+		if sp, err = SingleFast(n, int(idx), speed); err != nil {
+			return nil, err
+		}
+		sp.name = specName("single", int(idx), speed)
 	default:
-		return nil, fmt.Errorf("hetero: unknown speeds spec %q (twoclass|range|powerlaw|single)", spec)
+		return nil, bad("unknown kind (twoclass|range|powerlaw|single)")
 	}
+	return sp, nil
+}
+
+// specName renders the canonical colon-joined spec form.
+func specName(parts ...any) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(':')
+		}
+		fmt.Fprintf(&b, "%v", p)
+	}
+	return b.String()
 }

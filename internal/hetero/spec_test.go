@@ -1,0 +1,116 @@
+package hetero
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSpeedsFromSpecNameRoundTrips: the parser stamps its result with the
+// canonical spec, which re-parses to the identical vector under the same
+// (n, seed) — the Name() contract every spec family now shares.
+func TestSpeedsFromSpecNameRoundTrips(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"twoclass:0.25:4", "twoclass:0.25:4"},
+		{"twoclass:0.250:4.0", "twoclass:0.25:4"}, // canonicalized
+		{"range:8", "range:8"},
+		{"powerlaw:2.2:16", "powerlaw:2.2:16"},
+		{"single:3:5", "single:3:5"},
+	}
+	for _, tc := range cases {
+		sp, err := SpeedsFromSpec(tc.spec, 50, 7)
+		if err != nil {
+			t.Fatalf("SpeedsFromSpec(%q): %v", tc.spec, err)
+		}
+		if sp.Name() != tc.want {
+			t.Errorf("Name(%q) = %q, want %q", tc.spec, sp.Name(), tc.want)
+		}
+		again, err := SpeedsFromSpec(sp.Name(), 50, 7)
+		if err != nil {
+			t.Fatalf("Name %q does not reparse: %v", sp.Name(), err)
+		}
+		if again.Name() != sp.Name() {
+			t.Errorf("Name not canonical: %q -> %q", sp.Name(), again.Name())
+		}
+		for i := 0; i < 50; i++ {
+			if again.Of(i) != sp.Of(i) {
+				t.Fatalf("reparsed %q differs at node %d", sp.Name(), i)
+			}
+		}
+	}
+	// Programmatic vectors have no name.
+	sp, err := New([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name() != "" {
+		t.Errorf("hand-built vector has name %q", sp.Name())
+	}
+	var nilSp *Speeds
+	if nilSp.Name() != "" {
+		t.Error("nil Speeds should have an empty name")
+	}
+}
+
+func TestSpeedsFromSpecErrors(t *testing.T) {
+	bad := []string{
+		"warp:9",
+		"twoclass",
+		"twoclass:0.5",
+		"twoclass:0.5:4:extra", // argument count now enforced
+		"twoclass:NaN:4",
+		"twoclass:0.5:Inf",
+		"range:x",
+		"range:8:9",
+		"powerlaw:2.2",
+		"single:1.5:4", // fractional node index
+		"single:99:4",  // out of range for n=10
+	}
+	for _, spec := range bad {
+		if _, err := SpeedsFromSpec(spec, 10, 1); err == nil {
+			t.Errorf("SpeedsFromSpec(%q) should fail", spec)
+		}
+	}
+	// Spec-shaped failures wrap ErrBadSpec (so the CLI can attach the
+	// grammar); vector-model failures keep wrapping ErrBadSpeeds.
+	if _, err := SpeedsFromSpec("warp:9", 10, 1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("unknown kind error = %v, want ErrBadSpec", err)
+	}
+	if _, err := SpeedsFromSpec("twoclass:2:4", 10, 1); !errors.Is(err, ErrBadSpeeds) {
+		t.Errorf("bad fraction error = %v, want ErrBadSpeeds", err)
+	}
+}
+
+// FuzzSpeedsFromSpec: no input may panic, and every accepted spec must have
+// a canonical Name that reparses to the same vector.
+func FuzzSpeedsFromSpec(f *testing.F) {
+	for _, s := range []string{
+		"twoclass:0.25:4", "range:8", "powerlaw:2.2:16", "single:3:5",
+		"", "x", ":::", "twoclass:NaN:4", "single:-1:2", "range:1e309",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sp, err := SpeedsFromSpec(spec, 32, 1)
+		if err != nil || sp == nil {
+			return
+		}
+		name := sp.Name()
+		if name == "" {
+			t.Fatalf("accepted spec %q produced an unnamed vector", spec)
+		}
+		again, err := SpeedsFromSpec(name, 32, 1)
+		if err != nil {
+			t.Fatalf("Name %q of accepted spec %q does not reparse: %v", name, spec, err)
+		}
+		if again.Name() != name {
+			t.Fatalf("Name not canonical: %q -> %q", name, again.Name())
+		}
+		for i := 0; i < 32; i++ {
+			if again.Of(i) != sp.Of(i) {
+				t.Fatalf("reparse of %q differs at node %d", name, i)
+			}
+		}
+	})
+}

@@ -49,6 +49,59 @@ func MaxLocalDiff[T Real](g *graph.Graph, x []T) float64 {
 	return worst
 }
 
+// HeteroMaxLocalDiff returns the speed-normalized φ_local,
+// max_{(u,v)∈E} |x_u/s_u − x_v/s_v| — the gradient that actually drives
+// heterogeneous flows, and therefore the right locally-computable switching
+// signal when speeds are not uniform. With nil or homogeneous speeds it
+// equals MaxLocalDiff.
+func HeteroMaxLocalDiff[T Real](g *graph.Graph, x []T, speeds *hetero.Speeds) float64 {
+	if speeds == nil || speeds.IsHomogeneous() {
+		return MaxLocalDiff(g, x)
+	}
+	offsets, arcs := g.Offsets(), g.Arcs()
+	var worst float64
+	for i := 0; i < g.NumNodes(); i++ {
+		zi := float64(x[i]) / speeds.Of(i)
+		for a := offsets[i]; a < offsets[i+1]; a++ {
+			j := arcs[a]
+			if int32(i) < j { // each undirected edge once
+				if d := math.Abs(zi - float64(x[j])/speeds.Of(int(j))); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// HeteroMaxAbsDeviation returns max_v |x_v − x̄_v| against the proportional
+// targets x̄_v = total·s_v/s — the "ideal-load drift" a time-varying speed
+// environment re-inflates the moment the targets move. With nil or
+// homogeneous speeds the target is the plain average.
+func HeteroMaxAbsDeviation[T Real](x []T, speeds *hetero.Speeds) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	total := Total(x)
+	var worst float64
+	if speeds == nil || speeds.IsHomogeneous() {
+		avg := total / float64(len(x))
+		for _, v := range x {
+			if d := math.Abs(float64(v) - avg); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	sSum := speeds.Sum()
+	for i, v := range x {
+		if d := math.Abs(float64(v) - total*speeds.Of(i)/sSum); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
 // Average returns the exact average load Σx/n as float64.
 func Average[T Real](x []T) float64 {
 	if len(x) == 0 {

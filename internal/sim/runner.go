@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"diffusionlb/internal/core"
+	"diffusionlb/internal/envdyn"
 	"diffusionlb/internal/metrics"
 	"diffusionlb/internal/workload"
 )
@@ -195,6 +196,45 @@ func RoundsToRecover(s *Series, col string, fromRound int, threshold float64) (i
 	return -1, nil
 }
 
+// IdealLoadDrift records max_i |x_i − x̄_i| against the proportional
+// targets of the operator's *current* speeds — the re-tracking signal for
+// time-varying environments: a speed event moves x̄, so the drift jumps the
+// round the operator is reweighted without a single token having moved, and
+// the recorded column shows how fast the scheme chases the new target.
+func IdealLoadDrift() Metric {
+	return MetricFunc("ideal_drift", func(p core.Process) float64 {
+		sp := p.Operator().Speeds()
+		return intsOrFloats(p,
+			func(x []int64) float64 { return metrics.HeteroMaxAbsDeviation(x, sp) },
+			func(x []float64) float64 { return metrics.HeteroMaxAbsDeviation(x, sp) })
+	})
+}
+
+// SpeedSum records Σ s_i of the operator's current speeds, so recordings
+// show the environment trajectory alongside the load metrics (it only moves
+// when the environment does).
+func SpeedSum() Metric {
+	return MetricFunc("speed_sum", func(p core.Process) float64 {
+		return p.Operator().Speeds().Sum()
+	})
+}
+
+// EnvironmentMetrics is the pair every dynamic-environment run records on
+// top of its base metrics: the ideal-load drift and the total speed. Both
+// the sweep engine and the lbsim free-form mode append exactly this set
+// when an environment is attached.
+func EnvironmentMetrics() []Metric {
+	return []Metric{IdealLoadDrift(), SpeedSum()}
+}
+
+// RoundsToRetrack scans a recorded series for how many rounds past a speed
+// event the named drift column needed to fall back to or below threshold —
+// the environment counterpart of RoundsToRecover (it is the same scan; the
+// alias keeps call sites self-describing). -1 means it never re-tracked.
+func RoundsToRetrack(s *Series, col string, eventRound int, threshold float64) (int, error) {
+	return RoundsToRecover(s, col, eventRound, threshold)
+}
+
 // TokensMoved samples the cumulative token-hop counter of processes that
 // expose Traffic() (the discrete engines and the baselines); it reports 0
 // for processes without traffic accounting.
@@ -252,6 +292,15 @@ type Runner struct {
 	// process must implement core.Injector — the same deltas go to all of
 	// them, so reference trajectories see the same external load.
 	Workload workload.Mutator
+	// Environment, when set, drives time-varying processor speeds
+	// (throttle/boost events, drain/restore ramps, jitter): each round —
+	// after the step, before workload injection — the dynamics are
+	// evaluated against the operator's starting speeds and, when the
+	// effective vector changes, the operator is reweighted in place and
+	// every process retargeted. Proc and every Lockstep process must
+	// implement core.Retargeter and share one *spectral.Operator, so
+	// reference trajectories chase the same moving target.
+	Environment envdyn.Dynamics
 	// OnRound, when set, is called after each round (after any lockstep
 	// steps and workload injection), e.g. to dump visualization frames.
 	OnRound func(round int, p core.Process)
@@ -265,6 +314,22 @@ func workloadLoads(lv core.LoadView) workload.Loads {
 	return workload.SliceLoads(lv.Float)
 }
 
+// SpeedEvent records one effective speed change of a dynamic-environment
+// run.
+type SpeedEvent struct {
+	// Round is the completed round after which the new speeds applied.
+	Round int `json:"round"`
+	// Nodes is the number of nodes whose speed changed.
+	Nodes int `json:"nodes"`
+	// Sum is the new total speed Σ s_i.
+	Sum float64 `json:"sum"`
+}
+
+// String renders the event compactly, e.g. "150:8 nodes,sum=96".
+func (e SpeedEvent) String() string {
+	return fmt.Sprintf("%d:%d nodes,sum=%g", e.Round, e.Nodes, e.Sum)
+}
+
 // Result is the outcome of a run.
 type Result struct {
 	// Series holds the recorded metric table.
@@ -275,6 +340,10 @@ type Result struct {
 	// Switches is the full scheme-switch history; adaptive policies may
 	// switch any number of times. Nil when no policy fired.
 	Switches []core.SwitchEvent
+	// SpeedEvents is the history of effective speed changes applied by the
+	// Environment (nil when none fired). Jittery environments produce one
+	// entry per changing round.
+	SpeedEvents []SpeedEvent
 	// Rounds is the total number of rounds executed.
 	Rounds int
 }
@@ -308,6 +377,39 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 			return nil, errors.New("sim: set either Runner.Policy or Runner.Adaptive, not both")
 		}
 		policy = core.OneShot(r.Policy)
+	}
+
+	var applier *envdyn.Applier
+	var retargeters []core.Retargeter
+	if r.Environment != nil {
+		op := r.Proc.Operator()
+		rt, ok := r.Proc.(core.Retargeter)
+		if !ok {
+			return nil, fmt.Errorf("sim: Environment %q set but process %T does not implement core.Retargeter",
+				r.Environment.Name(), r.Proc)
+		}
+		retargeters = append(retargeters, rt)
+		for _, ref := range r.Lockstep {
+			rrt, ok := ref.(core.Retargeter)
+			if !ok {
+				return nil, fmt.Errorf("sim: Environment %q set but lockstep process %T does not implement core.Retargeter",
+					r.Environment.Name(), ref)
+			}
+			// A lockstep reference on a different operator instance would
+			// keep balancing toward the stale targets and corrupt every
+			// deviation metric; require the shared-operator setup the
+			// deviation experiments use.
+			if ref.Operator() != op {
+				return nil, fmt.Errorf("sim: Environment %q set but lockstep process %T does not share the main operator",
+					r.Environment.Name(), ref)
+			}
+			retargeters = append(retargeters, rrt)
+		}
+		var err error
+		applier, err = envdyn.NewApplier(op.Speeds(), op.Graph().NumNodes(), r.Environment)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 	}
 
 	var injector core.Injector
@@ -346,6 +448,27 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 		r.Proc.Step()
 		for _, ref := range r.Lockstep {
 			ref.Step()
+		}
+		// Environment before workload injection: a burst landing in the
+		// same round as a speed event is injected into the already-moved
+		// target, and the policy below sees both.
+		if applier != nil {
+			sp, changed, err := applier.SpeedsAt(round)
+			if err != nil {
+				return nil, fmt.Errorf("sim: environment %q at round %d: %w", r.Environment.Name(), round, err)
+			}
+			if changed > 0 {
+				op := r.Proc.Operator()
+				if err := op.Reweight(sp); err != nil {
+					return nil, fmt.Errorf("sim: environment %q at round %d: %w", r.Environment.Name(), round, err)
+				}
+				for _, rt := range retargeters {
+					if err := rt.Retarget(op); err != nil {
+						return nil, fmt.Errorf("sim: environment %q at round %d: %w", r.Environment.Name(), round, err)
+					}
+				}
+				res.SpeedEvents = append(res.SpeedEvents, SpeedEvent{Round: round, Nodes: changed, Sum: sp.Sum()})
+			}
 		}
 		if injector != nil {
 			for i := range deltas {

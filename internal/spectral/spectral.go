@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"diffusionlb/internal/graph"
 	"diffusionlb/internal/hetero"
@@ -79,7 +80,12 @@ func (ga GammaDegreeAlpha) String() string { return fmt.Sprintf("alpha=1/(%g*d)"
 // Operator is the diffusion matrix M = I − L S⁻¹ of a graph with speeds,
 // stored implicitly: α per arc plus the speed vector. It supports fast
 // matrix-vector products with M and Mᵀ and densification for small graphs.
-// Operators are immutable and safe for concurrent use.
+//
+// Concurrency: all read operations (products, Dense, SecondEigenvalue) are
+// safe to call concurrently. Reweight mutates the operator in place and
+// must not run concurrently with any other method — drivers apply it
+// between simulation rounds, on operators not shared across concurrent
+// runs (Clone gives each run its own).
 type Operator struct {
 	g      *graph.Graph
 	speeds *hetero.Speeds
@@ -87,6 +93,14 @@ type Operator struct {
 	rule   AlphaRule
 	// rowAlphaSum[i] = Σ_{j∈N(i)} α_ij, cached for the diagonal.
 	rowAlphaSum []float64
+
+	// Cached second eigenvalue (guarded by mu so concurrent reads can share
+	// it); invalidated by Reweight, which moves the whole spectrum.
+	mu        sync.Mutex
+	lamValid  bool
+	lamOpts   PowerOptions
+	lam       float64
+	lamSigned float64
 }
 
 // NewOperator builds the diffusion operator for g with the given speeds
@@ -141,8 +155,79 @@ func (op *Operator) Rule() AlphaRule { return op.rule }
 // AlphaArc returns α for the arc at position a in the CSR arc array.
 func (op *Operator) AlphaArc(a int) float64 { return op.alpha[a] }
 
-// Alphas exposes the per-arc α slice; callers must not modify it.
-func (op *Operator) Alphas() []float64 { return op.alpha }
+// Alphas returns a copy of the per-arc α coefficients, so callers can never
+// corrupt the operator's internal storage by mutating the result. Hot loops
+// that run every round should copy once (AlphasInto) and reuse the buffer,
+// as the engines do.
+func (op *Operator) Alphas() []float64 {
+	out := make([]float64, len(op.alpha))
+	copy(out, op.alpha)
+	return out
+}
+
+// AlphasInto copies the per-arc α coefficients into dst, which must have
+// length NumArcs — the allocation-free form of Alphas for per-round use.
+func (op *Operator) AlphasInto(dst []float64) error {
+	if len(dst) != len(op.alpha) {
+		return fmt.Errorf("spectral: AlphasInto: %d slots for %d arcs", len(dst), len(op.alpha))
+	}
+	copy(dst, op.alpha)
+	return nil
+}
+
+// Reweight swaps the operator's speed vector in place (nil means
+// homogeneous), revalidating that every diagonal entry of M stays
+// non-negative, and invalidates the cached second eigenvalue — the whole
+// spectrum moves with S. The α coefficients are functions of the graph
+// alone (an AlphaRule never sees speeds), so the CSR α storage and the
+// cached row sums are reused as-is; that is what makes Reweight much
+// cheaper than rebuilding the operator with NewOperator.
+//
+// On error the operator is left unchanged. Reweight must not run
+// concurrently with any other method on this operator; drivers apply it
+// between rounds (see the struct's concurrency note).
+func (op *Operator) Reweight(speeds *hetero.Speeds) error {
+	n := op.g.NumNodes()
+	if speeds == nil {
+		speeds = hetero.Homogeneous(n)
+	}
+	if speeds.Len() != n {
+		return fmt.Errorf("spectral: Reweight: %d speeds for %d nodes", speeds.Len(), n)
+	}
+	if speeds == op.speeds {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if diag := 1 - op.rowAlphaSum[i]/speeds.Of(i); diag < -1e-12 {
+			return fmt.Errorf("spectral: Reweight: negative diagonal %g at node %d (alpha rule too large for the new speeds)", diag, i)
+		}
+	}
+	op.speeds = speeds
+	op.mu.Lock()
+	op.lamValid = false
+	op.mu.Unlock()
+	return nil
+}
+
+// Clone returns an independent operator over the same (immutable) graph
+// with its own α storage, speed reference and spectral cache. Concurrent
+// simulations that reweight mid-run must each own a clone; sharing one
+// reweightable operator across goroutines is a data race.
+func (op *Operator) Clone() *Operator {
+	cp := &Operator{
+		g:           op.g,
+		speeds:      op.speeds,
+		alpha:       make([]float64, len(op.alpha)),
+		rule:        op.rule,
+		rowAlphaSum: make([]float64, len(op.rowAlphaSum)),
+	}
+	copy(cp.alpha, op.alpha)
+	copy(cp.rowAlphaSum, op.rowAlphaSum)
+	op.mu.Lock()
+	cp.lamValid, cp.lamOpts, cp.lam, cp.lamSigned = op.lamValid, op.lamOpts, op.lam, op.lamSigned
+	op.mu.Unlock()
+	return cp
+}
 
 // MulVec computes dst = M·x, i.e. one synchronous continuous FOS round:
 // dst_i = x_i − Σ_{j∈N(i)} α_ij (x_i/s_i − x_j/s_j). dst is reused when it
@@ -250,8 +335,30 @@ func (o PowerOptions) withDefaults() PowerOptions {
 // similarity transform of M. The returned value is the magnitude |λ₂|
 // (which is what β_opt and every bound in the paper uses) together with the
 // signed Rayleigh quotient of the converged vector.
+//
+// The converged result is cached per options, so repeated calls (e.g.
+// after checkpoint restores) are free; Reweight invalidates the cache.
 func (op *Operator) SecondEigenvalue(opts PowerOptions) (lambda, signed float64, err error) {
 	opts = opts.withDefaults()
+	op.mu.Lock()
+	if op.lamValid && op.lamOpts == opts {
+		lambda, signed = op.lam, op.lamSigned
+		op.mu.Unlock()
+		return lambda, signed, nil
+	}
+	op.mu.Unlock()
+	lambda, signed, err = op.secondEigenvalue(opts)
+	if err == nil {
+		op.mu.Lock()
+		op.lamValid, op.lamOpts, op.lam, op.lamSigned = true, opts, lambda, signed
+		op.mu.Unlock()
+	}
+	return lambda, signed, err
+}
+
+// secondEigenvalue is the uncached power iteration behind SecondEigenvalue;
+// opts already has defaults applied.
+func (op *Operator) secondEigenvalue(opts PowerOptions) (lambda, signed float64, err error) {
 	n := op.g.NumNodes()
 	if n < 2 {
 		return 0, 0, errors.New("spectral: need at least 2 nodes")

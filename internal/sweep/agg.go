@@ -21,17 +21,18 @@ type Result struct {
 }
 
 // Group aggregates the replicates of one (graph, scheme, rounder, speeds,
-// workload, policy, beta) coordinate.
+// workload, environment, policy, beta) coordinate.
 type Group struct {
-	Graph    string  `json:"graph"`
-	Scheme   string  `json:"scheme"`
-	Rounder  string  `json:"rounder"`
-	Speeds   string  `json:"speeds,omitempty"`
-	Workload string  `json:"workload,omitempty"`
-	Policy   string  `json:"policy,omitempty"` // switch-policy spec ("" = never)
-	Beta     float64 `json:"beta"`             // resolved β actually simulated
-	Lambda   float64 `json:"lambda"`           // second eigenvalue of the topology
-	Nodes    int     `json:"nodes"`
+	Graph       string  `json:"graph"`
+	Scheme      string  `json:"scheme"`
+	Rounder     string  `json:"rounder"`
+	Speeds      string  `json:"speeds,omitempty"`
+	Workload    string  `json:"workload,omitempty"`
+	Environment string  `json:"environment,omitempty"` // envdyn spec ("" = static speeds)
+	Policy      string  `json:"policy,omitempty"`      // switch-policy spec ("" = never)
+	Beta        float64 `json:"beta"`                  // resolved β actually simulated
+	Lambda      float64 `json:"lambda"`                // second eigenvalue of the topology
+	Nodes       int     `json:"nodes"`
 	// Replicates is the number of series collapsed into the statistics.
 	Replicates int `json:"replicates"`
 	// Switches is the number of scheme switches per replicate, in
@@ -62,6 +63,9 @@ func (g Group) Label() string {
 	if g.Workload != "" {
 		parts = append(parts, g.Workload)
 	}
+	if g.Environment != "" {
+		parts = append(parts, g.Environment)
+	}
 	if g.Policy != "" {
 		parts = append(parts, g.Policy)
 	}
@@ -86,7 +90,8 @@ func aggregate(spec Spec, cells []Cell, series []*sim.Series, switches [][]core.
 		}
 		g := Group{
 			Graph: c.Graph, Scheme: c.Scheme, Rounder: c.Rounder,
-			Speeds: c.Speeds, Workload: c.Workload, Policy: c.Policy, Beta: beta,
+			Speeds: c.Speeds, Workload: c.Workload, Environment: c.Environment,
+			Policy: c.Policy, Beta: beta,
 			Lambda: sys.lambda, Nodes: sys.g.NumNodes(),
 			Replicates: spec.Replicates,
 		}
@@ -156,39 +161,39 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // WriteCSV writes the result in long form, one row per
 // (group, round, metric):
 //
-//	graph,scheme,rounder,speeds,workload,policy,beta,replicates,switches,round,metric,mean,std,min,max
+//	graph,scheme,rounder,speeds,workload,environment,policy,beta,replicates,switches,round,metric,mean,std,min,max
 //
 // switches is the per-replicate scheme-switch count joined with "|" (empty
 // when no policy is set). Rows go through encoding/csv, so spec fields
-// containing commas (or quotes or newlines) are quoted per RFC 4180
-// instead of silently corrupting the row, and the output round-trips
-// through any CSV reader.
+// containing commas (environment specs always do) or quotes or newlines
+// are quoted per RFC 4180 instead of silently corrupting the row, and the
+// output round-trips through any CSV reader.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"graph", "scheme", "rounder", "speeds", "workload", "policy",
+	if err := cw.Write([]string{"graph", "scheme", "rounder", "speeds", "workload", "environment", "policy",
 		"beta", "replicates", "switches", "round", "metric", "mean", "std", "min", "max"}); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
-	record := make([]string, 15)
+	record := make([]string, 16)
 	for _, g := range r.Groups {
 		record[0], record[1], record[2] = g.Graph, g.Scheme, g.Rounder
-		record[3], record[4], record[5] = g.Speeds, g.Workload, g.Policy
-		record[6] = f(g.Beta)
-		record[7] = strconv.Itoa(g.Replicates)
+		record[3], record[4], record[5], record[6] = g.Speeds, g.Workload, g.Environment, g.Policy
+		record[7] = f(g.Beta)
+		record[8] = strconv.Itoa(g.Replicates)
 		counts := make([]string, len(g.Switches))
 		for i, n := range g.Switches {
 			counts[i] = strconv.Itoa(n)
 		}
-		record[8] = strings.Join(counts, "|")
+		record[9] = strings.Join(counts, "|")
 		for _, col := range g.Columns {
-			record[10] = col.Name
+			record[11] = col.Name
 			for row, round := range g.Rounds {
-				record[9] = strconv.Itoa(round)
-				record[11] = f(col.Mean[row])
-				record[12] = f(col.Std[row])
-				record[13] = f(col.Min[row])
-				record[14] = f(col.Max[row])
+				record[10] = strconv.Itoa(round)
+				record[12] = f(col.Mean[row])
+				record[13] = f(col.Std[row])
+				record[14] = f(col.Min[row])
+				record[15] = f(col.Max[row])
 				if err := cw.Write(record); err != nil {
 					return err
 				}

@@ -109,16 +109,17 @@ func TestWorkloadSpecValidatedUpfront(t *testing.T) {
 // row — the reason WriteCSV goes through encoding/csv.
 func TestWriteCSVRoundTripsSpecialFields(t *testing.T) {
 	res := &Result{Groups: []Group{{
-		Graph:      `custom:4,5`,
-		Scheme:     "sos",
-		Rounder:    `say "hi"`,
-		Speeds:     "twoclass:0.25:4",
-		Workload:   "poisson:0.5+churn:10,20",
-		Policy:     "adaptive:16:64,100",
-		Beta:       1.5,
-		Replicates: 2,
-		Switches:   []int{1, 3},
-		Rounds:     []int{0, 10},
+		Graph:       `custom:4,5`,
+		Scheme:      "sos",
+		Rounder:     `say "hi"`,
+		Speeds:      "twoclass:0.25:4",
+		Workload:    "poisson:0.5+churn:10,20",
+		Environment: "throttle:at=10,frac=0.25,factor=0.5",
+		Policy:      "adaptive:16:64,100",
+		Beta:        1.5,
+		Replicates:  2,
+		Switches:    []int{1, 3},
+		Rounds:      []int{0, 10},
 		Columns: []AggColumn{{
 			Name: "metric,with,commas",
 			Mean: []float64{1, 2}, Std: []float64{0, 0.5},
@@ -137,24 +138,109 @@ func TestWriteCSVRoundTripsSpecialFields(t *testing.T) {
 		t.Fatalf("got %d rows, want header + 2", len(rows))
 	}
 	for _, row := range rows {
-		if len(row) != 15 {
-			t.Fatalf("row has %d fields, want 15: %v", len(row), row)
+		if len(row) != 16 {
+			t.Fatalf("row has %d fields, want 16: %v", len(row), row)
 		}
 	}
 	first := rows[1]
 	if first[0] != `custom:4,5` || first[2] != `say "hi"` ||
-		first[4] != "poisson:0.5+churn:10,20" || first[5] != "adaptive:16:64,100" ||
-		first[10] != "metric,with,commas" {
+		first[4] != "poisson:0.5+churn:10,20" ||
+		first[5] != "throttle:at=10,frac=0.25,factor=0.5" ||
+		first[6] != "adaptive:16:64,100" ||
+		first[11] != "metric,with,commas" {
 		t.Errorf("fields corrupted in round trip: %v", first)
 	}
-	if first[8] != "1|3" {
-		t.Errorf("switch counts wrong: %v", first[8])
+	if first[9] != "1|3" {
+		t.Errorf("switch counts wrong: %v", first[9])
 	}
-	if first[9] != "0" || rows[2][9] != "10" {
-		t.Errorf("round fields wrong: %v / %v", first[9], rows[2][9])
+	if first[10] != "0" || rows[2][10] != "10" {
+		t.Errorf("round fields wrong: %v / %v", first[10], rows[2][10])
 	}
-	if first[11] != "1" || rows[2][11] != "2" {
-		t.Errorf("mean fields wrong: %v / %v", first[11], rows[2][11])
+	if first[12] != "1" || rows[2][12] != "2" {
+		t.Errorf("mean fields wrong: %v / %v", first[12], rows[2][12])
+	}
+}
+
+// TestEnvironmentsAxis: environment cells carry the spec label, append the
+// ideal-drift/speed-sum metrics, actually reweight (speed_sum moves at the
+// event round), leave the shared system operator untouched (private clone),
+// and the whole sweep stays byte-identical across worker counts.
+func TestEnvironmentsAxis(t *testing.T) {
+	withProcs(t, 8)
+	spec := Spec{
+		Graphs:       []string{"torus2d:8x8"},
+		Schemes:      []string{"sos"},
+		Speeds:       []string{"twoclass:0.25:4"},
+		Environments: []string{"", "throttle:at=20,frac=0.125,factor=0.25"},
+		Replicates:   2,
+		Rounds:       60,
+		Every:        10,
+		BaseSeed:     3,
+	}
+	if got := spec.NumCells(); got != 4 {
+		t.Fatalf("NumCells = %d, want 2 environments x 2 replicates", got)
+	}
+	var outputs [][]byte
+	var results []*Result
+	for _, workers := range []int{1, 8} {
+		res, err := Run(context.Background(), spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.Bytes())
+		results = append(results, res)
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Fatal("environment sweep output differs across worker counts")
+	}
+	res := results[0]
+	if len(res.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(res.Groups))
+	}
+	static, dynamic := res.Groups[0], res.Groups[1]
+	if static.Environment != "" || dynamic.Environment != "throttle:at=20,frac=0.125,factor=0.25" {
+		t.Fatalf("group environment labels: %q / %q", static.Environment, dynamic.Environment)
+	}
+	var sumCol *AggColumn
+	for i := range dynamic.Columns {
+		if dynamic.Columns[i].Name == "speed_sum" {
+			sumCol = &dynamic.Columns[i]
+		}
+	}
+	if sumCol == nil {
+		t.Fatal("dynamic group lacks the speed_sum environment metric")
+	}
+	if first, last := sumCol.Mean[0], sumCol.Mean[len(sumCol.Mean)-1]; last >= first {
+		t.Errorf("speed_sum %g -> %g; the throttle should have reduced it", first, last)
+	}
+	for i := range static.Columns {
+		if static.Columns[i].Name == "speed_sum" {
+			t.Error("static cell grew environment metrics")
+		}
+	}
+	if !strings.Contains(dynamic.Label(), "throttle:at=20") {
+		t.Errorf("Label %q does not name the environment", dynamic.Label())
+	}
+}
+
+// TestEnvironmentSpecValidatedUpfront: a malformed environments axis entry
+// fails before any cell runs, and a bad entry cannot silently run static.
+func TestEnvironmentSpecValidatedUpfront(t *testing.T) {
+	spec := Spec{
+		Graphs:       []string{"cycle:8"},
+		Schemes:      []string{"sos"},
+		Environments: []string{"warp:x=1"},
+		Rounds:       10,
+	}
+	if _, err := Run(context.Background(), spec, Options{}); err == nil {
+		t.Fatal("bad environment spec should be rejected")
 	}
 }
 

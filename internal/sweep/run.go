@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"diffusionlb/internal/core"
+	"diffusionlb/internal/envdyn"
 	"diffusionlb/internal/graph"
 	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/metrics"
@@ -23,6 +24,7 @@ const (
 	seedSaltGraph    = 0x6772_6170_6800_0001 // "graph"
 	seedSaltSpeeds   = 0x7370_6565_6400_0001 // "speed"
 	seedSaltWorkload = 0x776f_726b_6c00_0001 // "workl"
+	seedSaltEnv      = 0x656e_7664_7900_0001 // "envdy"
 )
 
 // Options configures Run.
@@ -193,7 +195,18 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, []core.SwitchEvent, e
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg := core.Config{Op: sys.op, Kind: kind, Beta: beta, Workers: spec.StepWorkers}
+	// Environment dynamics reweight the operator in place, and the system's
+	// operator is shared by every cell on the topology — give dynamic-
+	// environment cells a private clone (cheap: the graph is shared).
+	op := sys.op
+	env, err := envdyn.FromSpec(c.Environment, n, randx.Mix(c.Seed, seedSaltEnv))
+	if err != nil {
+		return nil, nil, err
+	}
+	if env != nil {
+		op = sys.op.Clone()
+	}
+	cfg := core.Config{Op: op, Kind: kind, Beta: beta, Workers: spec.StepWorkers}
 
 	var proc core.Process
 	switch c.Rounder {
@@ -229,6 +242,9 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, []core.SwitchEvent, e
 	if wl != nil {
 		ms = append(ms, sim.DynamicMetrics()...)
 	}
+	if env != nil {
+		ms = append(ms, sim.EnvironmentMetrics()...)
+	}
 	// Every cell parses its own fresh policy value: stateful policies
 	// (stall history, hysteresis cooldown) must never carry one replicate's
 	// trajectory into the next.
@@ -236,7 +252,7 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, []core.SwitchEvent, e
 	if err != nil {
 		return nil, nil, err
 	}
-	runner := &sim.Runner{Proc: proc, Every: spec.Every, Adaptive: policy, Metrics: ms, Workload: wl}
+	runner := &sim.Runner{Proc: proc, Every: spec.Every, Adaptive: policy, Metrics: ms, Workload: wl, Environment: env}
 	res, err := runner.Run(spec.Rounds)
 	if err != nil {
 		return nil, nil, err

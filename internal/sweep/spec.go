@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"diffusionlb/internal/core"
+	"diffusionlb/internal/envdyn"
 	"diffusionlb/internal/randx"
 	"diffusionlb/internal/workload"
 )
@@ -29,6 +30,13 @@ type Spec struct {
 	// e.g. "burst:100:50000", "poisson:0.5+churn:50:200:200"); the empty
 	// string is the paper's static setting. Empty means [""].
 	Workloads []string `json:"workloads,omitempty"`
+	// Environments lists environment-dynamics specs (envdyn.FromSpec
+	// syntax, e.g. "throttle:at=100,frac=0.25,factor=0.25",
+	// "drain:at=50,frac=0.1,ramp=20+jitter:sigma=0.05"); the empty string
+	// is the paper's static-speed setting. Empty means [""]. Cells with an
+	// environment run on a private clone of the shared operator, since the
+	// dynamics reweight it in place.
+	Environments []string `json:"environments,omitempty"`
 	// Policies lists hybrid switch-policy specs (core.PolicyFromSpec
 	// syntax: "at:2500", "local:16", "stall:50:0.01",
 	// "adaptive:16:64:100"); the empty string never switches. One-way
@@ -75,6 +83,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Workloads) == 0 {
 		s.Workloads = []string{""}
+	}
+	if len(s.Environments) == 0 {
+		s.Environments = []string{""}
 	}
 	if len(s.Policies) == 0 {
 		if s.SwitchAt > 0 {
@@ -133,6 +144,11 @@ func (s Spec) validate() error {
 			return fmt.Errorf("sweep: %w", err)
 		}
 	}
+	for _, env := range s.Environments {
+		if err := envdyn.ValidateSpec(env); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
 	// A negative switch round used to silently mean "never switch"; reject
 	// it at spec-validation time instead.
 	if s.SwitchAt < 0 {
@@ -181,16 +197,17 @@ type Cell struct {
 	// Group is the index of the aggregation group (all replicates of the
 	// same coordinate share one group).
 	Group int
-	// Graph, Scheme, Rounder, Speeds, Workload, Policy, Beta, Replicate
-	// are the coordinate.
-	Graph     string
-	Scheme    string
-	Rounder   string
-	Speeds    string
-	Workload  string
-	Policy    string
-	Beta      float64
-	Replicate int
+	// Graph, Scheme, Rounder, Speeds, Workload, Environment, Policy, Beta,
+	// Replicate are the coordinate.
+	Graph       string
+	Scheme      string
+	Rounder     string
+	Speeds      string
+	Workload    string
+	Environment string
+	Policy      string
+	Beta        float64
+	Replicate   int
 	// Seed is derived from (BaseSeed, axis indices, replicate) via
 	// randx.Mix, so it depends only on the spec, never on scheduling.
 	Seed uint64
@@ -199,12 +216,12 @@ type Cell struct {
 }
 
 // Expand enumerates every cell of the sweep in deterministic order:
-// graphs → schemes → rounders → speeds → workloads → policies → betas →
-// replicates, with the replicate index innermost so one group occupies a
-// contiguous index range.
+// graphs → schemes → rounders → speeds → workloads → environments →
+// policies → betas → replicates, with the replicate index innermost so one
+// group occupies a contiguous index range.
 func (s Spec) Expand() []Cell {
 	s = s.withDefaults()
-	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Workloads)*len(s.Policies)*len(s.Betas)*s.Replicates)
+	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Workloads)*len(s.Environments)*len(s.Policies)*len(s.Betas)*s.Replicates)
 	group := 0
 	fosBetas := []float64{0}
 	for gi, g := range s.Graphs {
@@ -216,29 +233,32 @@ func (s Spec) Expand() []Cell {
 			for ri, rd := range s.Rounders {
 				for pi, sp := range s.Speeds {
 					for wi, wl := range s.Workloads {
-						for li, pol := range s.Policies {
-							for bi, beta := range schemeBetas {
-								for rep := 0; rep < s.Replicates; rep++ {
-									cells = append(cells, Cell{
-										Index:     len(cells),
-										Group:     group,
-										Graph:     g,
-										Scheme:    sc,
-										Rounder:   rd,
-										Speeds:    sp,
-										Workload:  wl,
-										Policy:    pol,
-										Beta:      beta,
-										Replicate: rep,
-										Seed: randx.Mix(s.BaseSeed,
-											uint64(gi), uint64(si), uint64(ri),
-											uint64(pi), uint64(wi), uint64(li),
-											uint64(bi), uint64(rep)),
-										graphIdx:  gi,
-										speedsIdx: pi,
-									})
+						for ei, env := range s.Environments {
+							for li, pol := range s.Policies {
+								for bi, beta := range schemeBetas {
+									for rep := 0; rep < s.Replicates; rep++ {
+										cells = append(cells, Cell{
+											Index:       len(cells),
+											Group:       group,
+											Graph:       g,
+											Scheme:      sc,
+											Rounder:     rd,
+											Speeds:      sp,
+											Workload:    wl,
+											Environment: env,
+											Policy:      pol,
+											Beta:        beta,
+											Replicate:   rep,
+											Seed: randx.Mix(s.BaseSeed,
+												uint64(gi), uint64(si), uint64(ri),
+												uint64(pi), uint64(wi), uint64(ei),
+												uint64(li), uint64(bi), uint64(rep)),
+											graphIdx:  gi,
+											speedsIdx: pi,
+										})
+									}
+									group++
 								}
-								group++
 							}
 						}
 					}
@@ -259,7 +279,7 @@ func (s Spec) NumCells() int {
 		if kind, err := parseKind(sc); err == nil && kind == core.FOS {
 			nb = 1
 		}
-		perGraph += nb * len(s.Rounders) * len(s.Speeds) * len(s.Workloads) * len(s.Policies) * s.Replicates
+		perGraph += nb * len(s.Rounders) * len(s.Speeds) * len(s.Workloads) * len(s.Environments) * len(s.Policies) * s.Replicates
 	}
 	return len(s.Graphs) * perGraph
 }

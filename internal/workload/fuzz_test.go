@@ -1,0 +1,43 @@
+package workload
+
+import "testing"
+
+// FuzzFromSpec: no input may panic — malformed specs must error — and every
+// accepted spec must have a canonical Name that reparses to itself and
+// deltas that apply without panicking.
+func FuzzFromSpec(f *testing.F) {
+	for _, s := range []string{
+		"burst:100:50000", "burst:100:50000:3", "hotspot:10:500",
+		"poisson:0.5:100", "churn:5:200:200:400", "adversary:64:4",
+		"burst:100:50000+poisson:0.5", "", "x", ":::", "burst:-1:5",
+		"poisson:NaN", "adversary:1:0", "burst:1:1:99",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		const n = 16
+		m, err := FromSpec(spec, n, 1)
+		if err != nil || m == nil {
+			return
+		}
+		name := m.Name()
+		again, err := FromSpec(name, n, 1)
+		if err != nil {
+			t.Fatalf("Name %q of accepted spec %q does not reparse: %v", name, spec, err)
+		}
+		if again.Name() != name {
+			t.Fatalf("Name not canonical: %q -> %q", name, again.Name())
+		}
+		loads := make([]int64, n)
+		for i := range loads {
+			loads[i] = 100
+		}
+		out := make([]int64, n)
+		for _, r := range []int{1, 2, 100} {
+			for i := range out {
+				out[i] = 0
+			}
+			m.Deltas(r, IntLoads(loads), out)
+		}
+	})
+}
