@@ -14,11 +14,12 @@ test-short:
 	$(GO) test -short ./...
 
 # The sweep engine fans out goroutines across scenario cells, the
-# workload/sim/envdyn layers feed per-cell mutators and speed dynamics into
-# those goroutines, and the core engines run parallelFor chunks inside a
-# step (Workers>1); run them all under the race detector explicitly.
+# workload/sim/envdyn/scenario layers feed per-cell mutators, speed
+# dynamics and coupled events into those goroutines, and the core engines
+# run parallelFor chunks inside a step (Workers>1); run them all under the
+# race detector explicitly.
 race-sweep:
-	$(GO) test -race -short ./internal/sweep/... ./internal/experiments/ ./internal/workload/ ./internal/envdyn/ ./internal/sim/ ./internal/core/
+	$(GO) test -race -short ./internal/sweep/... ./internal/experiments/ ./internal/workload/ ./internal/envdyn/ ./internal/scenario/ ./internal/sim/ ./internal/core/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -26,7 +26,8 @@
 //	lbsim -graph torus2d:100x100 -scheme sos -rounder randomized \
 //	      -rounds 1000 [-avg 1000] [-policy adaptive:16:64:100] [-csv out.csv] \
 //	      [-workload burst:100:500000+poisson:0.5] \
-//	      [-speeds twoclass:0.25:4 -env throttle:at=200,frac=0.125,factor=0.25]
+//	      [-speeds twoclass:0.25:4 -env throttle:at=200,frac=0.125,factor=0.25] \
+//	      [-scenario drain:at=200,frac=0.125,ramp=8 -betareopt 0.05]
 //	    Free-form run: any graph, scheme and rounder, with the paper's
 //	    three metrics recorded. -workload injects dynamic load between
 //	    rounds (hotspot bursts, Poisson arrivals, churn, an adversarial
@@ -35,13 +36,20 @@
 //	    processor speeds time-varying (throttle/boost events, drain/
 //	    restore ramps, random-walk jitter): the diffusion operator is
 //	    reweighted in place at every speed change and the ideal-drift and
-//	    speed-sum metrics are added. -policy attaches a hybrid switch
-//	    policy (at:N | local:T | stall:W:F | adaptive:LO:HI[:CD]); the
-//	    adaptive hysteresis band re-arms SOS when a post-switch burst — or
-//	    a speed event — re-inflates the speed-normalized local difference.
-//	    -switch N is the legacy alias for -policy at:N. -workload, -env
-//	    and -policy are also sweep axes in -sweep mode (-env lists are
-//	    ';'-separated because env specs contain commas).
+//	    speed-sum metrics are added. -scenario drives a coupled timeline
+//	    that moves speeds AND loads in one unit (migration-on-drain,
+//	    correlated throttle+burst, jittered cascades); -betareopt T re-runs
+//	    the power iteration and re-optimizes the SOS beta in place whenever
+//	    the total speed drifts by more than the relative threshold T.
+//	    -policy attaches a hybrid switch policy (at:N | local:T |
+//	    stall:W:F | adaptive:LO:HI[:CD]); the adaptive hysteresis band
+//	    re-arms SOS when a post-switch burst — or a speed event —
+//	    re-inflates the speed-normalized local difference. -switch N is the
+//	    legacy alias for -policy at:N. -workload, -env, -scenario and
+//	    -policy are also sweep axes in -sweep mode; their lists are
+//	    ';'-separated uniformly, because env and scenario specs contain
+//	    commas. -sweep -format csv -stream streams each aggregated group as
+//	    it completes (byte-identical output, bounded memory).
 //
 //	lbsim -graph hypercube:16 -spectrum
 //	    Print n, |E|, d, λ and β_opt for a graph.
@@ -66,6 +74,7 @@ import (
 	"diffusionlb/internal/experiments"
 	"diffusionlb/internal/graph"
 	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/scenario"
 	"diffusionlb/internal/sweep"
 	"diffusionlb/internal/workload"
 )
@@ -77,6 +86,7 @@ const (
 	workloadGrammar = "workload grammar: burst:ROUND:AMOUNT[:NODE] | hotspot:PERIOD:AMOUNT[:NODE] | poisson:RATE[:UNTIL] | churn:PERIOD:ARRIVE:DEPART[:UNTIL] | adversary:AMOUNT[:TOP], joined with '+'"
 	policyGrammar   = "policy grammar:   at:ROUND | local:THRESHOLD | stall:WINDOW:FACTOR | adaptive:LO:HI[:COOLDOWN] | never"
 	envGrammar      = "env grammar:      throttle:at=R,frac=F,factor=X[,until=U][,sel=fast|slow|random] | throttle:every=P,dur=D,frac=F,factor=X | boost:<throttle keys> | drain:at=R,frac=F[,ramp=T][,restore=R2[,rramp=T2]] | jitter:sigma=S[,cap=C][,frac=F], joined with '+'"
+	scenarioGrammar = "scenario grammar: drain:at=R,frac=F[,ramp=W][,restore=R2[,rramp=W2]][,sel=fast|slow|random] | correlated:at=R,frac=F,factor=X,load=L[,until=U] | cascade:at=R,waves=K,gap=G,frac=F,factor=X[,load=L][,dur=D][,jitter=J], joined with '+'"
 )
 
 // withGrammar appends the relevant spec grammar to spec-parse errors, so
@@ -95,6 +105,8 @@ func withGrammar(err error) error {
 		return fmt.Errorf("%w\n%s", err, policyGrammar)
 	case errors.Is(err, envdyn.ErrBadSpec):
 		return fmt.Errorf("%w\n%s", err, envGrammar)
+	case errors.Is(err, scenario.ErrBadSpec):
+		return fmt.Errorf("%w\n%s", err, scenarioGrammar)
 	}
 	return err
 }
@@ -126,10 +138,13 @@ func run(args []string) error {
 		format       = fs.String("format", "table", "sweep mode output: table | csv | json")
 		avg          = fs.Int64("avg", 1000, "average initial load (all placed on node 0)")
 		speedsSpec   = fs.String("speeds", "", "processor speeds: twoclass:FRAC:SPEED | range:MAX | powerlaw:ALPHA:MAX | single:IDX:SPEED (empty = homogeneous; comma-separated list in -sweep mode)")
-		workloadSpec = fs.String("workload", "", "dynamic workload: burst:ROUND:AMOUNT[:NODE] | hotspot:PERIOD:AMOUNT[:NODE] | poisson:RATE[:UNTIL] | churn:PERIOD:ARRIVE:DEPART[:UNTIL] | adversary:AMOUNT[:TOP], joined with '+' (empty = static; comma-separated list in -sweep mode)")
+		workloadSpec = fs.String("workload", "", "dynamic workload: burst:ROUND:AMOUNT[:NODE] | hotspot:PERIOD:AMOUNT[:NODE] | poisson:RATE[:UNTIL] | churn:PERIOD:ARRIVE:DEPART[:UNTIL] | adversary:AMOUNT[:TOP], joined with '+' (empty = static; ';'-separated list in -sweep mode)")
 		envSpec      = fs.String("env", "", "environment dynamics (time-varying speeds): throttle:at=R,frac=F,factor=X | boost:... | drain:at=R,frac=F[,ramp=T][,restore=R2] | jitter:sigma=S, joined with '+' (empty = fixed speeds; ';'-separated list in -sweep mode, since env specs contain commas)")
-		policySpec   = fs.String("policy", "", "hybrid switch policy: at:ROUND | local:THRESHOLD | stall:WINDOW:FACTOR | adaptive:LO:HI[:COOLDOWN] | never (empty = never; comma-separated list in -sweep mode; supersedes -switch)")
+		scenarioSpec = fs.String("scenario", "", "coupled scenario (speed + load on one timeline): drain:at=R,frac=F[,ramp=W][,restore=R2] | correlated:at=R,frac=F,factor=X,load=L | cascade:at=R,waves=K,gap=G,frac=F,factor=X, joined with '+' (empty = none; ';'-separated list in -sweep mode)")
+		betaReopt    = fs.Float64("betareopt", 0, "re-optimize the SOS beta whenever the total speed drifts by this relative threshold (0 = off; free-form mode, needs -env or -scenario)")
+		policySpec   = fs.String("policy", "", "hybrid switch policy: at:ROUND | local:THRESHOLD | stall:WINDOW:FACTOR | adaptive:LO:HI[:COOLDOWN] | never (empty = never; ';'-separated list in -sweep mode; supersedes -switch)")
 		switchAt     = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never; legacy alias for -policy at:N)")
+		stream       = fs.Bool("stream", false, "sweep mode with -format csv: stream each aggregated group as it completes instead of holding the whole grid in memory (byte-identical output)")
 		every        = fs.Int("every", 0, "recording cadence (0 = auto)")
 		csvPath      = fs.String("csv", "", "write the recorded series to this CSV file")
 		spectrum     = fs.Bool("spectrum", false, "print spectral data for -graph and exit")
@@ -179,13 +194,17 @@ func run(args []string) error {
 			return err
 		}
 		spec := sweep.Spec{
-			Graphs:       splitList(*graphSpec),
-			Schemes:      splitList(*scheme),
-			Rounders:     splitList(*rounder),
-			Speeds:       splitList(*speedsSpec),
-			Workloads:    splitList(*workloadSpec),
-			Environments: splitListOn(*envSpec, ";"),
-			Policies:     splitList(*policySpec),
+			Graphs:   splitList(*graphSpec),
+			Schemes:  splitList(*scheme),
+			Rounders: splitList(*rounder),
+			Speeds:   splitList(*speedsSpec),
+			// Workload, environment, scenario and policy axis lists split on
+			// ';' uniformly: env and scenario specs always contain commas,
+			// and a single splitting rule beats per-axis surprises.
+			Workloads:    splitAxisList(*workloadSpec),
+			Environments: splitAxisList(*envSpec),
+			Scenarios:    splitAxisList(*scenarioSpec),
+			Policies:     splitAxisList(*policySpec),
 			Betas:        betaVals,
 			Replicates:   *replicates,
 			Rounds:       *rounds,
@@ -198,10 +217,21 @@ func run(args []string) error {
 		if len(spec.Graphs) == 0 {
 			return fmt.Errorf("-sweep needs at least one -graph spec")
 		}
+		// Silently running every cell with a stale β would produce exactly
+		// the wrong numbers for the comparison the flag exists to make.
+		if *betaReopt != 0 {
+			return fmt.Errorf("-betareopt applies to free-form runs only (the sweep grid has no re-opt axis)")
+		}
 		// Ctrl-C cancels the sweep: in-flight cells finish, queued cells
 		// never start.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
+		if *stream {
+			if *format != "csv" {
+				return fmt.Errorf("-stream needs -format csv (streaming emits rows, not tables)")
+			}
+			return withGrammar(sweep.StreamCSV(ctx, spec, sweep.Options{Workers: *workers}, os.Stdout))
+		}
 		res, err := sweep.Run(ctx, spec, sweep.Options{Workers: *workers})
 		if err != nil {
 			return withGrammar(err)
@@ -254,6 +284,7 @@ func run(args []string) error {
 			seed: *seed, workers: sw, tableRows: *tableRows,
 			hetero: speeds != nil, workload: *workloadSpec,
 			policy: *policySpec, env: *envSpec,
+			scenario: *scenarioSpec, betaReopt: *betaReopt,
 		})
 
 	default:
@@ -268,8 +299,15 @@ func splitList(s string) []string {
 	return splitListOn(s, ",")
 }
 
-// splitListOn is splitList with an explicit separator — the environments
-// axis uses ";" because its specs contain commas.
+// splitAxisList is the shared list splitter for the workload, environment,
+// scenario and policy axes: they split on ";" uniformly, because env and
+// scenario specs (and compose(...) wrappers) contain commas — splitting
+// those on "," would shred a single spec into garbage entries.
+func splitAxisList(s string) []string {
+	return splitListOn(s, ";")
+}
+
+// splitListOn is splitList with an explicit separator.
 func splitListOn(s, sep string) []string {
 	if s == "" {
 		return nil
@@ -315,6 +353,8 @@ type freeFormConfig struct {
 	workload                 string
 	policy                   string
 	env                      string
+	scenario                 string
+	betaReopt                float64
 	rounds                   int
 	avg                      int64
 	switchAt, every          int
@@ -401,7 +441,28 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 	if env != nil {
 		ms = append(ms, diffusionlb.EnvironmentMetrics()...)
 	}
-	runner := &diffusionlb.Runner{Proc: proc, Every: every, Adaptive: policy, Metrics: ms, Workload: wl, Environment: env}
+	scn, err := diffusionlb.ScenarioFromSpec(cfg.scenario, n, cfg.seed)
+	if err != nil {
+		return withGrammar(err)
+	}
+	if scn != nil {
+		// A scenario moves both sides: record the full coupled set — except
+		// the recovery trio a workload already added (env is always nil
+		// here; the runner rejects -scenario with -env).
+		if wl == nil {
+			ms = append(ms, diffusionlb.ScenarioMetrics()...)
+		} else {
+			ms = append(ms, diffusionlb.EnvironmentMetrics()...)
+		}
+	}
+	var reopt *diffusionlb.BetaReopt
+	if cfg.betaReopt > 0 {
+		reopt = &diffusionlb.BetaReopt{Threshold: cfg.betaReopt}
+	} else if cfg.betaReopt < 0 {
+		return fmt.Errorf("-betareopt %g must be >= 0 (0 = off)", cfg.betaReopt)
+	}
+	runner := &diffusionlb.Runner{Proc: proc, Every: every, Adaptive: policy, Metrics: ms,
+		Workload: wl, Environment: env, Scenario: scn, BetaReopt: reopt}
 	res, err := runner.Run(cfg.rounds)
 	if err != nil {
 		return err
@@ -409,7 +470,7 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 	for _, ev := range res.Switches {
 		fmt.Printf("switched to %s at round %d\n", ev.To, ev.Round)
 	}
-	// Jittery environments change speeds every round; cap the printout.
+	// Jittery environments change speeds every round; cap the printouts.
 	const maxEventLines = 8
 	for i, ev := range res.SpeedEvents {
 		if i == maxEventLines {
@@ -417,6 +478,20 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 			break
 		}
 		fmt.Printf("speeds changed at round %d (%d nodes, sum=%g)\n", ev.Round, ev.Nodes, ev.Sum)
+	}
+	for i, ev := range res.ScenarioEvents {
+		if i == maxEventLines {
+			fmt.Printf("... %d more scenario events\n", len(res.ScenarioEvents)-maxEventLines)
+			break
+		}
+		fmt.Printf("scenario fired at round %d (%d nodes speed-changed, %d load moved, sum=%g)\n",
+			ev.Round, ev.Nodes, ev.Moved, ev.Sum)
+	}
+	for _, ev := range res.BetaEvents {
+		fmt.Printf("beta re-optimized at round %d (lambda=%.6f, beta=%.6f)\n", ev.Round, ev.Lambda, ev.Beta)
+	}
+	if res.StaleBetaRounds > 0 {
+		fmt.Printf("rounds spent on stale beta: %d\n", res.StaleBetaRounds)
 	}
 	if err := res.Series.WriteTable(os.Stdout, cfg.tableRows); err != nil {
 		return err

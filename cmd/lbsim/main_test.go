@@ -181,7 +181,7 @@ func TestRunSweep(t *testing.T) {
 	}
 	// Dynamic-workload axis: static vs burst vs composed churn.
 	if err := run([]string{"-sweep", "-graph", "torus2d:6x6",
-		"-scheme", "sos,fos", "-workload", ",burst:10:3600:0,poisson:0.5+churn:5:20:20",
+		"-scheme", "sos,fos", "-workload", ";burst:10:3600:0;poisson:0.5+churn:5:20:20",
 		"-rounds", "25", "-every", "5", "-format", "csv"}); err != nil {
 		t.Fatal(err)
 	}
@@ -194,6 +194,17 @@ func TestSplitListAndParseFloats(t *testing.T) {
 	got := splitList("a, b,c")
 	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
 		t.Errorf("splitList = %v", got)
+	}
+	// The workload/env/scenario/policy axes share the ';' splitter, because
+	// env and scenario specs contain commas (a comma split would shred a
+	// single compose(...) or key=value spec into garbage entries).
+	axis := splitAxisList("burst:5:10; correlated:at=5,frac=0.5,factor=0.5,load=10;")
+	if len(axis) != 3 || axis[0] != "burst:5:10" ||
+		axis[1] != "correlated:at=5,frac=0.5,factor=0.5,load=10" || axis[2] != "" {
+		t.Errorf("splitAxisList = %v", axis)
+	}
+	if got := splitAxisList(""); got != nil {
+		t.Errorf("splitAxisList(empty) = %v", got)
 	}
 	vals, err := parseFloats("0, 1.5")
 	if err != nil || len(vals) != 2 || vals[0] != 0 || vals[1] != 1.5 {
@@ -284,11 +295,14 @@ func TestSpecErrorsPrintGrammar(t *testing.T) {
 		{[]string{"-graph", "torus2d:4x4", "-policy", "warp:9"}, "policy grammar"},
 		{[]string{"-graph", "torus2d:4x4", "-env", "warp:x=1"}, "env grammar"},
 		{[]string{"-graph", "torus2d:4x4", "-env", "throttle:frac=0.5"}, "env grammar"},
+		{[]string{"-graph", "torus2d:4x4", "-scenario", "tsunami:at=1"}, "scenario grammar"},
+		{[]string{"-graph", "torus2d:4x4", "-scenario", "drain:frac=0.5"}, "scenario grammar"},
 		// Sweep-mode validation errors carry the grammar too.
 		{[]string{"-sweep", "-graph", "cycle:8", "-env", "warp:x=1", "-rounds", "10"}, "env grammar"},
 		{[]string{"-sweep", "-graph", "cycle:8", "-workload", "tsunami:9", "-rounds", "10"}, "workload grammar"},
 		{[]string{"-sweep", "-graph", "cycle:8", "-speeds", "warp:9", "-rounds", "10"}, "speeds grammar"},
 		{[]string{"-sweep", "-graph", "cycle:8", "-policy", "warp:9", "-rounds", "10"}, "policy grammar"},
+		{[]string{"-sweep", "-graph", "cycle:8", "-scenario", "warp:x=1", "-rounds", "10"}, "scenario grammar"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args)
@@ -312,8 +326,64 @@ func TestSplitListOn(t *testing.T) {
 func TestRunSweepPolicyAxis(t *testing.T) {
 	if err := run([]string{"-sweep", "-graph", "torus2d:6x6",
 		"-scheme", "sos", "-workload", "burst:10:3600:0",
-		"-policy", ",at:10,adaptive:8:64:5",
+		"-policy", ";at:10;adaptive:8:64:5",
 		"-rounds", "30", "-every", "10", "-format", "csv"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunFreeFormScenario(t *testing.T) {
+	// Migration-on-drain with the adaptive policy and beta re-optimization:
+	// the coupled event and the re-opt must flow through the free-form stack.
+	if err := run([]string{"-graph", "torus2d:8x8", "-speeds", "twoclass:0.25:4",
+		"-scheme", "sos", "-scenario", "drain:at=15,frac=0.25,ramp=4",
+		"-policy", "adaptive:16:64:10", "-betareopt", "0.05",
+		"-rounds", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	// Correlated throttle+burst on the continuous engine.
+	if err := run([]string{"-graph", "cycle:10", "-speeds", "range:4",
+		"-scheme", "sos", "-rounder", "continuous",
+		"-scenario", "correlated:at=5,frac=0.2,factor=0.5,load=500", "-rounds", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	// -scenario and -env together must be rejected (scenario owns speeds).
+	if err := run([]string{"-graph", "torus2d:4x4", "-speeds", "twoclass:0.25:4",
+		"-scenario", "drain:at=5,frac=0.25", "-env", "jitter:sigma=0.1",
+		"-rounds", "10"}); err == nil {
+		t.Fatal("-scenario with -env should be rejected")
+	}
+	// A negative re-opt threshold is a typo, not a request.
+	if err := run([]string{"-graph", "torus2d:4x4", "-betareopt", "-1",
+		"-rounds", "10"}); err == nil {
+		t.Fatal("negative -betareopt should be rejected")
+	}
+}
+
+func TestRunSweepScenarioAxis(t *testing.T) {
+	// ';'-separated scenario list: none vs drain vs correlated+cascade.
+	if err := run([]string{"-sweep", "-graph", "torus2d:6x6",
+		"-scheme", "sos", "-speeds", "twoclass:0.25:4",
+		"-scenario", ";drain:at=10,frac=0.125,ramp=4;correlated:at=10,frac=0.25,factor=0.5,load=900+cascade:at=15,waves=2,gap=5,frac=0.1,factor=0.5",
+		"-rounds", "25", "-every", "5", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	// Streaming CSV mode over the same grid.
+	if err := run([]string{"-sweep", "-stream", "-graph", "torus2d:6x6",
+		"-scheme", "sos", "-speeds", "twoclass:0.25:4",
+		"-scenario", ";drain:at=10,frac=0.125,ramp=4",
+		"-rounds", "25", "-every", "5", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	// -stream only emits CSV rows.
+	if err := run([]string{"-sweep", "-stream", "-graph", "cycle:8",
+		"-rounds", "10", "-format", "table"}); err == nil {
+		t.Fatal("-stream with -format table should be rejected")
+	}
+	// -betareopt has no sweep axis; silently running every cell with a
+	// stale beta would be exactly the wrong numbers.
+	if err := run([]string{"-sweep", "-graph", "cycle:8",
+		"-betareopt", "0.1", "-rounds", "10", "-format", "csv"}); err == nil {
+		t.Fatal("-betareopt in -sweep mode should be rejected")
 	}
 }

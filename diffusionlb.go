@@ -36,6 +36,7 @@ import (
 	"diffusionlb/internal/graph"
 	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/metrics"
+	"diffusionlb/internal/scenario"
 	"diffusionlb/internal/sim"
 	"diffusionlb/internal/spectral"
 	"diffusionlb/internal/viz"
@@ -432,6 +433,57 @@ var (
 	// RoundsToRetrack measures rounds-to-re-track after a speed event from
 	// a recorded series.
 	RoundsToRetrack = sim.RoundsToRetrack
+)
+
+// --- coupled scenarios (environment + workload on one timeline) ---
+
+// Scenario is one coupled timeline of speed and load events — drains that
+// migrate load away as capacity ramps out, correlated throttle+burst events
+// aimed at one region, jittered cascades; set it as the Runner's Scenario
+// field.
+type Scenario = scenario.Scenario
+
+// The concrete coupled events a timeline is built from; custom events
+// implement scenario.Event and compose with ScenarioTimeline.
+type (
+	// ScenarioDrain is migration-on-leave: speed ramps out while the load
+	// sheds to neighbors (and back on restore).
+	ScenarioDrain = scenario.Drain
+	// ScenarioCorrelated aims a throttle and a burst at the same node set.
+	ScenarioCorrelated = scenario.Correlated
+	// ScenarioCascade chains correlated events with counter-stream jitter.
+	ScenarioCascade = scenario.Cascade
+	// ScenarioTimeline composes several events into one timeline.
+	ScenarioTimeline = scenario.Timeline
+)
+
+// CoupledEvent records one fired round of a scenario (see
+// RunResult.ScenarioEvents).
+type CoupledEvent = sim.ScenarioEvent
+
+// BetaReopt configures the β re-optimization policy (Runner.BetaReopt):
+// after the total speed drifts beyond the threshold, the power iteration is
+// re-run on the reweighted operator and the new β_opt installed in place.
+type BetaReopt = sim.BetaReopt
+
+// BetaEvent records one β re-optimization (see RunResult.BetaEvents).
+type BetaEvent = sim.BetaEvent
+
+// BetaSetter is implemented by processes whose β can be re-optimized
+// mid-run (all three engines do).
+type BetaSetter = core.BetaSetter
+
+// Scenario constructors and helpers.
+var (
+	// ScenarioFromSpec parses the textual scenario syntax shared with the
+	// lbsim CLI and the sweep engine, e.g.
+	// "drain:at=100,frac=0.125,ramp=8+correlated:at=200,frac=0.25,factor=0.25,load=50000".
+	ScenarioFromSpec = scenario.FromSpec
+	// NewScenario bundles events into a scenario.
+	NewScenario = scenario.New
+	// ScenarioMetrics is the coupled metric set scenario runs record (the
+	// dynamic recovery trio plus the environment drift pair).
+	ScenarioMetrics = sim.ScenarioMetrics
 )
 
 // --- initial load distributions ---

@@ -209,6 +209,19 @@ func (c *Continuous) Retarget(op *spectral.Operator) error {
 // Retargets returns the number of operator changes applied so far.
 func (c *Continuous) Retargets() int { return c.retargetCount }
 
+// Beta returns the current second-order parameter β.
+func (c *Continuous) Beta() float64 { return c.beta }
+
+// SetBeta implements BetaSetter: it installs β for subsequent rounds,
+// leaving loads, flow memory and the round counter untouched.
+func (c *Continuous) SetBeta(beta float64) error {
+	if err := betaCheck(beta); err != nil {
+		return err
+	}
+	c.beta = beta
+	return nil
+}
+
 // Inject implements Injector: it adds deltas to the loads between rounds.
 // The injected totals are folded into the conservation baseline, so
 // ConservationError keeps measuring floating-point drift only, not the

@@ -171,6 +171,30 @@ type Retargeter interface {
 	Retarget(op *spectral.Operator) error
 }
 
+// BetaSetter is implemented by processes whose second-order parameter β can
+// be re-optimized mid-run — the hook the β re-optimization policy drives:
+// after a large speed event moves the operator's spectrum, the driver
+// re-runs the power iteration on the reweighted operator and installs the
+// new β_opt in place. SetBeta is not a round: loads, SOS flow memory, the
+// round counter and the rounding streams are untouched (β only changes how
+// subsequent flows combine the memory with the gradient), so a checkpoint
+// taken at a round boundary resumes bit-identically as long as the caller
+// replays the same β trajectory — which a re-optimization driven by the
+// deterministic speed trajectory does.
+type BetaSetter interface {
+	// SetBeta installs β ∈ (0, 2) for subsequent rounds. FOS processes
+	// accept it too (β is stored for a later switch to SOS).
+	SetBeta(beta float64) error
+}
+
+// betaCheck validates the common SetBeta precondition.
+func betaCheck(beta float64) error {
+	if beta <= 0 || beta >= 2 {
+		return fmt.Errorf("%w: SetBeta needs beta in (0,2), got %g", ErrBadConfig, beta)
+	}
+	return nil
+}
+
 // retargetCheck validates the common Retarget preconditions.
 func retargetCheck(op *spectral.Operator, nodes, arcs int) error {
 	if op == nil {

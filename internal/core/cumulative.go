@@ -160,6 +160,13 @@ func (c *CumulativeDiscrete) Retarget(op *spectral.Operator) error {
 // Retargets returns the number of operator changes applied so far.
 func (c *CumulativeDiscrete) Retargets() int { return c.cont.Retargets() }
 
+// Beta returns the current second-order parameter β.
+func (c *CumulativeDiscrete) Beta() float64 { return c.cont.Beta() }
+
+// SetBeta implements BetaSetter by forwarding to the internally simulated
+// continuous reference (the only place β enters the scheme).
+func (c *CumulativeDiscrete) SetBeta(beta float64) error { return c.cont.SetBeta(beta) }
+
 // Inject implements Injector: deltas are applied to both the discrete loads
 // and the internally simulated continuous reference, so the cumulative-flow
 // tracking keeps measuring the same trajectory.

@@ -334,6 +334,11 @@ type Checkpoint struct {
 	// deterministic speed trajectory (or re-applies the effective speeds)
 	// before continuing.
 	Retargets int
+	// Beta is the second-order parameter at the snapshot, so a run cut
+	// after a β re-optimization resumes with the re-optimized value instead
+	// of the constructor's. Restore ignores a zero value (checkpoints from
+	// older snapshots), keeping the process's current β.
+	Beta float64
 }
 
 // Checkpoint returns a deep copy of the resumable state. Combined with the
@@ -357,6 +362,7 @@ func (d *Discrete) Checkpoint() Checkpoint {
 		InjectedTokens:     d.injectedTokens,
 		RemovedTokens:      d.removedTokens,
 		Retargets:          d.retargetCount,
+		Beta:               d.beta,
 	}
 	copy(cp.Loads, d.x)
 	copy(cp.Flows, d.flows)
@@ -391,6 +397,12 @@ func (d *Discrete) Restore(cp Checkpoint) error {
 	d.injectedTokens = cp.InjectedTokens
 	d.removedTokens = cp.RemovedTokens
 	d.retargetCount = cp.Retargets
+	if cp.Beta != 0 {
+		if err := betaCheck(cp.Beta); err != nil {
+			return err
+		}
+		d.beta = cp.Beta
+	}
 	return nil
 }
 
@@ -413,6 +425,20 @@ func (d *Discrete) Retarget(op *spectral.Operator) error {
 
 // Retargets returns the number of operator changes applied so far.
 func (d *Discrete) Retargets() int { return d.retargetCount }
+
+// Beta returns the current second-order parameter β.
+func (d *Discrete) Beta() float64 { return d.beta }
+
+// SetBeta implements BetaSetter: it installs β for subsequent rounds,
+// leaving loads, flow memory, the round counter and the rounding streams
+// untouched.
+func (d *Discrete) SetBeta(beta float64) error {
+	if err := betaCheck(beta); err != nil {
+		return err
+	}
+	d.beta = beta
+	return nil
+}
 
 // Inject implements Injector: it adds deltas to the loads between rounds
 // (batch arrivals, hotspot bursts, departures). Injection is not a round —

@@ -509,6 +509,16 @@ func (a *AdaptiveProcess) Retarget(op *spectral.Operator) error {
 	return fmt.Errorf("core: %T does not implement Retargeter", a.Process)
 }
 
+// SetBeta implements BetaSetter by forwarding to the wrapped process, so
+// the β re-optimization policy drives through the wrapper; it errors if the
+// wrapped process cannot change β.
+func (a *AdaptiveProcess) SetBeta(beta float64) error {
+	if bs, ok := a.Process.(BetaSetter); ok {
+		return bs.SetBeta(beta)
+	}
+	return fmt.Errorf("core: %T does not implement BetaSetter", a.Process)
+}
+
 // RunHybrid drives p for maxRounds rounds, switching p to FOS the first
 // time policy fires. It returns the round at which the switch happened, or
 // -1 if it never did. A nil policy never switches.

@@ -34,15 +34,11 @@ package envdyn
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/nodeset"
 	"diffusionlb/internal/randx"
 )
-
-// saltSelect keeps the node-selection stream disjoint from the per-round
-// jitter streams derived from the same master seed.
-const saltSelect = 0x73656c_6563_0001 // "select"
 
 // Dynamics produces the per-node speed multipliers of a round.
 // Implementations follow the package determinism contract.
@@ -59,59 +55,18 @@ type Dynamics interface {
 	Factors(round int, base *hetero.Speeds, mult []float64) bool
 }
 
-// Selection names for the affected node set.
+// Selection names for the affected node set, shared with internal/scenario
+// through the common internal/nodeset picker (coupled events must target the
+// identical set on both the speed and the load side).
 const (
 	// SelFast selects the fastest base-speed nodes (ties toward the lowest
 	// index) — the natural target for throttling.
-	SelFast = "fast"
+	SelFast = nodeset.Fast
 	// SelSlow selects the slowest base-speed nodes.
-	SelSlow = "slow"
+	SelSlow = nodeset.Slow
 	// SelRandom selects nodes drawn from the seed's selection stream.
-	SelRandom = "random"
+	SelRandom = nodeset.Random
 )
-
-// selector resolves a Frac/Sel pair to a concrete node set, lazily, for the
-// node count it is first used with. The resolved set is cached: it depends
-// only on (base, frac, sel, seed), never on the round.
-type selector struct {
-	frac float64
-	sel  string
-	seed uint64
-
-	nodes []int
-	n     int
-}
-
-// pick returns the affected node indices in ascending order.
-func (s *selector) pick(base *hetero.Speeds, n int) []int {
-	if s.nodes != nil && s.n == n {
-		return s.nodes
-	}
-	k := int(s.frac*float64(n) + 0.5)
-	if k < 1 {
-		k = 1
-	}
-	if k > n {
-		k = n
-	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	switch s.sel {
-	case SelRandom:
-		rng := randx.New(randx.Mix2(s.seed, saltSelect))
-		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-	case SelSlow:
-		sort.SliceStable(idx, func(a, b int) bool { return base.Of(idx[a]) < base.Of(idx[b]) })
-	default: // SelFast
-		sort.SliceStable(idx, func(a, b int) bool { return base.Of(idx[a]) > base.Of(idx[b]) })
-	}
-	s.nodes = idx[:k]
-	sort.Ints(s.nodes)
-	s.n = n
-	return s.nodes
-}
 
 // Throttle scales the speeds of a selected node set by Factor while active:
 // one-shot (from round At on, optionally ending at round Until) or
@@ -140,7 +95,7 @@ type Throttle struct {
 	// Seed feeds the SelRandom selection stream.
 	Seed uint64
 
-	s selector
+	s nodeset.Selector
 }
 
 var _ Dynamics = (*Throttle)(nil)
@@ -164,20 +119,20 @@ func (t *Throttle) Name() string {
 	if t.Boost {
 		kind = "boost"
 	}
-	var b specBuilder
-	b.kind(kind)
+	var b SpecBuilder
+	b.Kind(kind)
 	if t.Every > 0 {
-		b.add("every", t.Every)
-		b.add("dur", t.Dur)
+		b.Add("every", t.Every)
+		b.Add("dur", t.Dur)
 	} else {
-		b.add("at", t.At)
+		b.Add("at", t.At)
 	}
-	b.add("frac", t.Frac)
-	b.add("factor", t.Factor)
+	b.Add("frac", t.Frac)
+	b.Add("factor", t.Factor)
 	if t.Every <= 0 && t.Until > 0 {
-		b.add("until", t.Until)
+		b.Add("until", t.Until)
 	}
-	b.sel(t.Sel, SelFast)
+	b.Sel(t.Sel, SelFast)
 	return b.String()
 }
 
@@ -186,8 +141,8 @@ func (t *Throttle) Factors(round int, base *hetero.Speeds, mult []float64) bool 
 	if t.Factor <= 0 || t.Factor == 1 || !t.active(round) {
 		return false
 	}
-	t.s.frac, t.s.sel, t.s.seed = t.Frac, t.Sel, t.Seed
-	for _, i := range t.s.pick(base, len(mult)) {
+	t.s.Frac, t.s.Sel, t.s.Seed = t.Frac, t.Sel, t.Seed
+	for _, i := range t.s.Pick(base, len(mult)) {
 		mult[i] *= t.Factor
 	}
 	return true
@@ -215,7 +170,7 @@ type Drain struct {
 	// Seed feeds the SelRandom selection stream.
 	Seed uint64
 
-	s selector
+	s nodeset.Selector
 }
 
 var _ Dynamics = (*Drain)(nil)
@@ -249,20 +204,20 @@ func (d *Drain) multAt(round int) float64 {
 
 // Name implements Dynamics.
 func (d *Drain) Name() string {
-	var b specBuilder
-	b.kind("drain")
-	b.add("at", d.At)
-	b.add("frac", d.Frac)
+	var b SpecBuilder
+	b.Kind("drain")
+	b.Add("at", d.At)
+	b.Add("frac", d.Frac)
 	if d.Ramp > 1 {
-		b.add("ramp", d.Ramp)
+		b.Add("ramp", d.Ramp)
 	}
 	if d.Restore > 0 {
-		b.add("restore", d.Restore)
+		b.Add("restore", d.Restore)
 		if d.RestoreRamp > 1 {
-			b.add("rramp", d.RestoreRamp)
+			b.Add("rramp", d.RestoreRamp)
 		}
 	}
-	b.sel(d.Sel, SelFast)
+	b.Sel(d.Sel, SelFast)
 	return b.String()
 }
 
@@ -272,8 +227,8 @@ func (d *Drain) Factors(round int, base *hetero.Speeds, mult []float64) bool {
 	if m == 1 {
 		return false
 	}
-	d.s.frac, d.s.sel, d.s.seed = d.Frac, d.Sel, d.Seed
-	for _, i := range d.s.pick(base, len(mult)) {
+	d.s.Frac, d.s.Sel, d.s.Seed = d.Frac, d.Sel, d.Seed
+	for _, i := range d.s.Pick(base, len(mult)) {
 		mult[i] *= m
 	}
 	return true
@@ -300,7 +255,7 @@ type Jitter struct {
 	// Seed feeds the walk and selection streams.
 	Seed uint64
 
-	s         selector
+	s         nodeset.Selector
 	walk      []int
 	walkRound int
 }
@@ -309,16 +264,16 @@ var _ Dynamics = (*Jitter)(nil)
 
 // Name implements Dynamics.
 func (j *Jitter) Name() string {
-	var b specBuilder
-	b.kind("jitter")
-	b.add("sigma", j.Sigma)
+	var b SpecBuilder
+	b.Kind("jitter")
+	b.Add("sigma", j.Sigma)
 	if j.Cap > 0 && j.Cap != 4 {
-		b.add("cap", j.Cap)
+		b.Add("cap", j.Cap)
 	}
 	if frac := j.frac(); frac != 1 {
-		b.add("frac", frac)
+		b.Add("frac", frac)
 	}
-	b.sel(j.Sel, SelRandom)
+	b.Sel(j.Sel, SelRandom)
 	return b.String()
 }
 
@@ -342,8 +297,8 @@ func (j *Jitter) Factors(round int, base *hetero.Speeds, mult []float64) bool {
 		return false
 	}
 	n := len(mult)
-	j.s.frac, j.s.sel, j.s.seed = j.frac(), j.selOrDefault(), j.Seed
-	nodes := j.s.pick(base, n)
+	j.s.Frac, j.s.Sel, j.s.Seed = j.frac(), j.selOrDefault(), j.Seed
+	nodes := j.s.Pick(base, n)
 	// Reflect the walk at ±maxW so it can always wander back within a few
 	// rounds. maxW truncates (and is floored at 1 when Sigma > ln Cap), so
 	// the multiplier is additionally clamped to the documented band below.

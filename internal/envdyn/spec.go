@@ -79,15 +79,20 @@ func ValidateSpec(spec string) error {
 	return err
 }
 
-// kvArgs parses the comma-separated key=value argument list of one
-// component, rejecting duplicate, unknown and malformed keys.
-type kvArgs struct {
+// Args holds the parsed comma-separated key=value argument list of one
+// spec component. It is exported (together with SpecBuilder) so that the
+// other key=value spec family — internal/scenario — shares one grammar
+// implementation with this package.
+type Args struct {
 	part string
 	m    map[string]string
 }
 
-func parseKV(part, args string, allowed []string) (*kvArgs, error) {
-	kv := &kvArgs{part: part, m: map[string]string{}}
+// ParseArgs parses the argument list of one component, rejecting
+// duplicate, unknown and malformed keys. part is the full component text
+// (for error messages), args the text after the "kind:" prefix.
+func ParseArgs(part, args string, allowed []string) (*Args, error) {
+	kv := &Args{part: part, m: map[string]string{}}
 	if args == "" {
 		return kv, nil
 	}
@@ -102,50 +107,56 @@ func parseKV(part, args string, allowed []string) (*kvArgs, error) {
 	for _, f := range strings.Split(args, ",") {
 		k, v, found := strings.Cut(f, "=")
 		if !found || k == "" || v == "" {
-			return nil, kv.bad(fmt.Sprintf("argument %q is not key=value", f))
+			return nil, kv.Bad(fmt.Sprintf("argument %q is not key=value", f))
 		}
 		if !ok(k) {
-			return nil, kv.bad(fmt.Sprintf("unknown key %q (valid: %s)", k, strings.Join(allowed, ", ")))
+			return nil, kv.Bad(fmt.Sprintf("unknown key %q (valid: %s)", k, strings.Join(allowed, ", ")))
 		}
 		if _, dup := kv.m[k]; dup {
-			return nil, kv.bad(fmt.Sprintf("duplicate key %q", k))
+			return nil, kv.Bad(fmt.Sprintf("duplicate key %q", k))
 		}
 		kv.m[k] = v
 	}
 	return kv, nil
 }
 
-func (kv *kvArgs) bad(msg string) error {
+// Bad wraps msg into an ErrBadSpec error naming the component.
+func (kv *Args) Bad(msg string) error {
 	return fmt.Errorf("%w: %q: %s", ErrBadSpec, kv.part, msg)
 }
 
-func (kv *kvArgs) has(key string) bool { _, ok := kv.m[key]; return ok }
+// Has reports whether the key was present in the input.
+func (kv *Args) Has(key string) bool { _, ok := kv.m[key]; return ok }
 
-func (kv *kvArgs) intVal(key string, def int) (int, error) {
+// Int returns the integer value of key, or def when absent.
+func (kv *Args) Int(key string, def int) (int, error) {
 	v, ok := kv.m[key]
 	if !ok {
 		return def, nil
 	}
 	i, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, kv.bad(fmt.Sprintf("%s=%q: not an integer", key, v))
+		return 0, kv.Bad(fmt.Sprintf("%s=%q: not an integer", key, v))
 	}
 	return i, nil
 }
 
-func (kv *kvArgs) floatVal(key string, def float64) (float64, error) {
+// Float returns the finite float value of key, or def when absent.
+func (kv *Args) Float(key string, def float64) (float64, error) {
 	v, ok := kv.m[key]
 	if !ok {
 		return def, nil
 	}
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
-		return 0, kv.bad(fmt.Sprintf("%s=%q: not a finite number", key, v))
+		return 0, kv.Bad(fmt.Sprintf("%s=%q: not a finite number", key, v))
 	}
 	return f, nil
 }
 
-func (kv *kvArgs) selVal(def string) (string, error) {
+// Sel returns the validated "sel" key (fast|slow|random), or def when
+// absent.
+func (kv *Args) Sel(def string) (string, error) {
 	v, ok := kv.m["sel"]
 	if !ok {
 		return def, nil
@@ -154,17 +165,72 @@ func (kv *kvArgs) selVal(def string) (string, error) {
 	case SelFast, SelSlow, SelRandom:
 		return v, nil
 	}
-	return "", kv.bad(fmt.Sprintf("sel=%q (fast|slow|random)", v))
+	return "", kv.Bad(fmt.Sprintf("sel=%q (fast|slow|random)", v))
 }
 
-// require errors unless the key was present in the input.
-func (kv *kvArgs) require(keys ...string) error {
+// Require errors unless every named key was present in the input.
+func (kv *Args) Require(keys ...string) error {
 	for _, k := range keys {
-		if !kv.has(k) {
-			return kv.bad(fmt.Sprintf("missing required key %q", k))
+		if !kv.Has(k) {
+			return kv.Bad(fmt.Sprintf("missing required key %q", k))
 		}
 	}
 	return nil
+}
+
+// DrainFromArgs parses and validates the drain component's key=value
+// arguments into a Drain. It is exported because the scenario grammar's
+// drain event shares the exact parameter set: internal/scenario parses
+// through this helper, so the -env and -scenario drain grammars cannot
+// silently diverge.
+func DrainFromArgs(part, args string, seed uint64) (*Drain, error) {
+	kv, err := ParseArgs(part, args, []string{"at", "ramp", "restore", "rramp", "frac", "sel"})
+	if err != nil {
+		return nil, err
+	}
+	if err := kv.Require("at", "frac"); err != nil {
+		return nil, err
+	}
+	d := &Drain{Seed: seed}
+	if d.At, err = kv.Int("at", 0); err != nil {
+		return nil, err
+	}
+	if d.Ramp, err = kv.Int("ramp", 1); err != nil {
+		return nil, err
+	}
+	if d.Restore, err = kv.Int("restore", 0); err != nil {
+		return nil, err
+	}
+	if d.RestoreRamp, err = kv.Int("rramp", 1); err != nil {
+		return nil, err
+	}
+	if d.Frac, err = kv.Float("frac", 0); err != nil {
+		return nil, err
+	}
+	if d.Sel, err = kv.Sel(SelFast); err != nil {
+		return nil, err
+	}
+	if d.At < 1 {
+		return nil, kv.Bad("at must be >= 1")
+	}
+	if d.Ramp < 1 {
+		return nil, kv.Bad("ramp must be >= 1")
+	}
+	if d.Frac <= 0 || d.Frac > 1 {
+		return nil, kv.Bad("frac must be in (0, 1]")
+	}
+	if kv.Has("rramp") && !kv.Has("restore") {
+		return nil, kv.Bad("rramp needs restore")
+	}
+	if kv.Has("restore") {
+		if d.Restore < d.At+d.Ramp {
+			return nil, kv.Bad("restore must be >= at+ramp (drain completes first)")
+		}
+		if d.RestoreRamp < 1 {
+			return nil, kv.Bad("rramp must be >= 1")
+		}
+	}
+	return d, nil
 }
 
 // fromOneSpec parses a single "+"-free component.
@@ -175,53 +241,53 @@ func fromOneSpec(part string, seed uint64) (Dynamics, error) {
 	}
 	switch kind {
 	case "throttle", "boost":
-		kv, err := parseKV(part, args, []string{"at", "until", "every", "dur", "frac", "factor", "sel"})
+		kv, err := ParseArgs(part, args, []string{"at", "until", "every", "dur", "frac", "factor", "sel"})
 		if err != nil {
 			return nil, err
 		}
-		if err := kv.require("frac", "factor"); err != nil {
+		if err := kv.Require("frac", "factor"); err != nil {
 			return nil, err
 		}
 		t := &Throttle{Boost: kind == "boost", Seed: seed}
-		if t.At, err = kv.intVal("at", 0); err != nil {
+		if t.At, err = kv.Int("at", 0); err != nil {
 			return nil, err
 		}
-		if t.Until, err = kv.intVal("until", 0); err != nil {
+		if t.Until, err = kv.Int("until", 0); err != nil {
 			return nil, err
 		}
-		if t.Every, err = kv.intVal("every", 0); err != nil {
+		if t.Every, err = kv.Int("every", 0); err != nil {
 			return nil, err
 		}
-		if t.Dur, err = kv.intVal("dur", 0); err != nil {
+		if t.Dur, err = kv.Int("dur", 0); err != nil {
 			return nil, err
 		}
-		if t.Frac, err = kv.floatVal("frac", 0); err != nil {
+		if t.Frac, err = kv.Float("frac", 0); err != nil {
 			return nil, err
 		}
-		if t.Factor, err = kv.floatVal("factor", 0); err != nil {
+		if t.Factor, err = kv.Float("factor", 0); err != nil {
 			return nil, err
 		}
-		if t.Sel, err = kv.selVal(SelFast); err != nil {
+		if t.Sel, err = kv.Sel(SelFast); err != nil {
 			return nil, err
 		}
 		switch {
-		case kv.has("at") && kv.has("every"):
+		case kv.Has("at") && kv.Has("every"):
 			return nil, bad("set either at=... (one-shot) or every=...,dur=... (recurring), not both")
-		case kv.has("every"):
+		case kv.Has("every"):
 			if t.Every < 1 {
 				return nil, bad("every must be >= 1")
 			}
-			if !kv.has("dur") || t.Dur < 1 || t.Dur > t.Every {
+			if !kv.Has("dur") || t.Dur < 1 || t.Dur > t.Every {
 				return nil, bad("recurring mode needs dur in [1, every]")
 			}
-			if kv.has("until") {
+			if kv.Has("until") {
 				return nil, bad("until only applies to one-shot mode")
 			}
-		case kv.has("at"):
+		case kv.Has("at"):
 			if t.At < 1 {
 				return nil, bad("at must be >= 1")
 			}
-			if kv.has("dur") {
+			if kv.Has("dur") {
 				return nil, bad("dur only applies to recurring mode")
 			}
 			if t.Until != 0 && t.Until <= t.At {
@@ -245,73 +311,27 @@ func fromOneSpec(part string, seed uint64) (Dynamics, error) {
 		return t, nil
 
 	case "drain":
-		kv, err := parseKV(part, args, []string{"at", "ramp", "restore", "rramp", "frac", "sel"})
-		if err != nil {
-			return nil, err
-		}
-		if err := kv.require("at", "frac"); err != nil {
-			return nil, err
-		}
-		d := &Drain{Seed: seed}
-		if d.At, err = kv.intVal("at", 0); err != nil {
-			return nil, err
-		}
-		if d.Ramp, err = kv.intVal("ramp", 1); err != nil {
-			return nil, err
-		}
-		if d.Restore, err = kv.intVal("restore", 0); err != nil {
-			return nil, err
-		}
-		if d.RestoreRamp, err = kv.intVal("rramp", 1); err != nil {
-			return nil, err
-		}
-		if d.Frac, err = kv.floatVal("frac", 0); err != nil {
-			return nil, err
-		}
-		if d.Sel, err = kv.selVal(SelFast); err != nil {
-			return nil, err
-		}
-		if d.At < 1 {
-			return nil, bad("at must be >= 1")
-		}
-		if d.Ramp < 1 {
-			return nil, bad("ramp must be >= 1")
-		}
-		if d.Frac <= 0 || d.Frac > 1 {
-			return nil, bad("frac must be in (0, 1]")
-		}
-		if kv.has("rramp") && !kv.has("restore") {
-			return nil, bad("rramp needs restore")
-		}
-		if kv.has("restore") {
-			if d.Restore < d.At+d.Ramp {
-				return nil, bad("restore must be >= at+ramp (drain completes first)")
-			}
-			if d.RestoreRamp < 1 {
-				return nil, bad("rramp must be >= 1")
-			}
-		}
-		return d, nil
+		return DrainFromArgs(part, args, seed)
 
 	case "jitter":
-		kv, err := parseKV(part, args, []string{"sigma", "cap", "frac", "sel"})
+		kv, err := ParseArgs(part, args, []string{"sigma", "cap", "frac", "sel"})
 		if err != nil {
 			return nil, err
 		}
-		if err := kv.require("sigma"); err != nil {
+		if err := kv.Require("sigma"); err != nil {
 			return nil, err
 		}
 		j := &Jitter{Seed: seed}
-		if j.Sigma, err = kv.floatVal("sigma", 0); err != nil {
+		if j.Sigma, err = kv.Float("sigma", 0); err != nil {
 			return nil, err
 		}
-		if j.Cap, err = kv.floatVal("cap", 4); err != nil {
+		if j.Cap, err = kv.Float("cap", 4); err != nil {
 			return nil, err
 		}
-		if j.Frac, err = kv.floatVal("frac", 1); err != nil {
+		if j.Frac, err = kv.Float("frac", 1); err != nil {
 			return nil, err
 		}
-		if j.Sel, err = kv.selVal(SelRandom); err != nil {
+		if j.Sel, err = kv.Sel(SelRandom); err != nil {
 			return nil, err
 		}
 		if j.Sigma <= 0 || j.Sigma > 2 {
@@ -330,18 +350,21 @@ func fromOneSpec(part string, seed uint64) (Dynamics, error) {
 	}
 }
 
-// specBuilder renders the canonical key=value spec form of a component.
-type specBuilder struct {
+// SpecBuilder renders the canonical key=value spec form of a component
+// (shared with internal/scenario, like Args).
+type SpecBuilder struct {
 	b     strings.Builder
 	first bool
 }
 
-func (s *specBuilder) kind(kind string) {
+// Kind starts the component with its kind name.
+func (s *SpecBuilder) Kind(kind string) {
 	s.b.WriteString(kind)
 	s.first = true
 }
 
-func (s *specBuilder) add(key string, val any) {
+// Add appends one key=value argument.
+func (s *SpecBuilder) Add(key string, val any) {
 	if s.first {
 		s.b.WriteByte(':')
 		s.first = false
@@ -351,11 +374,12 @@ func (s *specBuilder) add(key string, val any) {
 	fmt.Fprintf(&s.b, "%s=%v", key, val)
 }
 
-// sel appends the selection key unless it is the component default.
-func (s *specBuilder) sel(sel, def string) {
+// Sel appends the selection key unless it is the component default.
+func (s *SpecBuilder) Sel(sel, def string) {
 	if sel != "" && sel != def {
-		s.add("sel", sel)
+		s.Add("sel", sel)
 	}
 }
 
-func (s *specBuilder) String() string { return s.b.String() }
+// String returns the rendered spec.
+func (s *SpecBuilder) String() string { return s.b.String() }

@@ -28,6 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"negload", "deviation", "traffic", "hetero", "churn", "throttle",
+		"failover",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"diffusionlb/internal/core"
+)
+
+// TestFailoverCoupledDrainAndReopt pins the acceptance criteria of the
+// coupled-scenario subsystem: the drain moves load and speed together on
+// one schedule, the β re-optimization installs the post-drain optimum, and
+// it measurably beats the stale-β SOS (and the adaptive hybrid beats FOS)
+// on the post-drain ideal.
+func TestFailoverCoupledDrainAndReopt(t *testing.T) {
+	setup, results, err := runFailoverVariants(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]failoverOutcome{}
+	for _, o := range results {
+		byName[o.name] = o
+	}
+	fos, sos, reopt, adaptive := byName["fos"], byName["sos"], byName["reopt"], byName["adaptive"]
+
+	rampLen := setup.drainEnd - setup.event + 1
+	for _, o := range results {
+		// The drain fires on every ramp round, moving load each time and
+		// speeds until the clamp floor is reached — one coupled unit.
+		if len(o.scEvents) != rampLen {
+			t.Fatalf("%s saw %d scenario events, want the %d-round ramp", o.name, len(o.scEvents), rampLen)
+		}
+		sawSpeed := false
+		for k, ev := range o.scEvents {
+			if ev.Round != setup.event+k {
+				t.Fatalf("%s event %d at round %d, want %d", o.name, k, ev.Round, setup.event+k)
+			}
+			if ev.Moved == 0 {
+				t.Errorf("%s event %+v moved no load", o.name, ev)
+			}
+			if ev.Nodes > 0 {
+				sawSpeed = true
+			}
+			// The drain schedule (rounds, affected node count, post-event
+			// speed sum) is identical across variants; only the migrated
+			// token count tracks each variant's own load trajectory.
+			if ref := fos.scEvents[k]; ev.Nodes != ref.Nodes || ev.Sum != ref.Sum {
+				t.Errorf("%s event %+v schedule differs from fos's %+v", o.name, ev, ref)
+			}
+		}
+		if !sawSpeed {
+			t.Errorf("%s never saw a speed change; the drain must couple both sides", o.name)
+		}
+		// The drain moves the target and the loads: drift jumps hard.
+		if o.post < 20*o.pre {
+			t.Errorf("%s drift %g -> %g across the drain; the moved ideal should dominate", o.name, o.pre, o.post)
+		}
+	}
+
+	// The stale-β variants never re-optimize; the re-opt variants install
+	// the post-drain β_opt, which is strictly below the heterogeneous one.
+	for _, o := range []failoverOutcome{fos, sos} {
+		if len(o.betaEvents) != 0 || o.finalBeta != setup.preBeta {
+			t.Errorf("%s re-optimized β unexpectedly: events=%v beta=%g", o.name, o.betaEvents, o.finalBeta)
+		}
+	}
+	for _, o := range []failoverOutcome{reopt, adaptive} {
+		if len(o.betaEvents) == 0 {
+			t.Fatalf("%s never re-optimized β", o.name)
+		}
+		last := o.betaEvents[len(o.betaEvents)-1]
+		if o.finalBeta != last.Beta || o.finalBeta >= setup.preBeta {
+			t.Errorf("%s final β %g (events %v), want the post-drain optimum below %g",
+				o.name, o.finalBeta, o.betaEvents, setup.preBeta)
+		}
+		if !reflect.DeepEqual(o.betaEvents, reopt.betaEvents) {
+			t.Errorf("%s β events %v differ from reopt's %v (same trigger, same operator)", o.name, o.betaEvents, reopt.betaEvents)
+		}
+	}
+
+	// Recovery on the post-drain ideal: β re-opt measurably beats the
+	// stale-β SOS, and the full adaptive+re-opt stack beats FOS ("never
+	// re-tracked" counts as slower than anything).
+	if reopt.recover < 0 {
+		t.Fatal("reopt never re-tracked the post-drain ideal")
+	}
+	if sos.recover >= 0 && reopt.recover >= sos.recover {
+		t.Errorf("reopt re-tracked in %d rounds, stale-beta SOS in %d — no speedup", reopt.recover, sos.recover)
+	}
+	if adaptive.recover < 0 {
+		t.Fatal("adaptive never re-tracked the post-drain ideal")
+	}
+	if fos.recover >= 0 && adaptive.recover >= fos.recover {
+		t.Errorf("adaptive re-tracked in %d rounds, FOS in %d — no speedup", adaptive.recover, fos.recover)
+	}
+}
+
+// TestFailoverDeterministicAcrossWorkers is the other half of the
+// acceptance criterion: scenario histories, β events, switch histories and
+// the recorded series are identical for every cell-worker and step-worker
+// count.
+func TestFailoverDeterministicAcrossWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	type snapshot struct {
+		outcomes [][3]interface{}
+		switches [][]core.SwitchEvent
+		rows     [][]float64
+	}
+	take := func(cellWorkers, stepWorkers int) snapshot {
+		p := Params{Seed: 1, RoundsOverride: 120, Tiny: true,
+			CellWorkers: cellWorkers, Workers: stepWorkers}
+		_, results, err := runFailoverVariants(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s snapshot
+		for _, o := range results {
+			s.outcomes = append(s.outcomes, [3]interface{}{o.scEvents, o.betaEvents, o.finalBeta})
+			s.switches = append(s.switches, o.switches)
+			last := o.series.Len() - 1
+			s.rows = append(s.rows, o.series.Row(last))
+		}
+		return s
+	}
+	base := take(1, 1)
+	for _, w := range [][2]int{{4, 1}, {1, 4}, {8, 8}} {
+		got := take(w[0], w[1])
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("cellWorkers=%d stepWorkers=%d: outcomes differ from sequential", w[0], w[1])
+		}
+	}
+}

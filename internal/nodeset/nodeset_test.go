@@ -1,0 +1,82 @@
+package nodeset
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"diffusionlb/internal/hetero"
+)
+
+func twoClass(t *testing.T, n int) *hetero.Speeds {
+	t.Helper()
+	sp, err := hetero.TwoClass(n, 0.25, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestPickModes: fast picks the highest base speeds, slow the lowest, and
+// every mode returns max(1, round(frac·n)) ascending indices.
+func TestPickModes(t *testing.T) {
+	const n = 64
+	sp := twoClass(t, n)
+	for _, sel := range []string{Fast, Slow, Random, ""} {
+		got := Pick(sp, n, 0.25, sel, 9)
+		if len(got) != 16 {
+			t.Fatalf("sel=%q: got %d nodes, want 16", sel, len(got))
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("sel=%q: nodes not ascending: %v", sel, got)
+		}
+	}
+	for _, i := range Pick(sp, n, 0.25, Fast, 9) {
+		if sp.Of(i) != 4 {
+			t.Errorf("fast selection picked node %d with speed %g", i, sp.Of(i))
+		}
+	}
+	for _, i := range Pick(sp, n, 0.25, Slow, 9) {
+		if sp.Of(i) != 1 {
+			t.Errorf("slow selection picked node %d with speed %g", i, sp.Of(i))
+		}
+	}
+	// Random selection is a pure function of the seed.
+	if !reflect.DeepEqual(Pick(sp, n, 0.5, Random, 3), Pick(sp, n, 0.5, Random, 3)) {
+		t.Error("random selection not reproducible for one seed")
+	}
+	if reflect.DeepEqual(Pick(sp, n, 0.5, Random, 3), Pick(sp, n, 0.5, Random, 4)) {
+		t.Error("random selections for different seeds coincide (suspicious)")
+	}
+	// Bounds: at least one node, at most all.
+	if got := Pick(sp, n, 0.0001, Fast, 1); len(got) != 1 {
+		t.Errorf("tiny frac should pick 1 node, got %d", len(got))
+	}
+	if got := Pick(nil, 8, 1, Random, 1); len(got) != 8 {
+		t.Errorf("frac=1 should pick every node, got %d", len(got))
+	}
+}
+
+// TestSelectorCacheAndContains: the cached Pick equals the pure function,
+// and Contains reports exact membership.
+func TestSelectorCacheAndContains(t *testing.T) {
+	const n = 32
+	sp := twoClass(t, n)
+	s := &Selector{Frac: 0.25, Sel: Random, Seed: 5}
+	first := s.Pick(sp, n)
+	if !reflect.DeepEqual(first, Pick(sp, n, 0.25, Random, 5)) {
+		t.Fatal("Selector.Pick differs from the pure Pick")
+	}
+	if &first[0] != &s.Pick(sp, n)[0] {
+		t.Error("second Pick did not reuse the cache")
+	}
+	in := map[int]bool{}
+	for _, i := range first {
+		in[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if s.Contains(i) != in[i] {
+			t.Fatalf("Contains(%d) = %v, want %v", i, s.Contains(i), in[i])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"testing"
+
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/workload"
+)
+
+// FuzzFromSpec: no input may panic — malformed specs must error — and every
+// accepted spec must have a canonical Name that reparses to itself, with
+// both event halves safe to evaluate.
+func FuzzFromSpec(f *testing.F) {
+	for _, s := range []string{
+		"drain:at=10,frac=0.125",
+		"drain:at=10,frac=0.125,ramp=8,restore=30,rramp=4",
+		"correlated:at=20,frac=0.25,factor=0.25,load=50000",
+		"cascade:at=5,waves=3,gap=10,frac=0.1,factor=0.5,load=600,dur=5,jitter=4",
+		"compose(drain:at=10,frac=0.25+correlated:at=30,frac=0.1,factor=0.5,load=900)",
+		"drain:at=5,frac=0.5,sel=warp", "x", "", ":::", "drain:at=,frac=1",
+	} {
+		f.Add(s)
+	}
+	g, err := graph.Torus2D(4, 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := hetero.Homogeneous(32)
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := FromSpec(spec, 32, 1)
+		if err != nil || s == nil {
+			return
+		}
+		name := s.Name()
+		again, err := FromSpec(name, 32, 1)
+		if err != nil {
+			t.Fatalf("Name %q of accepted spec %q does not reparse: %v", name, spec, err)
+		}
+		if again.Name() != name {
+			t.Fatalf("Name not canonical: %q -> %q", name, again.Name())
+		}
+		// Both halves must be safe on a few representative rounds.
+		mult := make([]float64, 32)
+		loads := make([]int64, 32)
+		out := make([]int64, 32)
+		for i := range loads {
+			loads[i] = 100
+		}
+		ev := s.Event()
+		for _, r := range []int{1, 2, 100} {
+			for i := range mult {
+				mult[i] = 1
+			}
+			for i := range out {
+				out[i] = 0
+			}
+			ev.Factors(r, base, mult)
+			ev.Deltas(r, g, base, workload.IntLoads(loads), out)
+		}
+	})
+}

@@ -1,0 +1,334 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/nodeset"
+	"diffusionlb/internal/workload"
+)
+
+// fixture builds an 8x8 torus with a quarter of the nodes at speed 4 and a
+// uniform 1000-token start.
+type fixture struct {
+	g     *graph.Graph
+	sp    *hetero.Speeds
+	loads []int64
+	n     int
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	g, err := graph.Torus2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	sp, err := hetero.TwoClass(n, 0.25, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]int64, n)
+	for i := range loads {
+		loads[i] = 1000
+	}
+	return &fixture{g: g, sp: sp, loads: loads, n: n}
+}
+
+// applyDeltas drives one load-side round by hand: compute the deltas
+// against the current loads and fold them in, returning whether anything
+// moved and the sum of the deltas (0 = conserving).
+func (f *fixture) applyDeltas(t testing.TB, ev Event, round int) (bool, int64) {
+	t.Helper()
+	out := make([]int64, f.n)
+	fired := ev.Deltas(round, f.g, f.sp, workload.IntLoads(f.loads), out)
+	var sum int64
+	for i, d := range out {
+		f.loads[i] += d
+		sum += d
+	}
+	return fired, sum
+}
+
+// TestDrainCouplesSpeedAndLoad is the core coupling contract: on every
+// drain-ramp round the SAME event fires both a speed factor change and a
+// conserving load migration off the identical node set, and by the end of
+// the ramp the drained nodes are empty.
+func TestDrainCouplesSpeedAndLoad(t *testing.T) {
+	f := newFixture(t)
+	d := &Drain{At: 10, Ramp: 4, Frac: 0.125, Seed: 3}
+	drained := nodeset.Pick(f.sp, f.n, 0.125, nodeset.Fast, 3)
+
+	var total int64
+	for _, v := range f.loads {
+		total += v
+	}
+	for round := 1; round <= 20; round++ {
+		mult := make([]float64, f.n)
+		for i := range mult {
+			mult[i] = 1
+		}
+		spedFired := d.Factors(round, f.sp, mult)
+		loadFired, sum := f.applyDeltas(t, d, round)
+		if sum != 0 {
+			t.Fatalf("round %d: migration deltas sum to %d, want exact conservation", round, sum)
+		}
+		// Migration fires exactly during the ramp; the speed side fires from
+		// the ramp on (it holds the drained multiplier afterwards).
+		inRamp := round >= 10 && round <= 13
+		if loadFired != inRamp {
+			t.Fatalf("round %d: load fired=%v, want exactly during the ramp (%v)", round, loadFired, inRamp)
+		}
+		if spedFired != (round >= 10) {
+			t.Fatalf("round %d: speed fired=%v, want from the ramp start on", round, spedFired)
+		}
+		if inRamp {
+			// The speed side scales exactly the load side's node set.
+			for i, m := range mult {
+				inSet := false
+				for _, s := range drained {
+					if s == i {
+						inSet = true
+					}
+				}
+				if inSet == (m == 1) {
+					t.Fatalf("round %d node %d: multiplier %g does not match drained-set membership %v",
+						round, i, m, inSet)
+				}
+			}
+		}
+	}
+	for _, i := range drained {
+		if f.loads[i] != 0 {
+			t.Errorf("drained node %d still holds %d tokens after the ramp", i, f.loads[i])
+		}
+	}
+	var after int64
+	for _, v := range f.loads {
+		after += v
+	}
+	if after != total {
+		t.Errorf("total load %d -> %d across the drain; migration must conserve", total, after)
+	}
+}
+
+// TestDrainRestorePullsLoadBack: with a restore ramp the drained nodes pull
+// load back toward their neighbors' mean, conserving totals and never
+// driving a neighbor below zero.
+func TestDrainRestorePullsLoadBack(t *testing.T) {
+	f := newFixture(t)
+	d := &Drain{At: 5, Ramp: 3, Restore: 12, RestoreRamp: 4, Frac: 0.125, Seed: 3}
+	drained := nodeset.Pick(f.sp, f.n, 0.125, nodeset.Fast, 3)
+	for round := 1; round <= 20; round++ {
+		_, sum := f.applyDeltas(t, d, round)
+		if sum != 0 {
+			t.Fatalf("round %d: deltas sum to %d", round, sum)
+		}
+		for i, v := range f.loads {
+			if v < 0 {
+				t.Fatalf("round %d: node %d driven to %d (< 0)", round, i, v)
+			}
+		}
+	}
+	for _, i := range drained {
+		if f.loads[i] < 500 {
+			t.Errorf("restored node %d only pulled back to %d tokens", i, f.loads[i])
+		}
+	}
+}
+
+// TestOverlappingDrainsNeverGoNegative: two drains on the same node set
+// with overlapping ramps compose through the Timeline — the later event
+// sees the earlier one's pending deltas, so even the round where one drain
+// sheds everything cannot drive a node below zero (the documented
+// migration invariant).
+func TestOverlappingDrainsNeverGoNegative(t *testing.T) {
+	f := newFixture(t)
+	s, err := FromSpec("drain:at=5,frac=0.25,ramp=2+drain:at=6,frac=0.25,ramp=2", f.n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, v := range f.loads {
+		total += v
+	}
+	for round := 1; round <= 10; round++ {
+		_, sum := f.applyDeltas(t, s.Event(), round)
+		if sum != 0 {
+			t.Fatalf("round %d: deltas sum to %d", round, sum)
+		}
+		for i, v := range f.loads {
+			if v < 0 {
+				t.Fatalf("round %d: node %d driven to %d (< 0) by overlapping drains", round, i, v)
+			}
+		}
+	}
+	var after int64
+	for _, v := range f.loads {
+		after += v
+	}
+	if after != total {
+		t.Errorf("total load %d -> %d; migration must conserve", total, after)
+	}
+}
+
+// TestCorrelatedAimsBothAtOneSet: the throttle's node set and the burst's
+// node set are identical, and the burst lands exactly Load tokens in the
+// event round only.
+func TestCorrelatedAimsBothAtOneSet(t *testing.T) {
+	f := newFixture(t)
+	c := &Correlated{At: 7, Frac: 0.25, Factor: 0.25, Load: 10003, Seed: 9}
+
+	mult := make([]float64, f.n)
+	for i := range mult {
+		mult[i] = 1
+	}
+	if !c.Factors(7, f.sp, mult) {
+		t.Fatal("throttle did not fire in the event round")
+	}
+	out := make([]int64, f.n)
+	if !c.Deltas(7, f.g, f.sp, workload.IntLoads(f.loads), out) {
+		t.Fatal("burst did not fire in the event round")
+	}
+	var landed int64
+	for i := range out {
+		if (out[i] > 0) != (mult[i] != 1) {
+			t.Fatalf("node %d: burst delta %d vs multiplier %g — the two sides target different sets", i, out[i], mult[i])
+		}
+		landed += out[i]
+	}
+	if landed != 10003 {
+		t.Fatalf("burst landed %d tokens, want 10003", landed)
+	}
+	out2 := make([]int64, f.n)
+	if c.Deltas(8, f.g, f.sp, workload.IntLoads(f.loads), out2) {
+		t.Fatal("burst fired outside the event round")
+	}
+}
+
+// TestCascadeDeterministicWaves: the jittered wave schedule is a pure
+// function of the seed — two instances agree — and waves actually spread
+// over distinct rounds and (with random selection) distinct node sets.
+func TestCascadeDeterministicWaves(t *testing.T) {
+	f := newFixture(t)
+	build := func() *Cascade {
+		return &Cascade{At: 5, Waves: 3, Gap: 10, Jitter: 4, Frac: 0.1, Factor: 0.5, Load: 600, Dur: 5, Seed: 11}
+	}
+	fires := func(c *Cascade) []int {
+		var rounds []int
+		for round := 1; round <= 60; round++ {
+			out := make([]int64, f.n)
+			if c.Deltas(round, f.g, f.sp, workload.IntLoads(f.loads), out) {
+				rounds = append(rounds, round)
+			}
+		}
+		return rounds
+	}
+	a, b := fires(build()), fires(build())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("wave schedules differ across instances: %v vs %v", a, b)
+	}
+	if len(a) != 3 {
+		t.Fatalf("expected 3 burst rounds, got %v", a)
+	}
+	for w, r := range a {
+		base := 5 + w*10
+		if r < base || r > base+4 {
+			t.Errorf("wave %d fired at round %d, want within [%d, %d]", w, r, base, base+4)
+		}
+	}
+}
+
+// TestFromSpecRoundTrip: accepted specs canonicalize through Name and
+// reject obviously malformed inputs.
+func TestFromSpecRoundTrip(t *testing.T) {
+	good := []string{
+		"drain:at=10,frac=0.125",
+		"drain:at=10,frac=0.125,ramp=8,restore=30,rramp=4,sel=random",
+		"correlated:at=20,frac=0.25,factor=0.25,load=50000",
+		"correlated:at=20,frac=0.25,factor=0.5,load=1000,until=40,sel=slow",
+		"cascade:at=5,waves=3,gap=10,frac=0.1,factor=0.5,load=600,dur=5,jitter=4",
+		"drain:at=10,frac=0.25,ramp=4+correlated:at=30,frac=0.1,factor=0.5,load=900",
+		"compose(drain:at=10,frac=0.25+cascade:at=20,waves=2,gap=5,frac=0.1,factor=0.5)",
+	}
+	for _, spec := range good {
+		s, err := FromSpec(spec, 64, 1)
+		if err != nil {
+			t.Fatalf("FromSpec(%q): %v", spec, err)
+		}
+		name := s.Name()
+		again, err := FromSpec(name, 64, 1)
+		if err != nil {
+			t.Fatalf("Name %q of %q does not reparse: %v", name, spec, err)
+		}
+		if again.Name() != name {
+			t.Errorf("Name not canonical: %q -> %q", name, again.Name())
+		}
+	}
+	bad := []string{
+		"drain", "drain:frac=0.5", "drain:at=0,frac=0.5", "drain:at=5,frac=2",
+		"drain:at=5,frac=0.5,rramp=3", "drain:at=5,frac=0.5,ramp=4,restore=6",
+		"correlated:at=5,frac=0.5,factor=0.5", "correlated:at=5,frac=0.5,factor=0,load=10",
+		"correlated:at=5,frac=0.5,factor=0.5,load=-1", "correlated:at=5,frac=0.5,factor=0.5,load=10,until=5",
+		"cascade:at=5,waves=0,gap=5,frac=0.1,factor=0.5", "cascade:at=5,waves=2,gap=0,frac=0.1,factor=0.5",
+		"tsunami:at=5", "drain:at=5,frac=0.5,sel=warp", "compose(", "compose()",
+		"drain:at=5,frac=0.5,at=6", "drain:at=x,frac=0.5",
+	}
+	for _, spec := range bad {
+		if _, err := FromSpec(spec, 64, 1); err == nil {
+			t.Errorf("FromSpec(%q) accepted a malformed spec", spec)
+		}
+	}
+	if s, err := FromSpec("", 64, 1); s != nil || err != nil {
+		t.Errorf("empty spec should mean no scenario, got %v, %v", s, err)
+	}
+	if err := ValidateSpec("drain:at=10,frac=0.125"); err != nil {
+		t.Errorf("ValidateSpec rejected a good spec: %v", err)
+	}
+	if _, err := FromSpec("drain:at=10,frac=0.125", 0, 1); err == nil {
+		t.Error("FromSpec accepted a non-positive node count")
+	}
+}
+
+// TestScenarioHalvesShareEvents: the Dynamics and Mutator views drive the
+// same underlying events, so a drain's speed trajectory and migration
+// trajectory stay coupled through the adapters, and both report the
+// scenario's canonical name.
+func TestScenarioHalvesShareEvents(t *testing.T) {
+	f := newFixture(t)
+	s, err := FromSpec("drain:at=3,frac=0.125,ramp=4", f.n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := s.Dynamics()
+	mut := s.Mutator(f.g, f.sp)
+	if dyn.Name() != s.Name() || mut.Name() != s.Name() {
+		t.Fatalf("halves report %q / %q, want %q", dyn.Name(), mut.Name(), s.Name())
+	}
+	if !strings.Contains(s.Name(), "drain:at=3") {
+		t.Fatalf("unexpected canonical name %q", s.Name())
+	}
+	mult := make([]float64, f.n)
+	out := make([]int64, f.n)
+	for round := 1; round <= 8; round++ {
+		for i := range mult {
+			mult[i] = 1
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		sf := dyn.Factors(round, f.sp, mult)
+		lf := mut.Deltas(round, workload.IntLoads(f.loads), out)
+		// During the ramp (rounds 3..6) both halves fire together; after it
+		// the speed side keeps holding the drained multiplier alone.
+		if inRamp := round >= 3 && round <= 6; lf != inRamp || (inRamp && !sf) {
+			t.Fatalf("round %d: halves disagree (speed %v, load %v)", round, sf, lf)
+		}
+		for i, d := range out {
+			f.loads[i] += d
+		}
+	}
+}

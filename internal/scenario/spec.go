@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"diffusionlb/internal/envdyn"
+	"diffusionlb/internal/nodeset"
+	"diffusionlb/internal/randx"
+)
+
+// ErrBadSpec reports a malformed scenario spec.
+var ErrBadSpec = errors.New("scenario: invalid spec")
+
+// FromSpec builds a Scenario from a compact textual spec, the syntax shared
+// by the lbsim CLI and the sweep engine. Like the environment family it is
+// key=value (the events have too many optional knobs for positions):
+//
+//	drain:at=R,frac=F[,ramp=W][,restore=R2[,rramp=W2]][,sel=fast|slow|random]
+//	    migration-on-leave: the selected F·n nodes ramp their speed to the
+//	    floor of 1 over W rounds from round R *and* shed their load to
+//	    their non-draining neighbors on the same schedule; restore=R2 ramps
+//	    the speed back over W2 rounds while the nodes pull load back toward
+//	    their neighbors' mean
+//	correlated:at=R,frac=F,factor=X,load=L[,until=U][,sel=...]
+//	    a throttle (speed × X from round R, optionally until U) and an
+//	    L-token burst aimed at the same node set in round R
+//	cascade:at=R,waves=K,gap=G,frac=F,factor=X[,load=L][,dur=D][,jitter=J][,sel=...]
+//	    K chained correlated events, wave w starting at R + w·G plus a
+//	    jitter drawn from the (seed, w) counter stream in [0, J]; each
+//	    wave's throttle lasts D rounds (0 = forever) and selects its own
+//	    node set (default random — a rolling failure)
+//
+// Parts joined with "+" form a Timeline, and "compose(...)" is an accepted
+// wrapper around a "+"-joined list. The empty spec means no scenario and
+// returns (nil, nil). n is the node count (must be positive); seed is the
+// master seed the selection and jitter streams derive from, with each
+// composed part salted by its position.
+func FromSpec(spec string, n int, seed uint64) (*Scenario, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrBadSpec, n)
+	}
+	if inner, ok := strings.CutPrefix(spec, "compose("); ok {
+		body, ok := strings.CutSuffix(inner, ")")
+		if !ok || body == "" {
+			return nil, fmt.Errorf("%w: %q: unterminated or empty compose(...)", ErrBadSpec, spec)
+		}
+		spec = body
+	}
+	parts := strings.Split(spec, "+")
+	events := make([]Event, 0, len(parts))
+	for pi, part := range parts {
+		e, err := fromOneSpec(part, randx.Mix(seed, uint64(pi)))
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	return New(events...), nil
+}
+
+// ValidateSpec reports whether spec parses, without needing the real node
+// count (sweep validation runs before graphs are built).
+func ValidateSpec(spec string) error {
+	_, err := FromSpec(spec, 1<<31-1, 0)
+	return err
+}
+
+// fromOneSpec parses a single "+"-free event. It reuses the envdyn
+// key=value machinery (envdyn.ParseArgs reports envdyn.ErrBadSpec; wrap so
+// callers match this package's sentinel too).
+func fromOneSpec(part string, seed uint64) (Event, error) {
+	kind, args, _ := strings.Cut(part, ":")
+	bad := func(msg string) error {
+		return fmt.Errorf("%w: %q: %s", ErrBadSpec, part, msg)
+	}
+	wrap := func(err error) error {
+		if err == nil {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	switch kind {
+	case "drain":
+		// The scenario drain takes exactly the envdyn drain's parameters:
+		// parse through the shared helper so the two grammars cannot
+		// silently diverge.
+		ed, err := envdyn.DrainFromArgs(part, args, seed)
+		if err != nil {
+			return nil, wrap(err)
+		}
+		return &Drain{At: ed.At, Ramp: ed.Ramp, Restore: ed.Restore, RestoreRamp: ed.RestoreRamp,
+			Frac: ed.Frac, Sel: ed.Sel, Seed: ed.Seed}, nil
+
+	case "correlated":
+		kv, err := envdyn.ParseArgs(part, args, []string{"at", "until", "frac", "factor", "load", "sel"})
+		if err != nil {
+			return nil, wrap(err)
+		}
+		if err := kv.Require("at", "frac", "factor", "load"); err != nil {
+			return nil, wrap(err)
+		}
+		c := &Correlated{Seed: seed}
+		if c.At, err = kv.Int("at", 0); err != nil {
+			return nil, wrap(err)
+		}
+		if c.Until, err = kv.Int("until", 0); err != nil {
+			return nil, wrap(err)
+		}
+		if c.Frac, err = kv.Float("frac", 0); err != nil {
+			return nil, wrap(err)
+		}
+		if c.Factor, err = kv.Float("factor", 0); err != nil {
+			return nil, wrap(err)
+		}
+		load, err := kv.Int("load", 0)
+		if err != nil {
+			return nil, wrap(err)
+		}
+		c.Load = int64(load)
+		if c.Sel, err = kv.Sel(nodeset.Fast); err != nil {
+			return nil, wrap(err)
+		}
+		if c.At < 1 {
+			return nil, bad("at must be >= 1")
+		}
+		if c.Until != 0 && c.Until <= c.At {
+			return nil, bad("until must exceed at")
+		}
+		if c.Frac <= 0 || c.Frac > 1 {
+			return nil, bad("frac must be in (0, 1]")
+		}
+		if c.Factor <= 0 {
+			return nil, bad("factor must be > 0")
+		}
+		if c.Load < 0 {
+			return nil, bad("load must be >= 0")
+		}
+		return c, nil
+
+	case "cascade":
+		kv, err := envdyn.ParseArgs(part, args, []string{"at", "waves", "gap", "jitter", "frac", "factor", "load", "dur", "sel"})
+		if err != nil {
+			return nil, wrap(err)
+		}
+		if err := kv.Require("at", "waves", "gap", "frac", "factor"); err != nil {
+			return nil, wrap(err)
+		}
+		c := &Cascade{Seed: seed}
+		if c.At, err = kv.Int("at", 0); err != nil {
+			return nil, wrap(err)
+		}
+		if c.Waves, err = kv.Int("waves", 0); err != nil {
+			return nil, wrap(err)
+		}
+		if c.Gap, err = kv.Int("gap", 0); err != nil {
+			return nil, wrap(err)
+		}
+		if c.Jitter, err = kv.Int("jitter", 0); err != nil {
+			return nil, wrap(err)
+		}
+		if c.Frac, err = kv.Float("frac", 0); err != nil {
+			return nil, wrap(err)
+		}
+		if c.Factor, err = kv.Float("factor", 0); err != nil {
+			return nil, wrap(err)
+		}
+		load, err := kv.Int("load", 0)
+		if err != nil {
+			return nil, wrap(err)
+		}
+		c.Load = int64(load)
+		if c.Dur, err = kv.Int("dur", 0); err != nil {
+			return nil, wrap(err)
+		}
+		if c.Sel, err = kv.Sel(nodeset.Random); err != nil {
+			return nil, wrap(err)
+		}
+		if c.At < 1 {
+			return nil, bad("at must be >= 1")
+		}
+		if c.Waves < 1 {
+			return nil, bad("waves must be >= 1")
+		}
+		if c.Gap < 1 {
+			return nil, bad("gap must be >= 1")
+		}
+		if c.Jitter < 0 {
+			return nil, bad("jitter must be >= 0")
+		}
+		if c.Frac <= 0 || c.Frac > 1 {
+			return nil, bad("frac must be in (0, 1]")
+		}
+		if c.Factor <= 0 {
+			return nil, bad("factor must be > 0")
+		}
+		if c.Load < 0 {
+			return nil, bad("load must be >= 0")
+		}
+		if c.Dur < 0 {
+			return nil, bad("dur must be >= 0 (0 = forever)")
+		}
+		return c, nil
+
+	default:
+		return nil, bad("unknown kind (drain|correlated|cascade)")
+	}
+}

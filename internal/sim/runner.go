@@ -8,6 +8,8 @@ import (
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/envdyn"
 	"diffusionlb/internal/metrics"
+	"diffusionlb/internal/scenario"
+	"diffusionlb/internal/spectral"
 	"diffusionlb/internal/workload"
 )
 
@@ -227,6 +229,14 @@ func EnvironmentMetrics() []Metric {
 	return []Metric{IdealLoadDrift(), SpeedSum()}
 }
 
+// ScenarioMetrics is the set every coupled-scenario run records on top of
+// its base metrics: the dynamic-workload recovery trio plus the
+// environment drift pair — a scenario moves both the loads and the target.
+// Like DynamicMetrics, the returned slice is good for one run.
+func ScenarioMetrics() []Metric {
+	return append(DynamicMetrics(), EnvironmentMetrics()...)
+}
+
 // RoundsToRetrack scans a recorded series for how many rounds past a speed
 // event the named drift column needed to fall back to or below threshold —
 // the environment counterpart of RoundsToRecover (it is the same scan; the
@@ -301,6 +311,24 @@ type Runner struct {
 	// implement core.Retargeter and share one *spectral.Operator, so
 	// reference trajectories chase the same moving target.
 	Environment envdyn.Dynamics
+	// Scenario, when set, drives one coupled timeline of speed *and* load
+	// events (migration-on-drain, correlated throttle+burst, cascades):
+	// each round the speed half is applied exactly like an Environment
+	// (reweight + retarget) and the derived load half is injected
+	// immediately after, before any Workload — one atomic unit, mirrored
+	// into every Lockstep process, so reference trajectories and
+	// checkpoint/restore cuts stay bit-identical. Proc and every Lockstep
+	// process must implement both core.Retargeter and core.Injector (and
+	// share the operator). Setting both Scenario and Environment is an
+	// error: a scenario owns the speed timeline.
+	Scenario *scenario.Scenario
+	// BetaReopt, when set, re-optimizes the SOS β after large speed events:
+	// whenever the operator's total speed has drifted beyond the threshold
+	// since the last re-optimization, the (Reweight-invalidated) power
+	// iteration is re-run and the new β_opt installed on Proc and every
+	// Lockstep process, which must implement core.BetaSetter. It composes
+	// with Environment or Scenario (without either it never fires).
+	BetaReopt *BetaReopt
 	// OnRound, when set, is called after each round (after any lockstep
 	// steps and workload injection), e.g. to dump visualization frames.
 	OnRound func(round int, p core.Process)
@@ -330,6 +358,121 @@ func (e SpeedEvent) String() string {
 	return fmt.Sprintf("%d:%d nodes,sum=%g", e.Round, e.Nodes, e.Sum)
 }
 
+// ScenarioEvent records one fired round of a coupled scenario: the speed
+// half and the load half of the same timeline, applied as one unit.
+type ScenarioEvent struct {
+	// Round is the completed round the event applied after.
+	Round int `json:"round"`
+	// Nodes is the number of nodes whose effective speed changed (0 for a
+	// load-only round, e.g. a pure burst).
+	Nodes int `json:"nodes"`
+	// Moved is the total positive load the event relocated or injected this
+	// round (migration counts each moved token once).
+	Moved int64 `json:"moved"`
+	// Sum is the total speed Σ s_i after the event.
+	Sum float64 `json:"sum"`
+}
+
+// String renders the event compactly, e.g. "40:8 nodes,1200 moved,sum=96".
+func (e ScenarioEvent) String() string {
+	return fmt.Sprintf("%d:%d nodes,%d moved,sum=%g", e.Round, e.Nodes, e.Moved, e.Sum)
+}
+
+// BetaReopt configures the β re-optimization policy (Runner.BetaReopt).
+type BetaReopt struct {
+	// Threshold is the relative total-speed drift |Σs − Σs_last|/Σs_last
+	// that triggers a re-optimization (default 0.05).
+	Threshold float64
+	// Cooldown is the minimum number of rounds between re-optimizations
+	// (0 = none). While a qualifying drift waits out the cooldown, the run
+	// is accumulating Result.StaleBetaRounds.
+	Cooldown int
+	// Power tunes the power iteration (zero value = spectral defaults).
+	Power spectral.PowerOptions
+}
+
+// BetaReoptState drives the re-optimization trigger round by round: the
+// drift baseline (total speed at the last re-opt) and the cooldown clock.
+// The Runner owns one internally; manual drivers — in particular
+// checkpoint resumes, which re-drive dynamics by hand exactly like the
+// envdyn.Applier recipe — build their own and seed BaseSum/LastReopt from
+// the original run's Result.BetaEvents, so the resumed trigger fires
+// bit-identically with the uninterrupted run (Checkpoint.Beta carries the
+// β value itself).
+type BetaReoptState struct {
+	cfg BetaReopt
+	// BaseSum is the drift baseline: the total speed at the last re-opt
+	// (or at the start of the run).
+	BaseSum float64
+	// LastReopt is the round of the last re-opt (-1 = none yet).
+	LastReopt int
+	// Stale counts the rounds a qualifying drift waited out the cooldown —
+	// the rounds-spent-on-stale-β metric.
+	Stale   int
+	setters []core.BetaSetter
+}
+
+// NewBetaReoptState builds the trigger over a starting baseline and the
+// processes whose β it re-optimizes.
+func NewBetaReoptState(cfg BetaReopt, baseSum float64, setters ...core.BetaSetter) *BetaReoptState {
+	return &BetaReoptState{cfg: cfg, BaseSum: baseSum, LastReopt: -1, setters: setters}
+}
+
+// Step evaluates the trigger after round's speed changes have been applied
+// to op, installing the new β_opt on every setter when it fires. It
+// returns the applied event, or nil.
+func (s *BetaReoptState) Step(round int, op *spectral.Operator) (*BetaEvent, error) {
+	sum := op.Speeds().Sum()
+	if math.Abs(sum-s.BaseSum) <= s.cfg.threshold()*s.BaseSum {
+		return nil, nil
+	}
+	if s.LastReopt >= 0 && round-s.LastReopt < s.cfg.Cooldown {
+		s.Stale++
+		return nil, nil
+	}
+	lam, _, err := op.SecondEigenvalue(s.cfg.Power)
+	if err != nil {
+		return nil, fmt.Errorf("sim: beta re-opt at round %d: %w", round, err)
+	}
+	beta, err := spectral.BetaOpt(lam)
+	if err != nil {
+		return nil, fmt.Errorf("sim: beta re-opt at round %d: %w", round, err)
+	}
+	for _, bs := range s.setters {
+		if err := bs.SetBeta(beta); err != nil {
+			return nil, fmt.Errorf("sim: beta re-opt at round %d: %w", round, err)
+		}
+	}
+	s.BaseSum, s.LastReopt = sum, round
+	return &BetaEvent{Round: round, Lambda: lam, Beta: beta, Sum: sum}, nil
+}
+
+// threshold resolves the default.
+func (b *BetaReopt) threshold() float64 {
+	if b.Threshold <= 0 {
+		return 0.05
+	}
+	return b.Threshold
+}
+
+// BetaEvent records one β re-optimization.
+type BetaEvent struct {
+	// Round is the completed round after which the new β applied.
+	Round int `json:"round"`
+	// Lambda is the re-computed second eigenvalue of the current operator.
+	Lambda float64 `json:"lambda"`
+	// Beta is the installed β_opt.
+	Beta float64 `json:"beta"`
+	// Sum is the total speed the event re-baselined the drift trigger to —
+	// what a checkpoint resume seeds BetaReoptState.BaseSum with.
+	Sum float64 `json:"sum"`
+}
+
+// String renders the event compactly, e.g. "40:lambda=0.986,beta=1.72".
+func (e BetaEvent) String() string {
+	return fmt.Sprintf("%d:lambda=%.6g,beta=%.6g", e.Round, e.Lambda, e.Beta)
+}
+
 // Result is the outcome of a run.
 type Result struct {
 	// Series holds the recorded metric table.
@@ -344,6 +487,17 @@ type Result struct {
 	// Environment (nil when none fired). Jittery environments produce one
 	// entry per changing round.
 	SpeedEvents []SpeedEvent
+	// ScenarioEvents is the history of coupled scenario rounds (nil when no
+	// Scenario is set or none fired): one entry per round in which the
+	// timeline changed speeds, moved load, or both.
+	ScenarioEvents []ScenarioEvent
+	// BetaEvents is the history of β re-optimizations (nil when BetaReopt
+	// is unset or never fired).
+	BetaEvents []BetaEvent
+	// StaleBetaRounds counts the rounds executed with a qualifying speed
+	// drift while the BetaReopt cooldown delayed the re-optimization — the
+	// rounds-spent-on-stale-β metric (always 0 without a cooldown).
+	StaleBetaRounds int
 	// Rounds is the total number of rounds executed.
 	Rounds int
 }
@@ -379,58 +533,109 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 		policy = core.OneShot(r.Policy)
 	}
 
+	// The speed timeline comes from either Environment or Scenario (whose
+	// speed half is an envdyn.Dynamics); both drive the same reweight +
+	// retarget machinery.
+	envDyn := r.Environment
+	if r.Scenario != nil {
+		if envDyn != nil {
+			return nil, errors.New("sim: set either Runner.Environment or Runner.Scenario, not both (a scenario owns the speed timeline)")
+		}
+		envDyn = r.Scenario.Dynamics()
+	}
 	var applier *envdyn.Applier
 	var retargeters []core.Retargeter
-	if r.Environment != nil {
+	if envDyn != nil {
 		op := r.Proc.Operator()
 		rt, ok := r.Proc.(core.Retargeter)
 		if !ok {
-			return nil, fmt.Errorf("sim: Environment %q set but process %T does not implement core.Retargeter",
-				r.Environment.Name(), r.Proc)
+			return nil, fmt.Errorf("sim: dynamics %q set but process %T does not implement core.Retargeter",
+				envDyn.Name(), r.Proc)
 		}
 		retargeters = append(retargeters, rt)
 		for _, ref := range r.Lockstep {
 			rrt, ok := ref.(core.Retargeter)
 			if !ok {
-				return nil, fmt.Errorf("sim: Environment %q set but lockstep process %T does not implement core.Retargeter",
-					r.Environment.Name(), ref)
+				return nil, fmt.Errorf("sim: dynamics %q set but lockstep process %T does not implement core.Retargeter",
+					envDyn.Name(), ref)
 			}
 			// A lockstep reference on a different operator instance would
 			// keep balancing toward the stale targets and corrupt every
 			// deviation metric; require the shared-operator setup the
 			// deviation experiments use.
 			if ref.Operator() != op {
-				return nil, fmt.Errorf("sim: Environment %q set but lockstep process %T does not share the main operator",
-					r.Environment.Name(), ref)
+				return nil, fmt.Errorf("sim: dynamics %q set but lockstep process %T does not share the main operator",
+					envDyn.Name(), ref)
 			}
 			retargeters = append(retargeters, rrt)
 		}
 		var err error
-		applier, err = envdyn.NewApplier(op.Speeds(), op.Graph().NumNodes(), r.Environment)
+		applier, err = envdyn.NewApplier(op.Speeds(), op.Graph().NumNodes(), envDyn)
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
 
+	// requireInjectors validates that the main and every lockstep process
+	// absorb the same injections (a reference that cannot would silently
+	// drift and corrupt every deviation metric).
+	requireInjectors := func(src, name string) (core.Injector, error) {
+		inj, ok := r.Proc.(core.Injector)
+		if !ok {
+			return nil, fmt.Errorf("sim: %s %q set but process %T does not implement core.Injector", src, name, r.Proc)
+		}
+		for _, ref := range r.Lockstep {
+			if _, ok := ref.(core.Injector); !ok {
+				return nil, fmt.Errorf("sim: %s %q set but lockstep process %T does not implement core.Injector", src, name, ref)
+			}
+		}
+		return inj, nil
+	}
+
+	// Scenario load half: injected right after the scenario's speed half,
+	// before any Workload, so the coupled event lands as one unit.
+	var scInjector core.Injector
+	var scMut workload.Mutator
+	var scDeltas []int64
+	if r.Scenario != nil {
+		inj, err := requireInjectors("Scenario", r.Scenario.Name())
+		if err != nil {
+			return nil, err
+		}
+		scInjector = inj
+		op := r.Proc.Operator()
+		scMut = r.Scenario.Mutator(op.Graph(), op.Speeds())
+		scDeltas = make([]int64, op.Graph().NumNodes())
+	}
+
 	var injector core.Injector
 	var deltas []int64
 	if r.Workload != nil {
-		inj, ok := r.Proc.(core.Injector)
-		if !ok {
-			return nil, fmt.Errorf("sim: Workload %q set but process %T does not implement core.Injector",
-				r.Workload.Name(), r.Proc)
-		}
-		// A lockstep reference that cannot absorb the same injections would
-		// silently drift from the main process, corrupting every deviation
-		// metric — reject it up front like the main process.
-		for _, ref := range r.Lockstep {
-			if _, ok := ref.(core.Injector); !ok {
-				return nil, fmt.Errorf("sim: Workload %q set but lockstep process %T does not implement core.Injector",
-					r.Workload.Name(), ref)
-			}
+		inj, err := requireInjectors("Workload", r.Workload.Name())
+		if err != nil {
+			return nil, err
 		}
 		injector = inj
 		deltas = make([]int64, workloadLoads(r.Proc.Loads()).Len())
+	}
+
+	// β re-optimization trigger: the baseline starts at the initial total
+	// speed.
+	var reoptState *BetaReoptState
+	if r.BetaReopt != nil {
+		bs, ok := r.Proc.(core.BetaSetter)
+		if !ok {
+			return nil, fmt.Errorf("sim: BetaReopt set but process %T does not implement core.BetaSetter", r.Proc)
+		}
+		setters := []core.BetaSetter{bs}
+		for _, ref := range r.Lockstep {
+			rbs, ok := ref.(core.BetaSetter)
+			if !ok {
+				return nil, fmt.Errorf("sim: BetaReopt set but lockstep process %T does not implement core.BetaSetter", ref)
+			}
+			setters = append(setters, rbs)
+		}
+		reoptState = NewBetaReoptState(*r.BetaReopt, r.Proc.Operator().Speeds().Sum(), setters...)
 	}
 
 	record := func(round int) error {
@@ -449,25 +654,71 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 		for _, ref := range r.Lockstep {
 			ref.Step()
 		}
-		// Environment before workload injection: a burst landing in the
-		// same round as a speed event is injected into the already-moved
-		// target, and the policy below sees both.
+		// Speed dynamics before any injection: a burst landing in the same
+		// round as a speed event is injected into the already-moved target,
+		// and the policy below sees both.
+		scChanged := 0
 		if applier != nil {
 			sp, changed, err := applier.SpeedsAt(round)
 			if err != nil {
-				return nil, fmt.Errorf("sim: environment %q at round %d: %w", r.Environment.Name(), round, err)
+				return nil, fmt.Errorf("sim: dynamics %q at round %d: %w", envDyn.Name(), round, err)
 			}
 			if changed > 0 {
 				op := r.Proc.Operator()
 				if err := op.Reweight(sp); err != nil {
-					return nil, fmt.Errorf("sim: environment %q at round %d: %w", r.Environment.Name(), round, err)
+					return nil, fmt.Errorf("sim: dynamics %q at round %d: %w", envDyn.Name(), round, err)
 				}
 				for _, rt := range retargeters {
 					if err := rt.Retarget(op); err != nil {
-						return nil, fmt.Errorf("sim: environment %q at round %d: %w", r.Environment.Name(), round, err)
+						return nil, fmt.Errorf("sim: dynamics %q at round %d: %w", envDyn.Name(), round, err)
 					}
 				}
-				res.SpeedEvents = append(res.SpeedEvents, SpeedEvent{Round: round, Nodes: changed, Sum: sp.Sum()})
+				if r.Scenario != nil {
+					scChanged = changed
+				} else {
+					res.SpeedEvents = append(res.SpeedEvents, SpeedEvent{Round: round, Nodes: changed, Sum: sp.Sum()})
+				}
+			}
+		}
+		// β re-optimization: depends on the speeds alone, so it runs right
+		// after the reweight and before any load moves.
+		if reoptState != nil {
+			ev, err := reoptState.Step(round, r.Proc.Operator())
+			if err != nil {
+				return nil, err
+			}
+			if ev != nil {
+				res.BetaEvents = append(res.BetaEvents, *ev)
+			}
+			res.StaleBetaRounds = reoptState.Stale
+		}
+		// Scenario load half: the derived migration/burst deltas of the
+		// same timeline, applied as one unit with the speed half above.
+		if scMut != nil {
+			for i := range scDeltas {
+				scDeltas[i] = 0
+			}
+			var moved int64
+			if scMut.Deltas(round, workloadLoads(r.Proc.Loads()), scDeltas) {
+				for _, d := range scDeltas {
+					if d > 0 {
+						moved += d
+					}
+				}
+				if err := scInjector.Inject(scDeltas); err != nil {
+					return nil, fmt.Errorf("sim: scenario %q at round %d: %w", r.Scenario.Name(), round, err)
+				}
+				for _, ref := range r.Lockstep {
+					if err := ref.(core.Injector).Inject(scDeltas); err != nil {
+						return nil, fmt.Errorf("sim: scenario %q at round %d (lockstep): %w", r.Scenario.Name(), round, err)
+					}
+				}
+			}
+			if scChanged > 0 || moved > 0 {
+				res.ScenarioEvents = append(res.ScenarioEvents, ScenarioEvent{
+					Round: round, Nodes: scChanged, Moved: moved,
+					Sum: r.Proc.Operator().Speeds().Sum(),
+				})
 			}
 		}
 		if injector != nil {

@@ -21,7 +21,7 @@ type Result struct {
 }
 
 // Group aggregates the replicates of one (graph, scheme, rounder, speeds,
-// workload, environment, policy, beta) coordinate.
+// workload, environment, scenario, policy, beta) coordinate.
 type Group struct {
 	Graph       string  `json:"graph"`
 	Scheme      string  `json:"scheme"`
@@ -29,6 +29,7 @@ type Group struct {
 	Speeds      string  `json:"speeds,omitempty"`
 	Workload    string  `json:"workload,omitempty"`
 	Environment string  `json:"environment,omitempty"` // envdyn spec ("" = static speeds)
+	Scenario    string  `json:"scenario,omitempty"`    // coupled-scenario spec ("" = none)
 	Policy      string  `json:"policy,omitempty"`      // switch-policy spec ("" = never)
 	Beta        float64 `json:"beta"`                  // resolved β actually simulated
 	Lambda      float64 `json:"lambda"`                // second eigenvalue of the topology
@@ -66,6 +67,9 @@ func (g Group) Label() string {
 	if g.Environment != "" {
 		parts = append(parts, g.Environment)
 	}
+	if g.Scenario != "" {
+		parts = append(parts, g.Scenario)
+	}
 	if g.Policy != "" {
 		parts = append(parts, g.Policy)
 	}
@@ -79,76 +83,86 @@ func (g Group) Label() string {
 func aggregate(spec Spec, cells []Cell, series []*sim.Series, switches [][]core.SwitchEvent, systems map[sysKey]*system) (*Result, error) {
 	res := &Result{Spec: spec}
 	for start := 0; start < len(cells); start += spec.Replicates {
-		c := cells[start]
-		reps := series[start : start+spec.Replicates]
-		base := reps[0]
-		names := base.Names()
-		sys := systems[sysKey{c.graphIdx, c.speedsIdx}]
-		beta := c.Beta
-		if beta == 0 {
-			beta = sys.beta
-		}
-		g := Group{
-			Graph: c.Graph, Scheme: c.Scheme, Rounder: c.Rounder,
-			Speeds: c.Speeds, Workload: c.Workload, Environment: c.Environment,
-			Policy: c.Policy, Beta: beta,
-			Lambda: sys.lambda, Nodes: sys.g.NumNodes(),
-			Replicates: spec.Replicates,
-		}
-		if c.Policy != "" {
-			g.Switches = make([]int, 0, spec.Replicates)
-			for _, sw := range switches[start : start+spec.Replicates] {
-				g.Switches = append(g.Switches, len(sw))
-			}
-		}
-		for i := 0; i < base.Len(); i++ {
-			g.Rounds = append(g.Rounds, base.Round(i))
-		}
-		for col, name := range names {
-			agg := AggColumn{
-				Name: name,
-				Mean: make([]float64, base.Len()),
-				Std:  make([]float64, base.Len()),
-				Min:  make([]float64, base.Len()),
-				Max:  make([]float64, base.Len()),
-			}
-			for row := 0; row < base.Len(); row++ {
-				mn, mx := math.Inf(1), math.Inf(-1)
-				var sum float64
-				for _, s := range reps {
-					if s.Len() != base.Len() || s.Round(row) != base.Round(row) {
-						return nil, fmt.Errorf("sweep: replicate recording grids diverge in group %q", g.Label())
-					}
-					v := s.Row(row)[col]
-					sum += v
-					if v < mn {
-						mn = v
-					}
-					if v > mx {
-						mx = v
-					}
-				}
-				mean := sum / float64(len(reps))
-				std := 0.0
-				if mn == mx {
-					// All replicates agree (e.g. deterministic rounders):
-					// report the exact value, not mean-rounding noise.
-					mean = mn
-				} else if len(reps) > 1 {
-					var sq float64
-					for _, s := range reps {
-						d := s.Row(row)[col] - mean
-						sq += d * d
-					}
-					std = math.Sqrt(sq / float64(len(reps)-1))
-				}
-				agg.Mean[row], agg.Std[row], agg.Min[row], agg.Max[row] = mean, std, mn, mx
-			}
-			g.Columns = append(g.Columns, agg)
+		g, err := aggregateGroup(spec, cells[start],
+			series[start:start+spec.Replicates], switches[start:start+spec.Replicates],
+			systems[sysKey{cells[start].graphIdx, cells[start].speedsIdx}])
+		if err != nil {
+			return nil, err
 		}
 		res.Groups = append(res.Groups, g)
 	}
 	return res, nil
+}
+
+// aggregateGroup collapses the replicates of one coordinate into a Group —
+// the unit both the in-memory aggregate and the streaming CSV sink share,
+// which is what pins their outputs byte-identical.
+func aggregateGroup(spec Spec, c Cell, reps []*sim.Series, switches [][]core.SwitchEvent, sys *system) (Group, error) {
+	base := reps[0]
+	names := base.Names()
+	beta := c.Beta
+	if beta == 0 {
+		beta = sys.beta
+	}
+	g := Group{
+		Graph: c.Graph, Scheme: c.Scheme, Rounder: c.Rounder,
+		Speeds: c.Speeds, Workload: c.Workload, Environment: c.Environment,
+		Scenario: c.Scenario, Policy: c.Policy, Beta: beta,
+		Lambda: sys.lambda, Nodes: sys.g.NumNodes(),
+		Replicates: spec.Replicates,
+	}
+	if c.Policy != "" {
+		g.Switches = make([]int, 0, len(switches))
+		for _, sw := range switches {
+			g.Switches = append(g.Switches, len(sw))
+		}
+	}
+	for i := 0; i < base.Len(); i++ {
+		g.Rounds = append(g.Rounds, base.Round(i))
+	}
+	for col, name := range names {
+		agg := AggColumn{
+			Name: name,
+			Mean: make([]float64, base.Len()),
+			Std:  make([]float64, base.Len()),
+			Min:  make([]float64, base.Len()),
+			Max:  make([]float64, base.Len()),
+		}
+		for row := 0; row < base.Len(); row++ {
+			mn, mx := math.Inf(1), math.Inf(-1)
+			var sum float64
+			for _, s := range reps {
+				if s.Len() != base.Len() || s.Round(row) != base.Round(row) {
+					return Group{}, fmt.Errorf("sweep: replicate recording grids diverge in group %q", g.Label())
+				}
+				v := s.Row(row)[col]
+				sum += v
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			mean := sum / float64(len(reps))
+			std := 0.0
+			if mn == mx {
+				// All replicates agree (e.g. deterministic rounders):
+				// report the exact value, not mean-rounding noise.
+				mean = mn
+			} else if len(reps) > 1 {
+				var sq float64
+				for _, s := range reps {
+					d := s.Row(row)[col] - mean
+					sq += d * d
+				}
+				std = math.Sqrt(sq / float64(len(reps)-1))
+			}
+			agg.Mean[row], agg.Std[row], agg.Min[row], agg.Max[row] = mean, std, mn, mx
+		}
+		g.Columns = append(g.Columns, agg)
+	}
+	return g, nil
 }
 
 // WriteJSON writes the full aggregated result as indented JSON.
@@ -158,46 +172,66 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// csvHeader is the single source of truth for the CSV column set, asserted
+// by a round-trip test so the next column addition is a conscious diff
+// (writeGroupCSV indexes records positionally against it).
+var csvHeader = []string{
+	"graph", "scheme", "rounder", "speeds", "workload", "environment", "scenario", "policy",
+	"beta", "replicates", "switches", "round", "metric", "mean", "std", "min", "max",
+}
+
+// csvFloat renders a float the way every CSV row does.
+func csvFloat(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// writeGroupCSV appends one group's rows to cw; record is a reusable
+// len(csvHeader) scratch slice.
+func writeGroupCSV(cw *csv.Writer, g Group, record []string) error {
+	record[0], record[1], record[2] = g.Graph, g.Scheme, g.Rounder
+	record[3], record[4], record[5], record[6], record[7] = g.Speeds, g.Workload, g.Environment, g.Scenario, g.Policy
+	record[8] = csvFloat(g.Beta)
+	record[9] = strconv.Itoa(g.Replicates)
+	counts := make([]string, len(g.Switches))
+	for i, n := range g.Switches {
+		counts[i] = strconv.Itoa(n)
+	}
+	record[10] = strings.Join(counts, "|")
+	for _, col := range g.Columns {
+		record[12] = col.Name
+		for row, round := range g.Rounds {
+			record[11] = strconv.Itoa(round)
+			record[13] = csvFloat(col.Mean[row])
+			record[14] = csvFloat(col.Std[row])
+			record[15] = csvFloat(col.Min[row])
+			record[16] = csvFloat(col.Max[row])
+			if err := cw.Write(record); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // WriteCSV writes the result in long form, one row per
 // (group, round, metric):
 //
-//	graph,scheme,rounder,speeds,workload,environment,policy,beta,replicates,switches,round,metric,mean,std,min,max
+//	graph,scheme,rounder,speeds,workload,environment,scenario,policy,beta,replicates,switches,round,metric,mean,std,min,max
 //
 // switches is the per-replicate scheme-switch count joined with "|" (empty
 // when no policy is set). Rows go through encoding/csv, so spec fields
-// containing commas (environment specs always do) or quotes or newlines
-// are quoted per RFC 4180 instead of silently corrupting the row, and the
-// output round-trips through any CSV reader.
+// containing commas (environment and scenario specs always do) or quotes or
+// newlines are quoted per RFC 4180 instead of silently corrupting the row,
+// and the output round-trips through any CSV reader. For grids too large to
+// aggregate in memory, StreamCSV produces byte-identical output
+// incrementally.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"graph", "scheme", "rounder", "speeds", "workload", "environment", "policy",
-		"beta", "replicates", "switches", "round", "metric", "mean", "std", "min", "max"}); err != nil {
+	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
-	record := make([]string, 16)
+	record := make([]string, len(csvHeader))
 	for _, g := range r.Groups {
-		record[0], record[1], record[2] = g.Graph, g.Scheme, g.Rounder
-		record[3], record[4], record[5], record[6] = g.Speeds, g.Workload, g.Environment, g.Policy
-		record[7] = f(g.Beta)
-		record[8] = strconv.Itoa(g.Replicates)
-		counts := make([]string, len(g.Switches))
-		for i, n := range g.Switches {
-			counts[i] = strconv.Itoa(n)
-		}
-		record[9] = strings.Join(counts, "|")
-		for _, col := range g.Columns {
-			record[11] = col.Name
-			for row, round := range g.Rounds {
-				record[10] = strconv.Itoa(round)
-				record[12] = f(col.Mean[row])
-				record[13] = f(col.Std[row])
-				record[14] = f(col.Min[row])
-				record[15] = f(col.Max[row])
-				if err := cw.Write(record); err != nil {
-					return err
-				}
-			}
+		if err := writeGroupCSV(cw, g, record); err != nil {
+			return err
 		}
 	}
 	cw.Flush()

@@ -115,6 +115,7 @@ func TestWriteCSVRoundTripsSpecialFields(t *testing.T) {
 		Speeds:      "twoclass:0.25:4",
 		Workload:    "poisson:0.5+churn:10,20",
 		Environment: "throttle:at=10,frac=0.25,factor=0.5",
+		Scenario:    "correlated:at=10,frac=0.25,factor=0.5,load=100",
 		Policy:      "adaptive:16:64,100",
 		Beta:        1.5,
 		Replicates:  2,
@@ -138,26 +139,27 @@ func TestWriteCSVRoundTripsSpecialFields(t *testing.T) {
 		t.Fatalf("got %d rows, want header + 2", len(rows))
 	}
 	for _, row := range rows {
-		if len(row) != 16 {
-			t.Fatalf("row has %d fields, want 16: %v", len(row), row)
+		if len(row) != len(csvHeader) {
+			t.Fatalf("row has %d fields, want %d: %v", len(row), len(csvHeader), row)
 		}
 	}
 	first := rows[1]
 	if first[0] != `custom:4,5` || first[2] != `say "hi"` ||
 		first[4] != "poisson:0.5+churn:10,20" ||
 		first[5] != "throttle:at=10,frac=0.25,factor=0.5" ||
-		first[6] != "adaptive:16:64,100" ||
-		first[11] != "metric,with,commas" {
+		first[6] != "correlated:at=10,frac=0.25,factor=0.5,load=100" ||
+		first[7] != "adaptive:16:64,100" ||
+		first[12] != "metric,with,commas" {
 		t.Errorf("fields corrupted in round trip: %v", first)
 	}
-	if first[9] != "1|3" {
-		t.Errorf("switch counts wrong: %v", first[9])
+	if first[10] != "1|3" {
+		t.Errorf("switch counts wrong: %v", first[10])
 	}
-	if first[10] != "0" || rows[2][10] != "10" {
-		t.Errorf("round fields wrong: %v / %v", first[10], rows[2][10])
+	if first[11] != "0" || rows[2][11] != "10" {
+		t.Errorf("round fields wrong: %v / %v", first[11], rows[2][11])
 	}
-	if first[12] != "1" || rows[2][12] != "2" {
-		t.Errorf("mean fields wrong: %v / %v", first[12], rows[2][12])
+	if first[13] != "1" || rows[2][13] != "2" {
+		t.Errorf("mean fields wrong: %v / %v", first[13], rows[2][13])
 	}
 }
 
@@ -327,5 +329,102 @@ func TestSwitchAtLegacyAlias(t *testing.T) {
 		Policies: []string{"warp:9"}, Rounds: 10}
 	if _, err := Run(context.Background(), badPolicy, Options{}); err == nil {
 		t.Error("malformed policy spec must fail validation before any cell runs")
+	}
+}
+
+// TestScenariosAxis: scenario cells carry the spec label, record the full
+// coupled metric set, actually move both sides (total_load spikes on the
+// correlated burst, speed_sum drops), leave the shared system operator
+// untouched (private clone), and the whole sweep stays byte-identical
+// across worker counts.
+func TestScenariosAxis(t *testing.T) {
+	withProcs(t, 8)
+	spec := Spec{
+		Graphs:     []string{"torus2d:8x8"},
+		Schemes:    []string{"sos"},
+		Speeds:     []string{"twoclass:0.25:4"},
+		Scenarios:  []string{"", "correlated:at=20,frac=0.125,factor=0.25,load=32000"},
+		Replicates: 2,
+		Rounds:     60,
+		Every:      10,
+		BaseSeed:   3,
+	}
+	if got := spec.NumCells(); got != 4 {
+		t.Fatalf("NumCells = %d, want 2 scenarios x 2 replicates", got)
+	}
+	var outputs [][]byte
+	var results []*Result
+	for _, workers := range []int{1, 8} {
+		res, err := Run(context.Background(), spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.Bytes())
+		results = append(results, res)
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Fatal("scenario sweep output differs across worker counts")
+	}
+	res := results[0]
+	if len(res.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(res.Groups))
+	}
+	static, coupled := res.Groups[0], res.Groups[1]
+	if static.Scenario != "" || coupled.Scenario != "correlated:at=20,frac=0.125,factor=0.25,load=32000" {
+		t.Fatalf("group scenario labels: %q / %q", static.Scenario, coupled.Scenario)
+	}
+	col := func(g Group, name string) *AggColumn {
+		for i := range g.Columns {
+			if g.Columns[i].Name == name {
+				return &g.Columns[i]
+			}
+		}
+		return nil
+	}
+	sumCol, loadCol := col(coupled, "speed_sum"), col(coupled, "total_load")
+	if sumCol == nil || loadCol == nil {
+		t.Fatal("coupled group lacks the speed_sum/total_load scenario metrics")
+	}
+	if first, last := sumCol.Mean[0], sumCol.Mean[len(sumCol.Mean)-1]; last >= first {
+		t.Errorf("speed_sum %g -> %g; the correlated throttle should have reduced it", first, last)
+	}
+	if first, last := loadCol.Mean[0], loadCol.Mean[len(loadCol.Mean)-1]; last != first+32000 {
+		t.Errorf("total_load %g -> %g; the correlated burst should have added 32000", first, last)
+	}
+	if col(static, "speed_sum") != nil || col(static, "total_load") != nil {
+		t.Error("static cell grew scenario metrics")
+	}
+	if !strings.Contains(coupled.Label(), "correlated:at=20") {
+		t.Errorf("Label %q does not name the scenario", coupled.Label())
+	}
+}
+
+// TestScenarioSpecValidatedUpfront: malformed scenario entries and
+// environment x scenario grids fail before any cell runs.
+func TestScenarioSpecValidatedUpfront(t *testing.T) {
+	spec := Spec{
+		Graphs:    []string{"cycle:8"},
+		Schemes:   []string{"sos"},
+		Scenarios: []string{"warp:x=1"},
+		Rounds:    10,
+	}
+	if _, err := Run(context.Background(), spec, Options{}); err == nil {
+		t.Fatal("bad scenario spec should be rejected")
+	}
+	spec.Scenarios = []string{"drain:at=5,frac=0.25"}
+	spec.Environments = []string{"throttle:at=5,frac=0.25,factor=0.5"}
+	if _, err := Run(context.Background(), spec, Options{}); err == nil {
+		t.Fatal("environments x scenarios grid should be rejected up front")
+	}
+	spec.Environments = []string{""}
+	if _, err := Run(context.Background(), spec, Options{}); err != nil {
+		t.Fatalf("empty environment entries must still combine with scenarios: %v", err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/metrics"
 	"diffusionlb/internal/randx"
+	"diffusionlb/internal/scenario"
 	"diffusionlb/internal/sim"
 	"diffusionlb/internal/spectral"
 	"diffusionlb/internal/workload"
@@ -25,6 +26,7 @@ const (
 	seedSaltSpeeds   = 0x7370_6565_6400_0001 // "speed"
 	seedSaltWorkload = 0x776f_726b_6c00_0001 // "workl"
 	seedSaltEnv      = 0x656e_7664_7900_0001 // "envdy"
+	seedSaltScenario = 0x7363_656e_6100_0001 // "scena"
 )
 
 // Options configures Run.
@@ -195,15 +197,19 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, []core.SwitchEvent, e
 	if err != nil {
 		return nil, nil, err
 	}
-	// Environment dynamics reweight the operator in place, and the system's
-	// operator is shared by every cell on the topology — give dynamic-
-	// environment cells a private clone (cheap: the graph is shared).
+	// Environment dynamics and scenarios reweight the operator in place,
+	// and the system's operator is shared by every cell on the topology —
+	// give those cells a private clone (cheap: the graph is shared).
 	op := sys.op
 	env, err := envdyn.FromSpec(c.Environment, n, randx.Mix(c.Seed, seedSaltEnv))
 	if err != nil {
 		return nil, nil, err
 	}
-	if env != nil {
+	scn, err := scenario.FromSpec(c.Scenario, n, randx.Mix(c.Seed, seedSaltScenario))
+	if err != nil {
+		return nil, nil, err
+	}
+	if env != nil || scn != nil {
 		op = sys.op.Clone()
 	}
 	cfg := core.Config{Op: op, Kind: kind, Beta: beta, Workers: spec.StepWorkers}
@@ -245,6 +251,16 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, []core.SwitchEvent, e
 	if env != nil {
 		ms = append(ms, sim.EnvironmentMetrics()...)
 	}
+	if scn != nil {
+		// A scenario moves both sides: record the full coupled set — except
+		// the recovery trio a workload already added (env is always nil
+		// here; scenarios and environments are mutually exclusive).
+		if wl == nil {
+			ms = append(ms, sim.ScenarioMetrics()...)
+		} else {
+			ms = append(ms, sim.EnvironmentMetrics()...)
+		}
+	}
 	// Every cell parses its own fresh policy value: stateful policies
 	// (stall history, hysteresis cooldown) must never carry one replicate's
 	// trajectory into the next.
@@ -252,7 +268,7 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, []core.SwitchEvent, e
 	if err != nil {
 		return nil, nil, err
 	}
-	runner := &sim.Runner{Proc: proc, Every: spec.Every, Adaptive: policy, Metrics: ms, Workload: wl, Environment: env}
+	runner := &sim.Runner{Proc: proc, Every: spec.Every, Adaptive: policy, Metrics: ms, Workload: wl, Environment: env, Scenario: scn}
 	res, err := runner.Run(spec.Rounds)
 	if err != nil {
 		return nil, nil, err

@@ -7,6 +7,7 @@ import (
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/envdyn"
 	"diffusionlb/internal/randx"
+	"diffusionlb/internal/scenario"
 	"diffusionlb/internal/workload"
 )
 
@@ -37,6 +38,15 @@ type Spec struct {
 	// environment run on a private clone of the shared operator, since the
 	// dynamics reweight it in place.
 	Environments []string `json:"environments,omitempty"`
+	// Scenarios lists coupled-scenario specs (scenario.FromSpec syntax,
+	// e.g. "drain:at=100,frac=0.125,ramp=8",
+	// "correlated:at=100,frac=0.25,factor=0.25,load=50000"); the empty
+	// string means no scenario. Empty means [""]. A scenario owns the speed
+	// timeline, so a spec mixing non-empty Environments and non-empty
+	// Scenarios is rejected (every cell of the cross product would combine
+	// them). Scenario cells run on a private clone of the shared operator,
+	// like environment cells.
+	Scenarios []string `json:"scenarios,omitempty"`
 	// Policies lists hybrid switch-policy specs (core.PolicyFromSpec
 	// syntax: "at:2500", "local:16", "stall:50:0.01",
 	// "adaptive:16:64:100"); the empty string never switches. One-way
@@ -86,6 +96,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Environments) == 0 {
 		s.Environments = []string{""}
+	}
+	if len(s.Scenarios) == 0 {
+		s.Scenarios = []string{""}
 	}
 	if len(s.Policies) == 0 {
 		if s.SwitchAt > 0 {
@@ -149,6 +162,24 @@ func (s Spec) validate() error {
 			return fmt.Errorf("sweep: %w", err)
 		}
 	}
+	for _, sc := range s.Scenarios {
+		if err := scenario.ValidateSpec(sc); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	// A scenario owns the speed timeline; the cross product would pair every
+	// non-empty environment with every non-empty scenario, which the runner
+	// rejects cell by cell — reject the spec up front instead.
+	for _, env := range s.Environments {
+		if env == "" {
+			continue
+		}
+		for _, sc := range s.Scenarios {
+			if sc != "" {
+				return fmt.Errorf("sweep: environments and scenarios cannot combine (%q x %q): a scenario owns the speed timeline", env, sc)
+			}
+		}
+	}
 	// A negative switch round used to silently mean "never switch"; reject
 	// it at spec-validation time instead.
 	if s.SwitchAt < 0 {
@@ -197,14 +228,15 @@ type Cell struct {
 	// Group is the index of the aggregation group (all replicates of the
 	// same coordinate share one group).
 	Group int
-	// Graph, Scheme, Rounder, Speeds, Workload, Environment, Policy, Beta,
-	// Replicate are the coordinate.
+	// Graph, Scheme, Rounder, Speeds, Workload, Environment, Scenario,
+	// Policy, Beta, Replicate are the coordinate.
 	Graph       string
 	Scheme      string
 	Rounder     string
 	Speeds      string
 	Workload    string
 	Environment string
+	Scenario    string
 	Policy      string
 	Beta        float64
 	Replicate   int
@@ -217,11 +249,11 @@ type Cell struct {
 
 // Expand enumerates every cell of the sweep in deterministic order:
 // graphs → schemes → rounders → speeds → workloads → environments →
-// policies → betas → replicates, with the replicate index innermost so one
-// group occupies a contiguous index range.
+// scenarios → policies → betas → replicates, with the replicate index
+// innermost so one group occupies a contiguous index range.
 func (s Spec) Expand() []Cell {
 	s = s.withDefaults()
-	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Workloads)*len(s.Environments)*len(s.Policies)*len(s.Betas)*s.Replicates)
+	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Workloads)*len(s.Environments)*len(s.Scenarios)*len(s.Policies)*len(s.Betas)*s.Replicates)
 	group := 0
 	fosBetas := []float64{0}
 	for gi, g := range s.Graphs {
@@ -234,30 +266,33 @@ func (s Spec) Expand() []Cell {
 				for pi, sp := range s.Speeds {
 					for wi, wl := range s.Workloads {
 						for ei, env := range s.Environments {
-							for li, pol := range s.Policies {
-								for bi, beta := range schemeBetas {
-									for rep := 0; rep < s.Replicates; rep++ {
-										cells = append(cells, Cell{
-											Index:       len(cells),
-											Group:       group,
-											Graph:       g,
-											Scheme:      sc,
-											Rounder:     rd,
-											Speeds:      sp,
-											Workload:    wl,
-											Environment: env,
-											Policy:      pol,
-											Beta:        beta,
-											Replicate:   rep,
-											Seed: randx.Mix(s.BaseSeed,
-												uint64(gi), uint64(si), uint64(ri),
-												uint64(pi), uint64(wi), uint64(ei),
-												uint64(li), uint64(bi), uint64(rep)),
-											graphIdx:  gi,
-											speedsIdx: pi,
-										})
+							for ci, scn := range s.Scenarios {
+								for li, pol := range s.Policies {
+									for bi, beta := range schemeBetas {
+										for rep := 0; rep < s.Replicates; rep++ {
+											cells = append(cells, Cell{
+												Index:       len(cells),
+												Group:       group,
+												Graph:       g,
+												Scheme:      sc,
+												Rounder:     rd,
+												Speeds:      sp,
+												Workload:    wl,
+												Environment: env,
+												Scenario:    scn,
+												Policy:      pol,
+												Beta:        beta,
+												Replicate:   rep,
+												Seed: randx.Mix(s.BaseSeed,
+													uint64(gi), uint64(si), uint64(ri),
+													uint64(pi), uint64(wi), uint64(ei),
+													uint64(ci), uint64(li), uint64(bi), uint64(rep)),
+												graphIdx:  gi,
+												speedsIdx: pi,
+											})
+										}
+										group++
 									}
-									group++
 								}
 							}
 						}
@@ -279,7 +314,7 @@ func (s Spec) NumCells() int {
 		if kind, err := parseKind(sc); err == nil && kind == core.FOS {
 			nb = 1
 		}
-		perGraph += nb * len(s.Rounders) * len(s.Speeds) * len(s.Workloads) * len(s.Environments) * len(s.Policies) * s.Replicates
+		perGraph += nb * len(s.Rounders) * len(s.Speeds) * len(s.Workloads) * len(s.Environments) * len(s.Scenarios) * len(s.Policies) * s.Replicates
 	}
 	return len(s.Graphs) * perGraph
 }

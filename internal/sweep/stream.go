@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sync"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/sim"
+)
+
+// StreamCSV runs the sweep like Run but writes the CSV rows incrementally:
+// each aggregation group is collapsed and flushed to w as soon as its last
+// replicate finishes, instead of accumulating the whole grid in memory —
+// the ROADMAP scale path for grids too large for Result. Output is
+// byte-identical to Run(...).WriteCSV(w) for every worker count: groups
+// share the aggregation and row-rendering code with the in-memory writer,
+// and are emitted in group-index order (a completed group waits, buffered,
+// until every earlier group has been written, so peak memory is bounded by
+// the scheduling skew across workers rather than by the grid size).
+func StreamCSV(ctx context.Context, spec Spec, opts Options, w io.Writer) error {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	cells := spec.Expand()
+	systems, err := buildSystems(ctx, spec, cells, opts.Workers)
+	if err != nil {
+		return err
+	}
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+
+	numGroups := len(cells) / spec.Replicates
+	sink := &groupSink{
+		cw:      cw,
+		record:  make([]string, len(csvHeader)),
+		pending: make(map[int]Group, 4),
+	}
+	// Per-group replicate collection. Replicates of one group occupy a
+	// contiguous cell range, so group g collects cells
+	// [g·R, (g+1)·R); remaining counts down to zero as they finish.
+	type collect struct {
+		series    []*sim.Series
+		switches  [][]core.SwitchEvent
+		remaining int
+	}
+	collecting := make([]collect, numGroups)
+	for i := range collecting {
+		collecting[i] = collect{
+			series:    make([]*sim.Series, spec.Replicates),
+			switches:  make([][]core.SwitchEvent, spec.Replicates),
+			remaining: spec.Replicates,
+		}
+	}
+	var mu sync.Mutex
+	var done int
+
+	err = Map(ctx, opts.Workers, len(cells), func(ctx context.Context, i int) error {
+		c := cells[i]
+		s, sw, err := runCell(spec, c, systems[sysKey{c.graphIdx, c.speedsIdx}])
+		if err != nil {
+			return fmt.Errorf("sweep: cell %d (%s %s %s): %w", i, c.Graph, c.Scheme, c.Rounder, err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		col := &collecting[c.Group]
+		col.series[c.Replicate] = s
+		col.switches[c.Replicate] = sw
+		col.remaining--
+		if col.remaining == 0 {
+			g, err := aggregateGroup(spec, cells[c.Group*spec.Replicates], col.series, col.switches,
+				systems[sysKey{c.graphIdx, c.speedsIdx}])
+			// Free the replicate series either way; the group is done.
+			collecting[c.Group] = collect{}
+			if err != nil {
+				return err
+			}
+			if err := sink.emit(c.Group, g); err != nil {
+				return err
+			}
+		}
+		if opts.OnCell != nil {
+			done++
+			opts.OnCell(done, len(cells))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// groupSink writes completed groups in group-index order, buffering groups
+// that finish ahead of an earlier, still-running one. Callers serialize
+// access (StreamCSV holds its collection mutex around emit).
+type groupSink struct {
+	cw      *csv.Writer
+	record  []string
+	next    int
+	pending map[int]Group
+}
+
+// emit hands over a completed group; it writes every consecutively
+// available group starting at next.
+func (s *groupSink) emit(idx int, g Group) error {
+	s.pending[idx] = g
+	for {
+		gg, ok := s.pending[s.next]
+		if !ok {
+			return nil
+		}
+		delete(s.pending, s.next)
+		if err := writeGroupCSV(s.cw, gg, s.record); err != nil {
+			return err
+		}
+		s.next++
+	}
+}

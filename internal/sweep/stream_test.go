@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// streamSpec is a grid with several groups, replicates and a scenario axis,
+// so out-of-order group completion is actually exercised.
+func streamSpec() Spec {
+	return Spec{
+		Graphs:     []string{"torus2d:8x8", "cycle:48"},
+		Schemes:    []string{"sos", "fos"},
+		Speeds:     []string{"twoclass:0.25:4"},
+		Scenarios:  []string{"", "drain:at=10,frac=0.125,ramp=4"},
+		Policies:   []string{"", "adaptive:16:64:10"},
+		Replicates: 3,
+		Rounds:     30,
+		Every:      10,
+	}
+}
+
+// TestStreamCSVByteIdentical pins the satellite contract: the streaming
+// sink produces byte-identical output to the in-memory writer, for every
+// worker count.
+func TestStreamCSVByteIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	spec := streamSpec()
+	res, err := Run(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		var got bytes.Buffer
+		var cellsDone int
+		err := StreamCSV(context.Background(), spec, Options{
+			Workers: workers,
+			OnCell:  func(done, total int) { cellsDone = done },
+		}, &got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("workers=%d: StreamCSV output differs from WriteCSV (%d vs %d bytes)",
+				workers, got.Len(), want.Len())
+		}
+		if cellsDone != spec.NumCells() {
+			t.Errorf("workers=%d: OnCell reported %d cells, want %d", workers, cellsDone, spec.NumCells())
+		}
+	}
+}
+
+// TestStreamCSVValidates: malformed specs fail before anything is written.
+func TestStreamCSVValidates(t *testing.T) {
+	var buf bytes.Buffer
+	spec := streamSpec()
+	spec.Scenarios = []string{"tsunami:at=5"}
+	if err := StreamCSV(context.Background(), spec, Options{}, &buf); err == nil {
+		t.Error("StreamCSV accepted a malformed scenario spec")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("StreamCSV wrote %d bytes before validation failed", buf.Len())
+	}
+}
+
+// TestCSVHeaderRoundTrip is the header-constant satellite: every written
+// row has exactly the csvHeader's width, the header parses back to the
+// constant, and the width is pinned so the next column addition is a
+// conscious diff (PR 4 grew it to 16 silently; the scenario column makes
+// it 17).
+func TestCSVHeaderRoundTrip(t *testing.T) {
+	if len(csvHeader) != 17 {
+		t.Fatalf("csvHeader has %d columns, want 17 — update this pin AND the README column list consciously", len(csvHeader))
+	}
+	spec := Spec{
+		Graphs:    []string{"torus2d:8x8"},
+		Schemes:   []string{"sos"},
+		Speeds:    []string{"twoclass:0.25:4"},
+		Scenarios: []string{"correlated:at=5,frac=0.25,factor=0.5,load=1000"},
+		Policies:  []string{"adaptive:16:64:10"},
+		Rounds:    20,
+		Every:     10,
+	}
+	res, err := Run(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("written CSV does not parse back: %v", err)
+	}
+	if !reflect.DeepEqual(rows[0], csvHeader) {
+		t.Fatalf("header row %v does not round-trip the csvHeader constant %v", rows[0], csvHeader)
+	}
+	for i, row := range rows {
+		if len(row) != len(csvHeader) {
+			t.Fatalf("row %d has %d fields, header promises %d", i, len(row), len(csvHeader))
+		}
+	}
+	// The scenario spec (commas and all) must survive in its column.
+	if got := rows[1][6]; got != "correlated:at=5,frac=0.25,factor=0.5,load=1000" {
+		t.Errorf("scenario column = %q", got)
+	}
+	if !strings.Contains(text, "ideal_drift") || !strings.Contains(text, "peak_discrepancy") {
+		t.Error("scenario cells should record the coupled metric set")
+	}
+}
