@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race-sweep fmt-check vet verify bench bench-smoke clean
+.PHONY: all build test test-short lint verify-static race fmt-check vet verify fuzz-smoke bench bench-smoke clean
 
 all: build
 
@@ -13,13 +13,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# The sweep engine fans out goroutines across scenario cells, the
-# workload/sim/envdyn/scenario layers feed per-cell mutators, speed
-# dynamics and coupled events into those goroutines, and the core engines
-# run parallelFor chunks inside a step (Workers>1); run them all under the
-# race detector explicitly.
-race-sweep:
-	$(GO) test -race -short ./internal/sweep/... ./internal/experiments/ ./internal/workload/ ./internal/envdyn/ ./internal/scenario/ ./internal/sim/ ./internal/core/
+# lint runs the lbvet analyzer suite (internal/analysis): nodeterminism,
+# floateq, specroundtrip and goroutineleak — the static half of the
+# determinism and conservation contract (see README "Determinism
+# contract"). Exceptions need a justified //lint:allow.
+lint:
+	$(GO) run ./cmd/lbvet ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,11 +27,35 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# verify is the CI entry point: formatting, static checks, a full build
-# (including the examples/ packages, which have no tests of their own) and
-# the short test suite plus the race pass on the concurrent packages.
-verify: fmt-check vet build test-short race-sweep
+# verify-static is the no-execution half of verify: formatting, go vet and
+# the lbvet analyzer suite.
+verify-static: fmt-check vet lint
+
+# race runs every package under the race detector with the runtime
+# invariant checks compiled in (-tags=invariants): the sweep engine fans
+# out goroutines across scenario cells, the engines run parallelFor chunks
+# inside a step, and the invariants assert conservation and
+# column-stochasticity after every round while they race.
+race:
+	$(GO) test -race -short -tags=invariants ./...
+
+# verify is the CI entry point: the static suite, a full build (including
+# the examples/ packages, which have no tests of their own), the short test
+# suite and the race+invariants pass.
+verify: verify-static build test-short race
 	@echo verify OK
+
+# fuzz-smoke runs every fuzz target briefly (override FUZZTIME, e.g.
+# FUZZTIME=60s) — the executable proof behind the specroundtrip analyzer's
+# requirement that every FromSpec parser has a fuzz round-trip test.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzFromSpec$$' -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzSpeedsFromSpec$$' -fuzztime $(FUZZTIME) ./internal/hetero
+	$(GO) test -run '^$$' -fuzz '^FuzzPolicyFromSpec$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzFromSpec$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzFromSpec$$' -fuzztime $(FUZZTIME) ./internal/envdyn
+	$(GO) test -run '^$$' -fuzz '^FuzzFromSpec$$' -fuzztime $(FUZZTIME) ./internal/scenario
 
 # bench produces real timings; override BENCHTIME (e.g. BENCHTIME=2s) or
 # narrow with standard go test flags for serious measurement runs.

@@ -1,0 +1,84 @@
+// Command lbvet runs the repo's determinism and conservation analyzer
+// suite (internal/analysis) over the whole module: nodeterminism, floateq,
+// specroundtrip and goroutineleak, plus well-formedness of //lint:allow
+// directives. It is the static half of the contract whose runtime half is
+// internal/invariants; make lint wires it into verify and CI.
+//
+// Usage:
+//
+//	lbvet [dir]
+//
+// dir defaults to the current directory; the module root is found by
+// walking up to go.mod, and the entire module is analyzed ("./..." is
+// accepted as an alias for the default). Exits 1 when any diagnostic
+// survives suppression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"diffusionlb/internal/analysis"
+	"diffusionlb/internal/analysis/driver"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lbvet [dir]\n\nanalyzers:\n")
+		for _, sa := range analysis.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", sa.Name, sa.Doc)
+		}
+	}
+	flag.Parse()
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "lbvet: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(arg string) error {
+	start := arg
+	if start == "" || start == "./..." {
+		start = "."
+	}
+	root, err := findModuleRoot(start)
+	if err != nil {
+		return err
+	}
+	l, err := driver.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	diags, pkgs, err := analysis.LintModule(l)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("lbvet: %d packages clean\n", pkgs)
+	return nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,95 @@
+package driver
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The //lint:allow escape hatch: a comment of the form
+//
+//	//lint:allow <analyzer> <justification>
+//
+// suppresses that analyzer's diagnostics on the comment's own source line
+// (trailing comment) and on the line directly below it (standalone comment
+// above the flagged statement). The justification is mandatory — a bare
+// directive suppresses nothing and is itself reported by
+// CheckAllowDirectives, so every exception in the tree carries its reason.
+const allowPrefix = "//lint:allow"
+
+// allowKey identifies one suppressed (file line, analyzer) pair.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowSet collects the well-formed allow directives of a package.
+func allowSet(pkg *Package) map[allowKey]bool {
+	set := map[allowKey]bool{}
+	for _, f := range append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, just := parseAllow(c.Text)
+				if name == "" || just == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				set[allowKey{pos.Filename, pos.Line, name}] = true
+				set[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow splits an allow directive into analyzer name and justification;
+// both are empty when the comment is not a directive, and just is empty when
+// the justification is missing.
+func parseAllow(text string) (name, just string) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", ""
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	name, just, _ = strings.Cut(rest, " ")
+	return name, strings.TrimSpace(just)
+}
+
+// filterAllowed drops diagnostics covered by an allow directive.
+func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	set := allowSet(pkg)
+	out := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !set[allowKey{pos.Filename, pos.Line, d.Analyzer}] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CheckAllowDirectives reports malformed allow directives (missing analyzer
+// name or justification) so the escape hatch cannot silently rot. Call it
+// once per package, alongside the analyzer runs.
+func CheckAllowDirectives(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				if name, just := parseAllow(c.Text); name == "" || just == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "allow",
+						Message:  "malformed //lint:allow directive: want \"//lint:allow <analyzer> <justification>\"",
+					})
+				}
+			}
+		}
+	}
+	return diags
+}

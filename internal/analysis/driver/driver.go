@@ -1,0 +1,92 @@
+// Package driver is the execution harness behind the lbvet analyzer suite:
+// a deliberately small, API-compatible subset of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Reportf) plus the package
+// loader and fixture runner that feed it.
+//
+// The repo builds fully offline with no module dependencies, so the x/tools
+// analysis framework is not available; this package reimplements the slice
+// of it the suite needs on top of the standard library (go/ast, go/types,
+// go/build). Analyzers are written exactly as they would be against
+// x/tools — swapping this driver for the real multichecker is a mechanical
+// import change, not a rewrite.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph rationale shown by lbvet -help.
+	Doc string
+	// Run executes the check against one package, reporting findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzed package through an Analyzer.Run, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the type-checked files of the package. When the package was
+	// loaded with tests, in-package _test.go files are included (use
+	// IsTestFile to tell them apart).
+	Files []*ast.File
+	// XTestFiles are the parsed — not type-checked — files of the external
+	// test package (package foo_test), for analyzers that inspect test
+	// declarations such as fuzz targets.
+	XTestFiles []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run executes a on pkg and returns the surviving diagnostics sorted by
+// position, with //lint:allow suppressions applied.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		XTestFiles: pkg.XTestFiles,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.TypesInfo,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	diags := filterAllowed(pkg, pass.diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

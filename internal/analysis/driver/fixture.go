@@ -1,0 +1,121 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture is the analysistest-style harness: it loads the package in
+// dir (tests included), runs a, and checks the diagnostics against the
+// `// want "regexp"` expectations in the fixture sources. Every diagnostic
+// must be matched by a want on its line and every want must be matched by a
+// diagnostic; //lint:allow suppression applies, so fixtures can exercise
+// the escape hatch too.
+func RunFixture(t testing.TB, l *Loader, dir string, a *Analyzer) {
+	t.Helper()
+	pkg, err := l.LoadDir(dir, true)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation: a diagnostic matching re on (file, line).
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans the fixture comments for `// want "re"` markers (one or
+// more quoted regexps per comment).
+func collectWants(pkg *Package) ([]want, error) {
+	var wants []want
+	for _, f := range append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range splitQuoted(rest) {
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want literal %s: %w", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %w", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, want{pos.Filename, pos.Line, re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted splits `"a" "b"` into its Go string literals (double- or
+// back-quoted), tolerating surrounding whitespace.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return append(out, s)
+			}
+			out = append(out, s[:end+1])
+			s = s[end+1:]
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return append(out, s)
+			}
+			out = append(out, s[:end+2])
+			s = s[end+2:]
+		default:
+			return append(out, strconv.Quote(s))
+		}
+	}
+}

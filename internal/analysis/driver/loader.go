@@ -1,0 +1,220 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, fully type-checked package.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	XTestFiles []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Loader parses and type-checks the packages of one module from source.
+// Dependencies — including the standard library, resolved under GOROOT —
+// are loaded API-only (IgnoreFuncBodies) and cached, so loading every
+// package of the repo shares one dependency closure. Loader implements
+// types.Importer; it needs no network, no module cache and no export data,
+// which is what lets lbvet run in the offline build environment.
+//
+// A Loader is not safe for concurrent use.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	ctx     build.Context
+	cache   map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at moduleDir (the
+// directory containing go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("driver: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("driver: no module line in %s/go.mod", abs)
+	}
+	ctx := build.Default
+	// The module has no cgo; disabling it keeps the stdlib closure purely
+	// source-checkable.
+	ctx.CgoEnabled = false
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModulePath: modPath,
+		ModuleDir:  abs,
+		ctx:        ctx,
+		cache:      map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// dirFor resolves an import path to a source directory: module-local paths
+// map under ModuleDir, everything else under GOROOT/src (with the GOROOT
+// vendor fallback). External modules are unavailable by design.
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+	}
+	src := filepath.Join(l.ctx.GOROOT, "src")
+	for _, dir := range []string{
+		filepath.Join(src, filepath.FromSlash(path)),
+		filepath.Join(src, "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("driver: cannot resolve import %q (not in module %s or GOROOT; external modules are unavailable offline)", path, l.ModulePath)
+}
+
+// Import implements types.Importer for dependency loading: packages are
+// type-checked from source with function bodies ignored and cached by path.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("driver: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("driver: %s: %w", path, err)
+	}
+	files, err := l.parseFiles(dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		// Dependencies only need a usable API surface; tolerate residual
+		// errors (e.g. linkname-declared functions) instead of failing the
+		// whole analysis run.
+		Error: func(error) {},
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("driver: type-checking %s produced no package", path)
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseFiles parses the named files of dir with comments.
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ImportPathFor maps a directory to its import path: module-relative when
+// under ModuleDir, the cleaned directory path otherwise.
+func (l *Loader) ImportPathFor(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(abs)
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir parses and fully type-checks the package in dir. With
+// includeTests, in-package _test.go files are type-checked along with the
+// package sources and external-test-package files are parsed into
+// XTestFiles (syntax only). Target packages are checked strictly: any
+// type error fails the load.
+func (l *Loader) LoadDir(dir string, includeTests bool) (*Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("driver: %s: %w", dir, err)
+	}
+	names := append([]string{}, bp.GoFiles...)
+	if includeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	files, err := l.parseFiles(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	importPath := l.ImportPathFor(dir)
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-checking %s: %w", importPath, err)
+	}
+	var xfiles []*ast.File
+	if includeTests {
+		if xfiles, err = l.parseFiles(dir, bp.XTestGoFiles); err != nil {
+			return nil, err
+		}
+	}
+	return &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       l.Fset,
+		Files:      files,
+		XTestFiles: xfiles,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}

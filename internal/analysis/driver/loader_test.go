@@ -1,0 +1,88 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod root.
+func moduleRoot(t testing.TB) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestLoadRepoPackage loads a package with a deep dependency closure
+// (internal/sim pulls core, spectral, workload, envdyn, scenario and a wide
+// slice of the standard library) and checks that full type information came
+// back.
+func TestLoadRepoPackage(t *testing.T) {
+	l, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join(l.ModuleDir, "internal", "sim"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.ImportPath != "diffusionlb/internal/sim" {
+		t.Fatalf("import path = %q", pkg.ImportPath)
+	}
+	if pkg.Types == nil || !pkg.Types.Complete() {
+		t.Fatalf("package not completely type-checked")
+	}
+	if len(pkg.TypesInfo.Uses) == 0 || len(pkg.TypesInfo.Defs) == 0 {
+		t.Fatal("no type info recorded")
+	}
+	if pkg.Types.Scope().Lookup("Runner") == nil {
+		t.Fatal("sim.Runner not found in package scope")
+	}
+}
+
+// TestLoadDirWithTests checks that in-package test files are type-checked
+// into Files and external-test-package files are parsed into XTestFiles.
+func TestLoadDirWithTests(t *testing.T) {
+	l, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join(l.ModuleDir, "internal", "workload"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasTest := false
+	for _, f := range pkg.Files {
+		name := l.Fset.Position(f.Pos()).Filename
+		if filepath.Base(name) == "fuzz_test.go" {
+			hasTest = true
+		}
+	}
+	if !hasTest {
+		t.Fatal("in-package test files not loaded")
+	}
+}
+
+// TestImportUnresolvable pins the offline contract: imports outside the
+// module and GOROOT fail with a clear error instead of hitting the network.
+func TestImportUnresolvable(t *testing.T) {
+	l, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Import("golang.org/x/tools/go/analysis"); err == nil {
+		t.Fatal("expected resolution error for external module import")
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"diffusionlb/internal/analysis/driver"
+)
+
+// FloatEq flags == and != on floating-point operands (and switch statements
+// over a float tag) outside the approved tolerance helpers of
+// internal/numeric.
+//
+// Raw float equality compares bit patterns: two mathematically equal results
+// that took different reduction orders (e.g. different worker counts, or a
+// refactored loop) differ in the last ulp and silently flip the branch. The
+// fix is numeric.ApproxEqual or a domain tolerance. Comparisons against
+// exact integral constants (x == 0, beta == 1) are exempt — small integers
+// are exactly representable and such checks are sentinel tests, not
+// approximate-equality bugs. Where exact equality IS the contract (e.g.
+// pinning bit-identical replicate agreement), annotate the line with
+// //lint:allow floateq <why>.
+var FloatEq = &driver.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!=/switch on floating-point operands; use the internal/numeric " +
+		"tolerance helpers (exact integral constant comparisons are exempt)",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *driver.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloatExpr(pass, n.X) && !isFloatExpr(pass, n.Y) {
+					return true
+				}
+				if isIntegralConst(pass, n.X) || isIntegralConst(pass, n.Y) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"%s on floating-point operands compares bit patterns and is not reduction-order safe; use numeric.ApproxEqual or a domain tolerance (or //lint:allow floateq <why> if exact equality is the contract)",
+					n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloatExpr(pass, n.Tag) {
+					pass.Reportf(n.Pos(),
+						"switch over a floating-point value performs exact comparisons per case; restructure with tolerance checks")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatExpr reports whether e has a floating-point (or complex) type.
+func isFloatExpr(pass *driver.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isIntegralConst reports whether e is a compile-time constant with an exact
+// integer value (0, 1, -1, ...), which float64 represents exactly.
+func isIntegralConst(pass *driver.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToInt(tv.Value)
+	return v.Kind() == constant.Int
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"diffusionlb/internal/analysis/driver"
+)
+
+// LintModule runs the scoped suite plus the //lint:allow well-formedness
+// check over every package of the loader's module and returns all surviving
+// diagnostics sorted by position. It returns the number of packages
+// analyzed so callers can report coverage.
+func LintModule(l *driver.Loader) ([]driver.Diagnostic, int, error) {
+	dirs, err := packageDirs(l.ModuleDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	suite := Suite()
+	var all []driver.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir, true)
+		if err != nil {
+			return nil, 0, err
+		}
+		all = append(all, driver.CheckAllowDirectives(pkg)...)
+		for _, sa := range suite {
+			if !sa.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			diags, err := driver.Run(sa.Analyzer, pkg)
+			if err != nil {
+				return nil, 0, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := l.Fset.Position(all[i].Pos), l.Fset.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	return all, len(dirs), nil
+}
+
+// packageDirs lists the module's package directories in sorted order,
+// skipping testdata trees, hidden and underscore-prefixed directories —
+// the same pruning the go tool applies.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for dir := range seen {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

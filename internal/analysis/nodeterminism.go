@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"diffusionlb/internal/analysis/driver"
+)
+
+// Nodeterminism forbids the three classic sources of silent nondeterminism
+// in engine code: wall-clock reads, the global math/rand stream, and
+// order-dependent work inside a range over a map.
+//
+// Every claim this repo makes — the SOS-vs-FOS discrepancy numbers and the
+// bit-identical-across-worker-counts contract — requires that a run be a
+// pure function of (spec, seed). time.Now/Since/Until reads wall time;
+// the top-level math/rand functions draw from a process-global generator
+// shared across goroutines; and Go randomizes map iteration order per run.
+// Seeded generators (rand.New over an explicit source, the randx counter
+// streams) are fine, as is map iteration whose body is order-independent.
+var Nodeterminism = &driver.Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid wall-clock reads, global math/rand draws and order-dependent " +
+		"map iteration in engine code (runs must be pure functions of spec and seed)",
+	Run: runNodeterminism,
+}
+
+// forbiddenTimeFuncs are the wall-clock reads.
+var forbiddenTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// sinkCallRE matches call names that emit output in iteration order.
+var sinkCallRE = regexp.MustCompile(`(?i)(write|print|emit|record|push|flush)`)
+
+func runNodeterminism(pass *driver.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkForbiddenCall(pass, call)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMapRanges(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to the package-level *types.Func it invokes,
+// or nil.
+func calleeFunc(pass *driver.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkForbiddenCall flags time.Now/Since/Until and global math/rand draws.
+func checkForbiddenCall(pass *driver.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTimeFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"call to time.%s in engine code: wall-clock reads make runs irreproducible; derive timing from the round counter and explicit seeds",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(),
+				"call to global %s.%s draws from the shared process-wide stream and races with every other caller; use a seeded rand.New source or a randx counter stream",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRanges flags order-dependent bodies of range-over-map statements
+// in fd: appends into an outer slice (unless the function sorts afterwards),
+// floating-point accumulation into an outer variable, channel sends, and
+// calls to emit/write-style sinks. Writes into another map, integer
+// accumulation and pure lookups are order-independent and pass.
+func checkMapRanges(pass *driver.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, fd, rs)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *driver.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	// declaredOutside reports whether the identifier resolves to an object
+	// declared outside the range body — the state the iteration leaks into.
+	declaredOutside := func(id *ast.Ident) bool {
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return false
+		}
+		return obj.Pos() < rs.Body.Pos() || obj.Pos() >= rs.Body.End()
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+	}
+	// sortedLater: a sort call after the range in the same function redeems
+	// collect-then-sort appends (the canonical deterministic pattern).
+	sortedLater := func() bool {
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < rs.End() {
+				return true
+			}
+			if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil {
+				// Any sort-package call (sort.Strings, sort.Slice, ...) or a
+				// slices.Sort* call counts as establishing an order.
+				p := fn.Pkg().Path()
+				if p == "sort" || (p == "slices" && strings.HasPrefix(fn.Name(), "Sort")) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+						if lhs, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && declaredOutside(lhs) && !sortedLater() {
+							pass.Reportf(n.Pos(),
+								"append to %q inside a range over a map records map iteration order, which Go randomizes per run; iterate sorted keys or sort %q before use",
+								lhs.Name, lhs.Name)
+						}
+					}
+				}
+			}
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(n.Lhs) == 1 && isFloat(n.Lhs[0]) {
+					if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok && declaredOutside(id) {
+						pass.Reportf(n.Pos(),
+							"floating-point accumulation into %q inside a range over a map is order-dependent (FP addition does not commute across magnitudes); iterate sorted keys",
+							id.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside a range over a map delivers in map iteration order; iterate sorted keys")
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				name := ""
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				case *ast.Ident:
+					name = fun.Name
+				}
+				if sinkCallRE.MatchString(name) {
+					pass.Reportf(n.Pos(),
+						"call to %s inside a range over a map emits in map iteration order; iterate sorted keys", name)
+				}
+			}
+		}
+		return true
+	})
+}

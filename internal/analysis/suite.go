@@ -1,0 +1,72 @@
+// Package analysis is the lbvet analyzer suite: the static half of the
+// repo's determinism and conservation contract.
+//
+// Four analyzers cover the contract the pinned tests otherwise only catch
+// after the fact:
+//
+//   - nodeterminism: no wall-clock reads, no global math/rand draws, no
+//     order-dependent map iteration in engine code.
+//   - floateq: no raw ==/!= on floats outside internal/numeric's tolerance
+//     helpers.
+//   - specroundtrip: every *FromSpec parser returns a Name()-carrying type
+//     and has a fuzz round-trip test.
+//   - goroutineleak: go statements flow through parallelFor or carry a
+//     context.Context.
+//
+// Legitimate exceptions are annotated in-source with
+// "//lint:allow <analyzer> <justification>"; the justification is mandatory.
+// cmd/lbvet runs the suite over the whole module (make lint), and
+// internal/invariants is the matching runtime half.
+package analysis
+
+import (
+	"strings"
+
+	"diffusionlb/internal/analysis/driver"
+)
+
+// enginePackages are the deterministic-core packages the nodeterminism and
+// goroutineleak contracts bind: everything that executes between a spec and
+// a recorded series. Experiment drivers, CLIs and viz sit above the
+// contract (they may print progress, time themselves, etc.).
+var enginePackages = []string{
+	"diffusionlb/internal/core",
+	"diffusionlb/internal/sim",
+	"diffusionlb/internal/sweep",
+	"diffusionlb/internal/workload",
+	"diffusionlb/internal/envdyn",
+	"diffusionlb/internal/scenario",
+	"diffusionlb/internal/nodeset",
+	"diffusionlb/internal/spectral",
+}
+
+// Scoped pairs an analyzer with the set of packages its contract applies
+// to. The fixture tests bypass scoping (they run analyzers directly), so
+// scope lives here rather than inside each analyzer.
+type Scoped struct {
+	*driver.Analyzer
+	// AppliesTo reports whether the analyzer's contract covers the package.
+	AppliesTo func(importPath string) bool
+}
+
+// Suite returns the full lbvet analyzer suite with its package scoping.
+func Suite() []Scoped {
+	inEngine := func(path string) bool {
+		for _, p := range enginePackages {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	return []Scoped{
+		{Nodeterminism, inEngine},
+		{GoroutineLeak, inEngine},
+		// floateq covers the whole module except numeric itself (the home of
+		// the approved comparison helpers).
+		{FloatEq, func(path string) bool { return path != "diffusionlb/internal/numeric" }},
+		// The spec-grammar convention binds every package that declares a
+		// parser.
+		{SpecRoundtrip, func(string) bool { return true }},
+	}
+}

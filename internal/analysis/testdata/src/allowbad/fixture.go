@@ -1,0 +1,15 @@
+// Package allowbad is a fixture for driver.CheckAllowDirectives: malformed
+// //lint:allow directives (missing justification, missing analyzer name)
+// must themselves be reported, and a malformed directive must not suppress
+// the diagnostic it sits next to.
+package allowbad
+
+func missingJustification(a, b float64) bool {
+	//lint:allow floateq
+	return a == b // the bad directive above does NOT suppress this
+}
+
+func missingEverything(a, b float64) bool {
+	//lint:allow
+	return a != b
+}

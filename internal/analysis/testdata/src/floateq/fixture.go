@@ -1,0 +1,55 @@
+// Package floateq is an lbvet analysistest fixture for the floateq
+// analyzer: raw ==/!= on floats is flagged, comparisons against exact
+// integral constants and the //lint:allow escape hatch are not.
+package floateq
+
+func equalF(a, b float64) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+func notEqualF(a, b float32) bool {
+	return a != b // want `!= on floating-point operands`
+}
+
+// sentinelZero is exempt: 0 is exactly representable and comparing against
+// it is the idiomatic "unset" check.
+func sentinelZero(a float64) bool {
+	return a == 0
+}
+
+// sentinelOne is exempt in either operand order.
+func sentinelOne(a float64) bool {
+	return 1 == a
+}
+
+func halfCompare(a float64) bool {
+	return a == 0.5 // want `== on floating-point operands`
+}
+
+// intCompare is out of scope: integer equality is exact.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+func switchFloat(a float64) int {
+	switch a { // want `switch over a floating-point value`
+	case 1.5:
+		return 1
+	}
+	return 0
+}
+
+// switchInt is out of scope.
+func switchInt(a int) int {
+	switch a {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// allowEscape pins the //lint:allow escape hatch.
+func allowEscape(a, b float64) bool {
+	//lint:allow floateq fixture exercises the escape hatch
+	return a == b
+}

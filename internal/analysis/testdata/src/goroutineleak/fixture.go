@@ -1,0 +1,54 @@
+// Package goroutineleak is an lbvet analysistest fixture for the
+// goroutineleak analyzer: bare go statements are flagged, the two blessed
+// shapes (parallelFor, context-carrying functions) are not.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func bare() {
+	go func() {}() // want `go statement in bare`
+}
+
+func bareInClosure() {
+	run := func() {
+		go helper() // want `go statement in bareInClosure`
+	}
+	run()
+}
+
+func helper() {}
+
+// withCtx is allowed: cancellation is explicit in the signature.
+func withCtx(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+
+// ctxClosure is allowed: the literal itself carries the context.
+func ctxClosure() func(context.Context) {
+	return func(ctx context.Context) {
+		go func() { <-ctx.Done() }()
+	}
+}
+
+// parallelFor is the blessed fan-out primitive: the WaitGroup joins every
+// goroutine before it returns.
+func parallelFor(n int, body func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// allowEscape pins the //lint:allow escape hatch.
+func allowEscape() {
+	//lint:allow goroutineleak fixture exercises the escape hatch
+	go helper()
+}

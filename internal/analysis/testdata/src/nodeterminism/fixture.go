@@ -1,0 +1,97 @@
+// Package nodeterminism is an lbvet analysistest fixture: each // want
+// comment pins a diagnostic of the nodeterminism analyzer, and the
+// undecorated declarations pin what must stay clean.
+package nodeterminism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `call to time\.Now`
+	return time.Since(start) // want `call to time\.Since`
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `global rand\.Float64`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+// seededRand is the blessed shape: an explicit source, no global state.
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func mapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a range over a map`
+	}
+	return keys
+}
+
+// mapAppendSorted is the canonical deterministic pattern: collect, then
+// sort before use.
+func mapAppendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into "sum"`
+	}
+	return sum
+}
+
+// mapIntSum is order-independent: integer addition commutes exactly.
+func mapIntSum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func mapEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `call to Printf inside a range over a map`
+	}
+}
+
+func mapSend(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside a range over a map`
+	}
+}
+
+// mapToMap is order-independent: the destination is itself unordered.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// allowEscape pins the //lint:allow escape hatch.
+func allowEscape(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow nodeterminism fixture exercises the escape hatch
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,16 @@
+// Package specbad is a failing lbvet fixture for the specroundtrip
+// analyzer: the parser's result type has no Name() method, and the package
+// has no Fuzz* test.
+package specbad
+
+import "errors"
+
+// Config deliberately lacks a Name method.
+type Config struct{ N int }
+
+func FromSpec(spec string) (*Config, error) { // want `has no Name\(\) string method` `no Fuzz\* test`
+	if spec == "" {
+		return nil, errors.New("specbad: empty spec")
+	}
+	return &Config{N: len(spec)}, nil
+}

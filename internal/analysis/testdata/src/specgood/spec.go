@@ -1,0 +1,29 @@
+// Package specgood is a passing lbvet fixture for the specroundtrip
+// analyzer: the parsed type renders its canonical spec via Name() and the
+// package carries a fuzz round-trip target.
+package specgood
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Rule is a spec-parsed value; Name renders its canonical spec.
+type Rule struct{ n int }
+
+// Name returns the canonical spec string the rule re-parses from.
+func (r *Rule) Name() string { return fmt.Sprintf("rule:%d", r.n) }
+
+// FromSpec parses "rule:<n>".
+func FromSpec(spec string) (*Rule, error) {
+	rest, ok := strings.CutPrefix(spec, "rule:")
+	if !ok {
+		return nil, fmt.Errorf("specgood: bad spec %q", spec)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return nil, fmt.Errorf("specgood: bad spec %q: %v", spec, err)
+	}
+	return &Rule{n: n}, nil
+}

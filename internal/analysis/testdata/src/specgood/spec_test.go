@@ -1,0 +1,20 @@
+package specgood
+
+import "testing"
+
+func FuzzFromSpec(f *testing.F) {
+	f.Add("rule:1")
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := FromSpec(s)
+		if err != nil {
+			return
+		}
+		back, err := FromSpec(r.Name())
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: %v", s, err)
+		}
+		if back.Name() != r.Name() {
+			t.Fatalf("round-trip of %q changed canonical spec: %q vs %q", s, back.Name(), r.Name())
+		}
+	})
+}

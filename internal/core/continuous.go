@@ -160,6 +160,11 @@ func (c *Continuous) Round() int { return c.round }
 // Kind returns the current scheme order.
 func (c *Continuous) Kind() Kind { return c.kind }
 
+// GuaranteesNonNegative implements core.NonNegativeGuarantor: the FOS
+// iteration applies the entrywise non-negative M, so a non-negative vector
+// stays non-negative; SOS makes no such guarantee (Section V).
+func (c *Continuous) GuaranteesNonNegative() bool { return c.kind == FOS }
+
 // SetKind switches the scheme for subsequent rounds. Switching to SOS
 // (re)starts its flow memory with an FOS round.
 func (c *Continuous) SetKind(k Kind) {

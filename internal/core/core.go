@@ -154,6 +154,21 @@ type Injector interface {
 	Inject(deltas []int64) error
 }
 
+// NonNegativeGuarantor is implemented by processes that can certify whether
+// their current scheme preserves non-negativity of the load vector — the
+// capability gate for the runtime non-negativity invariant
+// (internal/invariants). FOS applies the entrywise non-negative M, so
+// x ≥ 0 implies Mx ≥ 0; SOS legitimately overshoots into negative loads
+// (Section V — the negative-load experiments depend on it), so the
+// invariant is only asserted when the process guarantees it AND the vector
+// was non-negative before the step. The answer may change mid-run (hybrid
+// switching), so drivers query it every round.
+type NonNegativeGuarantor interface {
+	// GuaranteesNonNegative reports whether the next Step preserves a
+	// non-negative load vector.
+	GuaranteesNonNegative() bool
+}
+
 // Retargeter is implemented by processes that can pick up a mid-run change
 // of their diffusion operator — the hook the environment-dynamics subsystem
 // drives: when processor speeds change, the driver reweights the operator

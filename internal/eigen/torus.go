@@ -70,6 +70,7 @@ func NewTorusBasis(w, h int) (*TorusBasis, error) {
 	}
 	sort.SliceStable(b.order, func(i, j int) bool {
 		a, c := b.order[i], b.order[j]
+		//lint:allow floateq exact tie-break keeps the mode order a deterministic total order
 		if a.Mu != c.Mu {
 			return a.Mu > c.Mu
 		}

@@ -442,6 +442,7 @@ func (a *Applier) SpeedsAt(round int) (*hetero.Speeds, int, error) {
 			e = 1
 		}
 		a.eff[i] = e
+		//lint:allow floateq change detection on exactly recomputed speeds; a tolerance would mask real steps
 		if e != a.prev[i] {
 			changed++
 		}

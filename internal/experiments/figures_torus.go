@@ -485,6 +485,7 @@ func runFig7(w io.Writer, p Params) error {
 	}
 	longest, cur, prev := 0, 0, -1.0
 	for _, v := range ranks {
+		//lint:allow floateq leading_rank stores small integers exactly; run-length counting needs exact matches
 		if v == prev {
 			cur++
 		} else {

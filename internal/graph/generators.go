@@ -4,9 +4,21 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"diffusionlb/internal/randx"
 )
+
+// torusName renders the canonical spec of a general torus, e.g.
+// "torus:4x4x4", so FromSpec(g.Name()) round-trips.
+func torusName(sides []int) string {
+	parts := make([]string, len(sides))
+	for d, s := range sides {
+		parts[d] = strconv.Itoa(s)
+	}
+	return "torus:" + strings.Join(parts, "x")
+}
 
 // Torus2D returns the w×h two-dimensional torus: node (x, y) is adjacent to
 // (x±1 mod w, y) and (x, y±1 mod h). This is the paper's primary benchmark
@@ -30,7 +42,7 @@ func Torus2D(w, h int) (*Graph, error) {
 			}
 		}
 	}
-	return fromEdges(fmt.Sprintf("torus2d-%dx%d", w, h), w*h, edges)
+	return fromEdges(fmt.Sprintf("torus2d:%dx%d", w, h), w*h, edges)
 }
 
 // Torus returns the d-dimensional torus with the given side lengths
@@ -75,7 +87,7 @@ func Torus(sides ...int) (*Graph, error) {
 			edges = append(edges, orient(int32(v), int32(next)))
 		}
 	}
-	return fromEdges(fmt.Sprintf("torus-%dd-n%d", len(sides), n), n, edges)
+	return fromEdges(torusName(sides), n, edges)
 }
 
 // Hypercube returns the dim-dimensional hypercube on 2^dim nodes, where nodes
@@ -98,7 +110,7 @@ func Hypercube(dim int) (*Graph, error) {
 			}
 		}
 	}
-	return fromEdges(fmt.Sprintf("hypercube-%dd", dim), n, edges)
+	return fromEdges(fmt.Sprintf("hypercube:%d", dim), n, edges)
 }
 
 // Cycle returns the cycle graph on n >= 3 nodes.
@@ -110,7 +122,7 @@ func Cycle(n int) (*Graph, error) {
 	for i := 0; i < n; i++ {
 		edges = append(edges, orient(int32(i), int32((i+1)%n)))
 	}
-	return fromEdges(fmt.Sprintf("cycle-%d", n), n, edges)
+	return fromEdges(fmt.Sprintf("cycle:%d", n), n, edges)
 }
 
 // Path returns the path graph on n >= 2 nodes.
@@ -122,7 +134,7 @@ func Path(n int) (*Graph, error) {
 	for i := 0; i+1 < n; i++ {
 		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
 	}
-	return fromEdges(fmt.Sprintf("path-%d", n), n, edges)
+	return fromEdges(fmt.Sprintf("path:%d", n), n, edges)
 }
 
 // Complete returns the complete graph K_n.
@@ -136,7 +148,7 @@ func Complete(n int) (*Graph, error) {
 			edges = append(edges, [2]int32{int32(i), int32(j)})
 		}
 	}
-	return fromEdges(fmt.Sprintf("complete-%d", n), n, edges)
+	return fromEdges(fmt.Sprintf("complete:%d", n), n, edges)
 }
 
 // Star returns the star graph with one hub (node 0) and n-1 leaves.
@@ -148,7 +160,7 @@ func Star(n int) (*Graph, error) {
 	for i := 1; i < n; i++ {
 		edges = append(edges, [2]int32{0, int32(i)})
 	}
-	return fromEdges(fmt.Sprintf("star-%d", n), n, edges)
+	return fromEdges(fmt.Sprintf("star:%d", n), n, edges)
 }
 
 // Grid2D returns the w×h grid (torus without wraparound), useful as a
@@ -169,7 +181,7 @@ func Grid2D(w, h int) (*Graph, error) {
 			}
 		}
 	}
-	return fromEdges(fmt.Sprintf("grid2d-%dx%d", w, h), w*h, edges)
+	return fromEdges(fmt.Sprintf("grid:%dx%d", w, h), w*h, edges)
 }
 
 // Lollipop returns a clique of size k attached to a path of length n-k — a
@@ -280,7 +292,7 @@ func RandomRegular(n, d int, seed uint64) (*Graph, error) {
 		edges = append(edges, e2)
 		bad = bad[:len(bad)-1]
 	}
-	return fromEdges(fmt.Sprintf("random-regular-n%d-d%d", n, d), n, edges)
+	return fromEdges(fmt.Sprintf("regular:%d:%d", n, d), n, edges)
 }
 
 // GeometricOptions configures RandomGeometric.
@@ -348,7 +360,7 @@ func RandomGeometric(n int, seed uint64, opts GeometricOptions) (*Graph, []Point
 		}
 	}
 
-	g, err := fromEdges(fmt.Sprintf("rgg-n%d-r%.3f", n, r), n, edges)
+	g, err := fromEdges(fmt.Sprintf("rgg:%d", n), n, edges)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -407,7 +419,9 @@ func connectToGiant(g *Graph, pts []Point, edges [][2]int32) (*Graph, error) {
 		}
 		edges = append(edges, orient(bu, bv))
 	}
-	return fromEdges(g.Name()+"-patched", g.NumNodes(), dedupe(edges))
+	// Patching is part of the deterministic (spec, seed) construction, so
+	// the patched graph keeps the canonical spec as its name.
+	return fromEdges(g.Name(), g.NumNodes(), dedupe(edges))
 }
 
 // dedupe removes duplicate undirected edges from the list.

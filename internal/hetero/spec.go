@@ -99,6 +99,7 @@ func SpeedsFromSpec(spec string, n int, seed uint64) (*Speeds, error) {
 		if idx, err = num(1); err != nil {
 			return nil, err
 		}
+		//lint:allow floateq integrality check: Trunc equality is exact by construction
 		if idx != math.Trunc(idx) {
 			return nil, bad("node index must be an integer")
 		}

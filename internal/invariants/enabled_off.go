@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package invariants
+
+// Enabled reports that this build does not carry -tags=invariants: the
+// if-guards at call sites compile the checks away.
+const Enabled = false

@@ -1,0 +1,7 @@
+//go:build invariants
+
+package invariants
+
+// Enabled reports that this build carries -tags=invariants: drivers assert
+// the conservation contract after every engine step.
+const Enabled = true

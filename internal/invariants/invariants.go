@@ -1,0 +1,105 @@
+// Package invariants is the runtime half of the repo's determinism and
+// conservation contract (the static half is internal/analysis, run as
+// cmd/lbvet). It provides cheap assertions over engine state — total load
+// conservation, non-negativity, column-stochasticity of the reweighted
+// operator — that drivers evaluate after every engine step when the build
+// carries -tags=invariants.
+//
+// The check functions are always compiled and return errors, so they are
+// unit-testable in any build; only the Enabled constant is build-tag gated.
+// Call sites guard with
+//
+//	if invariants.Enabled { invariants.Must(invariants.ConservedInt64(...)) }
+//
+// so release builds eliminate the checks entirely as dead code.
+package invariants
+
+import (
+	"fmt"
+
+	"diffusionlb/internal/numeric"
+)
+
+const (
+	// ConservationTol bounds the relative drift of a float engine's total
+	// load across one round (int engines are exact). The tolerance absorbs
+	// reduction-order error of one Σx pass, nothing more: the baseline is
+	// refreshed every round, so drift cannot accumulate under the check.
+	ConservationTol = 1e-9
+	// StochasticTol bounds each operator column's deviation from 1 after a
+	// Reweight — the structural property conservation rests on.
+	StochasticTol = 1e-9
+	// NonNegativeTol is the slack below zero a float load may show from
+	// rounding while still counting as non-negative.
+	NonNegativeTol = 1e-12
+)
+
+// Violation is the error every failed invariant returns; Must panics with
+// it, so tests can errors.As the recovered value.
+type Violation struct{ msg string }
+
+// Error implements error.
+func (v *Violation) Error() string { return "invariant violated: " + v.msg }
+
+func violationf(format string, args ...any) *Violation {
+	return &Violation{msg: fmt.Sprintf(format, args...)}
+}
+
+// Must panics on a non-nil error. Invariant trips are programming errors in
+// the engine, not recoverable conditions, so the driver does not thread
+// them through its error returns.
+func Must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// ConservedInt64 checks exact conservation of an integer total.
+func ConservedInt64(got, want int64, ctx string) error {
+	if got != want {
+		return violationf("%s: total load %d, want %d (drift %+d)", ctx, got, want, got-want)
+	}
+	return nil
+}
+
+// ConservedFloat64 checks conservation of a float total within tol (in the
+// relative sense of numeric.ApproxEqual).
+func ConservedFloat64(got, want, tol float64, ctx string) error {
+	if !numeric.ApproxEqual(got, want, tol) {
+		return violationf("%s: total load %.17g, want %.17g within tol %g (drift %g)",
+			ctx, got, want, tol, got-want)
+	}
+	return nil
+}
+
+// NonNegativeInt64 checks that no integer load is negative.
+func NonNegativeInt64(x []int64, ctx string) error {
+	for i, v := range x {
+		if v < 0 {
+			return violationf("%s: load[%d] = %d is negative", ctx, i, v)
+		}
+	}
+	return nil
+}
+
+// NonNegativeFloat64 checks that no float load is below -tol.
+func NonNegativeFloat64(x []float64, tol float64, ctx string) error {
+	for i, v := range x {
+		if v < -tol {
+			return violationf("%s: load[%d] = %g is below -%g", ctx, i, v, tol)
+		}
+	}
+	return nil
+}
+
+// ColumnStochastic checks that every column sum is 1 within tol (in the
+// relative sense of numeric.ApproxEqual).
+func ColumnStochastic(colSums []float64, tol float64, ctx string) error {
+	for j, s := range colSums {
+		if !numeric.ApproxEqual(s, 1, tol) {
+			return violationf("%s: operator column %d sums to %.17g, want 1 within tol %g",
+				ctx, j, s, tol)
+		}
+	}
+	return nil
+}

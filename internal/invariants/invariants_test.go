@@ -1,0 +1,76 @@
+package invariants
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConservedInt64Exact(t *testing.T) {
+	if err := ConservedInt64(1000, 1000, "t"); err != nil {
+		t.Fatalf("exact total flagged: %v", err)
+	}
+	err := ConservedInt64(999, 1000, "t")
+	if err == nil {
+		t.Fatal("one lost token not flagged")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error type %T, want *Violation", err)
+	}
+}
+
+// TestConservedFloat64Boundary pins the tolerance semantics: drift safely
+// inside the numeric.ApproxEqual bound tol*(1+|got|+|want|) must not trip,
+// drift beyond it must.
+func TestConservedFloat64Boundary(t *testing.T) {
+	const want = 100.0
+	bound := ConservationTol * (1 + 2*want)
+	if err := ConservedFloat64(want+bound/2, want, ConservationTol, "t"); err != nil {
+		t.Fatalf("drift at half the tolerance bound tripped: %v", err)
+	}
+	if err := ConservedFloat64(want+2*bound, want, ConservationTol, "t"); err == nil {
+		t.Fatal("drift at twice the tolerance bound not flagged")
+	}
+}
+
+func TestNonNegative(t *testing.T) {
+	if err := NonNegativeInt64([]int64{0, 3, 7}, "t"); err != nil {
+		t.Fatalf("non-negative ints flagged: %v", err)
+	}
+	if err := NonNegativeInt64([]int64{0, -1, 7}, "t"); err == nil {
+		t.Fatal("negative int load not flagged")
+	}
+	// The float check tolerates rounding slack just below zero...
+	if err := NonNegativeFloat64([]float64{0, -NonNegativeTol / 2}, NonNegativeTol, "t"); err != nil {
+		t.Fatalf("within-slack float flagged: %v", err)
+	}
+	// ...but not a real negative.
+	if err := NonNegativeFloat64([]float64{0, -1e-6}, NonNegativeTol, "t"); err == nil {
+		t.Fatal("negative float load not flagged")
+	}
+}
+
+func TestColumnStochastic(t *testing.T) {
+	if err := ColumnStochastic([]float64{1, 1 + 1e-12, 1 - 1e-12}, StochasticTol, "t"); err != nil {
+		t.Fatalf("near-1 columns flagged: %v", err)
+	}
+	if err := ColumnStochastic([]float64{1, 0.9}, StochasticTol, "t"); err == nil {
+		t.Fatal("deficient column not flagged")
+	}
+}
+
+func TestMust(t *testing.T) {
+	Must(nil) // no panic
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("Must(violation) did not panic")
+		}
+		err, ok := rec.(error)
+		var v *Violation
+		if !ok || !errors.As(err, &v) {
+			t.Fatalf("recovered %T, want *Violation", rec)
+		}
+	}()
+	Must(ConservedInt64(0, 1, "t"))
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/invariants"
+	"diffusionlb/internal/numeric"
+)
+
+// invariantChecker asserts the runtime conservation contract on the main
+// process while a Runner drives it. The Runner only builds one when the
+// build carries -tags=invariants (invariants.Enabled), so release builds
+// pay nothing.
+//
+// Per round it asserts, via invariants.Must (which panics with a
+// *invariants.Violation):
+//
+//   - total load conservation after every Step: exact for integer engines,
+//     within invariants.ConservationTol for float engines (the float
+//     baseline is refreshed each round, so reduction error cannot
+//     accumulate into a spurious trip, and every injection shifts the
+//     baseline by its delta sum — the one legitimate way totals move);
+//   - non-negativity after a Step, but only when the process certifies it
+//     (core.NonNegativeGuarantor, queried every round: hybrid switching
+//     changes the answer) AND the vector was non-negative going in — SOS
+//     negative transients and workload removals are legitimate and must
+//     not trip the runtime contract;
+//   - column-stochasticity of the operator after every Reweight, within
+//     invariants.StochasticTol.
+type invariantChecker struct {
+	proc       core.Process
+	guarantor  core.NonNegativeGuarantor // nil when the process cannot certify
+	prevNonNeg bool
+	isInt      bool
+	expInt     int64
+	expFloat   float64
+	cols       []float64
+}
+
+func newInvariantChecker(p core.Process) *invariantChecker {
+	c := &invariantChecker{proc: p}
+	c.guarantor, _ = p.(core.NonNegativeGuarantor)
+	lv := p.Loads()
+	if lv.Int != nil {
+		c.isInt = true
+		c.expInt = numeric.SumInt64(lv.Int)
+	} else {
+		c.expFloat = numeric.Sum(lv.Float)
+	}
+	c.refreshNonNeg(lv)
+	return c
+}
+
+func (c *invariantChecker) refreshNonNeg(lv core.LoadView) {
+	if c.isInt {
+		c.prevNonNeg = invariants.NonNegativeInt64(lv.Int, "") == nil
+	} else {
+		c.prevNonNeg = invariants.NonNegativeFloat64(lv.Float, invariants.NonNegativeTol, "") == nil
+	}
+}
+
+// afterStep asserts conservation — and non-negativity, when guaranteed —
+// right after the round's Step.
+func (c *invariantChecker) afterStep(round int) {
+	ctx := fmt.Sprintf("sim: after step of round %d", round)
+	lv := c.proc.Loads()
+	if c.isInt {
+		invariants.Must(invariants.ConservedInt64(numeric.SumInt64(lv.Int), c.expInt, ctx))
+	} else {
+		got := numeric.Sum(lv.Float)
+		invariants.Must(invariants.ConservedFloat64(got, c.expFloat, invariants.ConservationTol, ctx))
+		c.expFloat = got
+	}
+	if c.prevNonNeg && c.guarantor != nil && c.guarantor.GuaranteesNonNegative() {
+		if c.isInt {
+			invariants.Must(invariants.NonNegativeInt64(lv.Int, ctx))
+		} else {
+			invariants.Must(invariants.NonNegativeFloat64(lv.Float, invariants.NonNegativeTol, ctx))
+		}
+	}
+	c.refreshNonNeg(lv)
+}
+
+// afterInject shifts the conservation baseline by the injected delta sum
+// and refreshes the non-negativity precondition (a removal may legally
+// drive a node negative; that is the workload's doing, not the engine's).
+func (c *invariantChecker) afterInject(deltas []int64) {
+	var sum int64
+	for _, d := range deltas {
+		sum += d
+	}
+	if c.isInt {
+		c.expInt += sum
+	} else {
+		c.expFloat += float64(sum)
+	}
+	c.refreshNonNeg(c.proc.Loads())
+}
+
+// afterReweight asserts the reweighted operator is still column-stochastic
+// — the structural property load conservation rests on.
+func (c *invariantChecker) afterReweight(round int) {
+	op := c.proc.Operator()
+	n := op.Graph().NumNodes()
+	if len(c.cols) != n {
+		c.cols = make([]float64, n)
+	}
+	invariants.Must(op.ColumnSums(c.cols))
+	invariants.Must(invariants.ColumnStochastic(c.cols, invariants.StochasticTol,
+		fmt.Sprintf("sim: operator after reweight at round %d", round)))
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/invariants"
+	"diffusionlb/internal/spectral"
+)
+
+// stubProc is a minimal core.Process whose Step applies a configurable
+// transformation — the deliberately-broken engines the invariant tests
+// drive through a real Runner.
+type stubProc struct {
+	x      []int64
+	round  int
+	step   func(x []int64)
+	nonNeg bool // answer for GuaranteesNonNegative
+}
+
+func (p *stubProc) Step()                        { p.step(p.x); p.round++ }
+func (p *stubProc) Round() int                   { return p.round }
+func (p *stubProc) Kind() core.Kind              { return core.FOS }
+func (p *stubProc) SetKind(core.Kind)            {}
+func (p *stubProc) Operator() *spectral.Operator { return nil }
+func (p *stubProc) Loads() core.LoadView         { return core.LoadView{Int: p.x} }
+func (p *stubProc) MinTransient() float64        { return 0 }
+func (p *stubProc) NegativeTransientRounds() int { return 0 }
+func (p *stubProc) GuaranteesNonNegative() bool  { return p.nonNeg }
+
+// runExpectingViolation drives p for a few rounds and asserts the run
+// panics with a *invariants.Violation.
+func runExpectingViolation(t *testing.T, p core.Process) {
+	t.Helper()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected an invariant violation panic, run completed")
+		}
+		err, ok := rec.(error)
+		var v *invariants.Violation
+		if !ok || !errors.As(err, &v) {
+			t.Fatalf("recovered %v (%T), want *invariants.Violation", rec, rec)
+		}
+	}()
+	r := &Runner{Proc: p, Metrics: []Metric{TotalLoad()}}
+	if _, err := r.Run(5); err != nil {
+		t.Fatalf("Run errored instead of tripping: %v", err)
+	}
+}
+
+// TestInvariantsTripOnLeakyEngine: an engine losing one token per step must
+// trip the conservation invariant on the very first round.
+func TestInvariantsTripOnLeakyEngine(t *testing.T) {
+	if !invariants.Enabled {
+		t.Skip("build without -tags=invariants")
+	}
+	runExpectingViolation(t, &stubProc{
+		x:    []int64{5, 5},
+		step: func(x []int64) { x[0]-- }, // leaks one token per step
+	})
+}
+
+// TestInvariantsTripOnNegativeGuarantor: an engine that certifies
+// non-negativity but drives a node negative (while conserving) must trip.
+func TestInvariantsTripOnNegativeGuarantor(t *testing.T) {
+	if !invariants.Enabled {
+		t.Skip("build without -tags=invariants")
+	}
+	runExpectingViolation(t, &stubProc{
+		x:      []int64{2, 2},
+		nonNeg: true,
+		step:   func(x []int64) { x[0]--; x[1]++ }, // conserves, goes negative
+	})
+}
+
+// TestInvariantsAllowNegativeWithoutGuarantee: the same trajectory without
+// the certification is the SOS negative-transient case — legitimate, and
+// must NOT trip in any build.
+func TestInvariantsAllowNegativeWithoutGuarantee(t *testing.T) {
+	p := &stubProc{
+		x:      []int64{2, 2},
+		nonNeg: false,
+		step:   func(x []int64) { x[0]--; x[1]++ },
+	}
+	r := &Runner{Proc: p, Metrics: []Metric{TotalLoad()}}
+	if _, err := r.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if p.x[0] != -3 {
+		t.Fatalf("x[0] = %d, want -3", p.x[0])
+	}
+}
+
+// TestInvariantsCleanEngine: a conserving engine completes under the
+// checker (and trivially without it).
+func TestInvariantsCleanEngine(t *testing.T) {
+	p := &stubProc{
+		x:    []int64{4, 0},
+		step: func(x []int64) { x[0]--; x[1]++ },
+		// stays non-negative for the 4 rounds driven below
+		nonNeg: true,
+	}
+	r := &Runner{Proc: p, Metrics: []Metric{TotalLoad()}}
+	if _, err := r.Run(4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/envdyn"
+	"diffusionlb/internal/invariants"
 	"diffusionlb/internal/metrics"
 	"diffusionlb/internal/scenario"
 	"diffusionlb/internal/spectral"
@@ -638,6 +639,13 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 		reoptState = NewBetaReoptState(*r.BetaReopt, r.Proc.Operator().Speeds().Sum(), setters...)
 	}
 
+	// Runtime contract checks (conservation, gated non-negativity,
+	// column-stochasticity), compiled in with -tags=invariants only.
+	var chk *invariantChecker
+	if invariants.Enabled {
+		chk = newInvariantChecker(r.Proc)
+	}
+
 	record := func(round int) error {
 		row := make([]float64, len(ms))
 		for i, m := range ms {
@@ -651,6 +659,9 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 	}
 	for round := 1; round <= rounds; round++ {
 		r.Proc.Step()
+		if chk != nil {
+			chk.afterStep(round)
+		}
 		for _, ref := range r.Lockstep {
 			ref.Step()
 		}
@@ -672,6 +683,9 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 					if err := rt.Retarget(op); err != nil {
 						return nil, fmt.Errorf("sim: dynamics %q at round %d: %w", envDyn.Name(), round, err)
 					}
+				}
+				if chk != nil {
+					chk.afterReweight(round)
 				}
 				if r.Scenario != nil {
 					scChanged = changed
@@ -713,6 +727,9 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 						return nil, fmt.Errorf("sim: scenario %q at round %d (lockstep): %w", r.Scenario.Name(), round, err)
 					}
 				}
+				if chk != nil {
+					chk.afterInject(scDeltas)
+				}
 			}
 			if scChanged > 0 || moved > 0 {
 				res.ScenarioEvents = append(res.ScenarioEvents, ScenarioEvent{
@@ -733,6 +750,9 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 					if err := ref.(core.Injector).Inject(deltas); err != nil {
 						return nil, fmt.Errorf("sim: workload %q at round %d (lockstep): %w", r.Workload.Name(), round, err)
 					}
+				}
+				if chk != nil {
+					chk.afterInject(deltas)
 				}
 			}
 		}

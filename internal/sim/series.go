@@ -196,6 +196,7 @@ func (s *Series) WriteTable(w io.Writer, maxRows int) error {
 // formatMetric renders a metric value compactly: integers exactly, large or
 // tiny magnitudes in scientific notation.
 func formatMetric(v float64) string {
+	//lint:allow floateq integer-representability test is exact by construction
 	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
 		return strconv.FormatInt(int64(v), 10)
 	}

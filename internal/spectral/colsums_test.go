@@ -1,0 +1,62 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+)
+
+// TestColumnSums: a well-formed operator is exactly column-stochastic, on
+// homogeneous and heterogeneous speeds alike, and stays so through a
+// Reweight — the property internal/invariants asserts at runtime.
+func TestColumnSums(t *testing.T) {
+	g, err := graph.Torus2D(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := make([]float64, g.NumNodes())
+	for i := range speeds {
+		speeds[i] = 1 + float64(i%3)
+	}
+	sp, err := hetero.New(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := NewOperator(g, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]float64, g.NumNodes())
+	if err := op.ColumnSums(cols); err != nil {
+		t.Fatal(err)
+	}
+	for j, s := range cols {
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("column %d sums to %.17g", j, s)
+		}
+	}
+	// Reweight to new speeds and re-check.
+	for i := range speeds {
+		speeds[i] = 1 + float64((i+1)%4)
+	}
+	sp2, err := hetero.New(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Reweight(sp2); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.ColumnSums(cols); err != nil {
+		t.Fatal(err)
+	}
+	for j, s := range cols {
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("after reweight: column %d sums to %.17g", j, s)
+		}
+	}
+	if err := op.ColumnSums(cols[:1]); err == nil {
+		t.Fatal("short dst not rejected")
+	}
+}

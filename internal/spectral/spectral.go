@@ -307,6 +307,31 @@ func (op *Operator) Dense() *numeric.Dense {
 	return m
 }
 
+// ColumnSums writes M's column sums into dst (length n). A well-formed
+// operator is exactly column-stochastic — column j is its diagonal
+// 1 − Σα/s_j plus the α_ij/s_j contributions of j's neighbors, which
+// cancel when α is symmetric across arc mates — so the sums are an
+// independent runtime check of that symmetry: internal/invariants asserts
+// them after every Reweight. The accumulation iterates arcs in CSR order,
+// matching Dense, so the result is deterministic.
+func (op *Operator) ColumnSums(dst []float64) error {
+	n := op.g.NumNodes()
+	if len(dst) != n {
+		return fmt.Errorf("spectral: ColumnSums: %d slots for %d nodes", len(dst), n)
+	}
+	for j := 0; j < n; j++ {
+		dst[j] = 1 - op.rowAlphaSum[j]/op.speeds.Of(j)
+	}
+	offsets, arcs := op.g.Offsets(), op.g.Arcs()
+	for i := 0; i < n; i++ {
+		for a := offsets[i]; a < offsets[i+1]; a++ {
+			j := int(arcs[a])
+			dst[j] += op.alpha[a] / op.speeds.Of(j)
+		}
+	}
+	return nil
+}
+
 // PowerOptions tunes SecondEigenvalue.
 type PowerOptions struct {
 	// MaxIter bounds the iteration count (default 200000).

@@ -146,6 +146,7 @@ func aggregateGroup(spec Spec, c Cell, reps []*sim.Series, switches [][]core.Swi
 			}
 			mean := sum / float64(len(reps))
 			std := 0.0
+			//lint:allow floateq exact replicate agreement is the contract for deterministic rounders
 			if mn == mx {
 				// All replicates agree (e.g. deterministic rounders):
 				// report the exact value, not mean-rounding noise.

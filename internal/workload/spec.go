@@ -3,6 +3,7 @@ package workload
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -154,7 +155,7 @@ func fromOneSpec(part string, n int, seed uint64) (Mutator, error) {
 		// The sampler is O(rate) per node per round, so an absurd rate is a
 		// hang, not a simulation; 1e4 tokens/node/round is far beyond any
 		// sensible scenario.
-		if err != nil || rate < 0 || rate != rate || rate > 1e4 {
+		if err != nil || rate < 0 || math.IsNaN(rate) || rate > 1e4 {
 			return nil, bad("rate must be a float in [0, 10000]")
 		}
 		until, err := optInt(2, 0)
