@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short lint verify-static race fmt-check vet verify fuzz-smoke bench bench-smoke clean
+.PHONY: all build test test-short lint verify-static race fmt-check vet verify fuzz-smoke bench bench-smoke bench-scale clean
 
 all: build
 
@@ -33,7 +33,7 @@ verify-static: fmt-check vet lint
 
 # race runs every package under the race detector with the runtime
 # invariant checks compiled in (-tags=invariants): the sweep engine fans
-# out goroutines across scenario cells, the engines run parallelFor chunks
+# out goroutines across scenario cells, the engines run shard.Run workers
 # inside a step, and the invariants assert conservation and
 # column-stochasticity after every round while they race.
 race:
@@ -66,8 +66,18 @@ bench:
 # bench-smoke runs every benchmark exactly once — including the
 # dynamic-workload and engine benchmarks — so the perf paths at least
 # compile and execute on every CI run without the timing cost of `bench`.
+# The scale benchmarks run shrunk to 16384 nodes (they default to 2^20).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/...
+	DIFFUSIONLB_SCALE_N=16384 $(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/...
+
+# bench-scale measures the shard-partitioned step path at paper scale
+# (override BENCH_N, e.g. BENCH_N=4194304) and writes BENCH_7.json:
+# node-updates/sec, bytes/node and allocs/round for FOS and SOS on a 2-d
+# torus and a random-regular graph. See README "Memory layout & scale".
+BENCH_N ?= 1048576
+BENCH_OUT ?= BENCH_7.json
+bench-scale:
+	$(GO) run ./cmd/lbbench -n $(BENCH_N) -out $(BENCH_OUT)
 
 clean:
 	$(GO) clean ./...

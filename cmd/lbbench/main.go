@@ -1,0 +1,67 @@
+// Command lbbench measures the shard-partitioned step path at scale and
+// writes a BENCH JSON document (schema diffusionlb/bench-scale/v1).
+//
+// Usage:
+//
+//	lbbench [-n 1048576] [-degree 8] [-rounds 10] [-warmup 3]
+//	        [-workers 0] [-seed 1] [-out BENCH_7.json]
+//
+// It runs the discrete engine with randomized rounding, FOS and SOS, on a
+// 2-d torus and a random-regular graph of n nodes, and reports node
+// updates per second, resident bytes per node and allocations per round
+// for each cell. -out "" prints the JSON to stdout instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"diffusionlb/internal/scalebench"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1<<20, "node count")
+		degree  = flag.Int("degree", 8, "random-regular degree")
+		rounds  = flag.Int("rounds", 10, "timed rounds per cell")
+		warmup  = flag.Int("warmup", 3, "warmup rounds per cell")
+		workers = flag.Int("workers", 0, "per-step workers (0 = sequential)")
+		seed    = flag.Uint64("seed", 1, "graph and rounding seed")
+		out     = flag.String("out", "BENCH_7.json", "output file (empty = stdout)")
+	)
+	flag.Parse()
+
+	cfg := scalebench.Config{
+		N: *n, Degree: *degree, Rounds: *rounds, Warmup: *warmup,
+		Workers: *workers, Seed: *seed,
+	}
+	res, err := scalebench.Run(cfg, func(msg string) {
+		fmt.Fprintln(os.Stderr, "lbbench:", msg)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbbench:", err)
+		os.Exit(1)
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbbench:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "lbbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range res.Entries {
+		fmt.Fprintf(os.Stderr, "lbbench: %-24s %-4s %10.0f node-updates/s  %6.1f B/node  %5.1f allocs/round\n",
+			e.Graph, e.Scheme, e.NodeUpdatesPerSec, e.BytesPerNode, e.AllocsPerRound)
+	}
+}

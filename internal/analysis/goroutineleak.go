@@ -7,20 +7,32 @@ import (
 )
 
 // GoroutineLeak requires every go statement in engine code to either live
-// inside parallelFor (the one blessed fan-out primitive, whose WaitGroup
-// joins every goroutine before returning) or run inside a function that
-// carries a context.Context parameter, making cancellation explicit.
+// inside the blessed fan-out primitive — shard.Run, whose WaitGroup joins
+// every goroutine before returning (parallelFor, its predecessor, stays
+// blessed for the fixture corpus) — or run inside a function that carries
+// a context.Context parameter, making cancellation explicit.
 //
 // A bare goroutine in engine code has no join and no cancellation path: it
 // outlives the round that spawned it, keeps writing into buffers the next
 // round reuses, and turns a deterministic lockstep simulation into a racy
 // one. The two allowed shapes are exactly the ones the sweep pool
-// (context-cancellable workers) and the per-step parallelFor use today.
+// (context-cancellable workers) and the per-step shard.Run use today.
 var GoroutineLeak = &driver.Analyzer{
 	Name: "goroutineleak",
-	Doc: "go statements in engine code must flow through parallelFor or run in a " +
+	Doc: "go statements in engine code must flow through shard.Run or run in a " +
 		"function carrying a context.Context parameter",
 	Run: runGoroutineLeak,
+}
+
+// blessedFanOut reports whether fd is an allowed fan-out primitive: the
+// shard layout's Run (the one joining spawner engine steps go through) or
+// a function literally named parallelFor (the pre-shard primitive, kept
+// for the analyzer's testdata fixtures).
+func blessedFanOut(pass *driver.Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name == "parallelFor" {
+		return true
+	}
+	return fd.Name.Name == "Run" && pass.Pkg.Path() == "diffusionlb/internal/shard"
 }
 
 func runGoroutineLeak(pass *driver.Pass) error {
@@ -33,7 +45,7 @@ func runGoroutineLeak(pass *driver.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkGoStmts(pass, fd, fd.Body, fd.Name.Name == "parallelFor" || hasContextParam(pass, fd.Type))
+			checkGoStmts(pass, fd, fd.Body, blessedFanOut(pass, fd) || hasContextParam(pass, fd.Type))
 		}
 	}
 	return nil
@@ -52,7 +64,7 @@ func checkGoStmts(pass *driver.Pass, fd *ast.FuncDecl, node ast.Node, allowed bo
 		case *ast.GoStmt:
 			if !allowed {
 				pass.Reportf(n.Pos(),
-					"go statement in %s has no join or cancellation path; route fan-out through parallelFor or thread a context.Context parameter",
+					"go statement in %s has no join or cancellation path; route fan-out through shard.Run or thread a context.Context parameter",
 					fd.Name.Name)
 			}
 		}

@@ -10,7 +10,7 @@
 //     helpers.
 //   - specroundtrip: every *FromSpec parser returns a Name()-carrying type
 //     and has a fuzz round-trip test.
-//   - goroutineleak: go statements flow through parallelFor or carry a
+//   - goroutineleak: go statements flow through shard.Run or carry a
 //     context.Context.
 //
 // Legitimate exceptions are annotated in-source with
@@ -30,6 +30,7 @@ import (
 // a recorded series. Experiment drivers, CLIs and viz sit above the
 // contract (they may print progress, time themselves, etc.).
 var enginePackages = []string{
+	"diffusionlb/internal/shard",
 	"diffusionlb/internal/core",
 	"diffusionlb/internal/sim",
 	"diffusionlb/internal/sweep",

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/shard"
 	"diffusionlb/internal/spectral"
 )
 
@@ -11,14 +13,21 @@ import (
 // divisible float64 values and the exact scheduled flow is sent over every
 // edge. It corresponds to the paper's "idealized scheme" (Figures 3 and 6)
 // and serves as the reference process C for deviation measurements.
+//
+// Storage is shard-partitioned (internal/shard). Flows are source-node
+// partitioned — node i owns exactly its own CSR arc range — so the flow
+// computation and the flow application fuse into a single pass per shard
+// (the apply of node i reads only arcs node i just wrote), and a
+// steady-state round allocates nothing. On homogeneous speeds the
+// normalization pass disappears entirely: z is the load vector itself.
 type Continuous struct {
 	op      *spectral.Operator
 	kind    Kind
 	beta    float64
 	workers int
-	// alpha is the process's private copy of the operator's per-arc α
-	// coefficients, refreshed by Retarget.
-	alpha []float64
+	lay     *shard.Layout
+	offsets []int32
+	arcs    []int32
 
 	x     []float64 // loads at the beginning of the current round
 	next  []float64 // scratch for x(t+1)
@@ -34,9 +43,26 @@ type Continuous struct {
 	negTransientRounds int
 	initialTotal       float64
 	retargetCount      int
+
+	// Per-shard reduction slots, sized at construction.
+	minT []float64
+	negT []bool
+
+	// Round-scoped parameters for the pass methods (see Discrete for why
+	// these are fields and the passes are method values bound once).
+	stepSp     *hetero.Speeds
+	stepAlpha  []float64
+	stepZ      []float64 // c.z, or c.x itself on homogeneous speeds
+	stepSecond bool
+	stepBeta   float64
+	stepSigma  float64
+
+	passZFn    func(s, lo, hi int)
+	passFlowFn func(s, lo, hi int)
 }
 
 var _ Process = (*Continuous)(nil)
+var _ Sharded = (*Continuous)(nil)
 
 // NewContinuous builds a continuous process with the given initial loads
 // (copied).
@@ -44,22 +70,30 @@ func NewContinuous(cfg Config, initial []float64) (*Continuous, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.Op.Graph().NumNodes()
+	g := cfg.Op.Graph()
+	n := g.NumNodes()
 	if len(initial) != n {
 		return nil, fmt.Errorf("%w: %d initial loads for %d nodes", ErrBadConfig, len(initial), n)
 	}
+	lay := layoutFor(cfg)
 	c := &Continuous{
 		op:           cfg.Op,
 		kind:         cfg.Kind,
 		beta:         cfg.Beta,
 		workers:      cfg.Workers,
-		alpha:        cfg.Op.Alphas(),
+		lay:          lay,
+		offsets:      g.Offsets(),
+		arcs:         g.Arcs(),
 		x:            make([]float64, n),
 		next:         make([]float64, n),
 		z:            make([]float64, n),
-		flows:        make([]float64, cfg.Op.Graph().NumArcs()),
+		flows:        make([]float64, g.NumArcs()),
 		minTransient: math.Inf(1),
+		minT:         make([]float64, lay.Shards()),
+		negT:         make([]bool, lay.Shards()),
 	}
+	c.passZFn = c.passZ
+	c.passFlowFn = c.passFlowApply
 	copy(c.x, initial)
 	for _, v := range c.x {
 		c.initialTotal += v
@@ -67,81 +101,78 @@ func NewContinuous(cfg Config, initial []float64) (*Continuous, error) {
 	return c, nil
 }
 
+// passZ fills the normalized loads z_i = x_i/s_i for one shard
+// (heterogeneous speeds only; homogeneous rounds alias z to x).
+func (c *Continuous) passZ(_, lo, hi int) {
+	sp := c.stepSp
+	for i := lo; i < hi; i++ {
+		c.z[i] = c.x[i] / sp.Of(i)
+	}
+}
+
+// passFlowApply is the fused flow+apply kernel: node i computes the flows
+// of its own arc range (the SOS recurrence updates them in place) and
+// immediately applies them to its load. Flows are source-partitioned, so
+// the fusion introduces no cross-shard hazards: z and x are read-only here
+// and every flow slot has exactly one writer.
+func (c *Continuous) passFlowApply(s, lo, hi int) {
+	offsets, arcs := c.offsets, c.arcs
+	alpha := c.stepAlpha
+	z := c.stepZ
+	flows := c.flows
+	second, sigma, beta := c.stepSecond, c.stepSigma, c.stepBeta
+	localMin := math.Inf(1)
+	for i := lo; i < hi; i++ {
+		zi := z[i]
+		var outSum, sentSum float64
+		for a := offsets[i]; a < offsets[i+1]; a++ {
+			grad := alpha[a] * (zi - z[arcs[a]])
+			f := grad
+			if second {
+				f = sigma*flows[a] + beta*grad
+			}
+			flows[a] = f
+			outSum += f
+			if f > 0 {
+				sentSum += f
+			}
+		}
+		if tr := c.x[i] - sentSum; tr < localMin {
+			localMin = tr
+		}
+		c.next[i] = c.x[i] - outSum
+	}
+	c.minT[s] = localMin
+	c.negT[s] = localMin < 0
+}
+
 // Step executes one synchronous continuous round.
 func (c *Continuous) Step() {
-	g := graphOf(c.op)
 	sp := speedsOf(c.op)
-	n := g.NumNodes()
-	offsets, arcs := g.Offsets(), g.Arcs()
-	alpha := c.alpha
+	c.stepSp = sp
+	c.stepAlpha = c.op.AlphaView()
+	c.stepSecond = c.kind == SOS && c.flowsValid
+	c.stepBeta = c.beta
+	c.stepSigma = c.beta - 1
 
 	// Normalized loads z_i = x_i/s_i (the heterogeneous flow potential).
-	homog := sp.IsHomogeneous()
-	if homog {
-		copy(c.z, c.x)
+	// Homogeneous speeds make z the load vector itself — the fused pass
+	// only reads x, so aliasing is safe and skips a full pass over n.
+	if sp.IsHomogeneous() {
+		c.stepZ = c.x
 	} else {
-		parallelFor(n, c.workers, func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				c.z[i] = c.x[i] / sp.Of(i)
-			}
-		})
+		c.stepZ = c.z
+		c.lay.Run(c.workers, c.passZFn)
 	}
 
-	secondOrder := c.kind == SOS && c.flowsValid
-	beta := c.beta
-	sigma := beta - 1
+	c.lay.Run(c.workers, c.passFlowFn)
 
-	// Per-arc flows. Each node computes its own outgoing arcs; the formula
-	// is exactly antisymmetric in IEEE arithmetic, so arc and mate agree
-	// without communication.
-	parallelFor(n, c.workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			zi := c.z[i]
-			for a := offsets[i]; a < offsets[i+1]; a++ {
-				grad := alpha[a] * (zi - c.z[arcs[a]])
-				if secondOrder {
-					c.flows[a] = sigma*c.flows[a] + beta*grad
-				} else {
-					c.flows[a] = grad
-				}
-			}
-		}
-	})
-
-	// Apply flows, tracking the transient load x̆_i = x_i − Σ_{y>0} y.
-	chunks := numChunks(n, c.workers)
-	minT := make([]float64, chunks)
-	negT := make([]bool, chunks)
-	for i := range minT {
-		minT[i] = math.Inf(1)
-	}
-	parallelFor(n, c.workers, func(chunk, lo, hi int) {
-		localMin := math.Inf(1)
-		for i := lo; i < hi; i++ {
-			var outSum, sentSum float64
-			for a := offsets[i]; a < offsets[i+1]; a++ {
-				f := c.flows[a]
-				outSum += f
-				if f > 0 {
-					sentSum += f
-				}
-			}
-			if tr := c.x[i] - sentSum; tr < localMin {
-				localMin = tr
-			}
-			c.next[i] = c.x[i] - outSum
-		}
-		minT[chunk] = localMin
-		negT[chunk] = localMin < 0
-	})
-	for ch := 0; ch < chunks; ch++ {
-		if minT[ch] < c.minTransient {
-			c.minTransient = minT[ch]
-		}
-	}
 	anyNeg := false
-	for _, b := range negT {
-		anyNeg = anyNeg || b
+	for s := 0; s < c.lay.Shards(); s++ {
+		if c.minT[s] < c.minTransient {
+			c.minTransient = c.minT[s]
+		}
+		anyNeg = anyNeg || c.negT[s]
 	}
 	if anyNeg {
 		c.negTransientRounds++
@@ -178,6 +209,12 @@ func (c *Continuous) SetKind(k Kind) {
 // Operator returns the diffusion operator.
 func (c *Continuous) Operator() *spectral.Operator { return c.op }
 
+// ShardLayout implements Sharded.
+func (c *Continuous) ShardLayout() *shard.Layout { return c.lay }
+
+// StepWorkers implements Sharded.
+func (c *Continuous) StepWorkers() int { return c.workers }
+
 // Loads returns the current load vector as a float view.
 func (c *Continuous) Loads() LoadView { return LoadView{Float: c.x} }
 
@@ -188,6 +225,13 @@ func (c *Continuous) LoadsFloat() []float64 { return c.x }
 // (read-only view; undefined before the first round).
 func (c *Continuous) Flows() []float64 { return c.flows }
 
+// MemoryFootprint returns the resident bytes of the process's own arrays;
+// graph and operator storage are accounted separately.
+func (c *Continuous) MemoryFootprint() int64 {
+	return int64(len(c.x)+len(c.next)+len(c.z)+len(c.flows)+len(c.minT))*8 +
+		int64(len(c.negT))
+}
+
 // MinTransient returns the smallest transient load observed so far
 // (+Inf before the first round).
 func (c *Continuous) MinTransient() float64 { return c.minTransient }
@@ -196,17 +240,14 @@ func (c *Continuous) MinTransient() float64 { return c.minTransient }
 func (c *Continuous) NegativeTransientRounds() int { return c.negTransientRounds }
 
 // Retarget implements Retargeter: it installs op (over the same graph
-// shape) as the diffusion operator for subsequent rounds and refreshes the
-// engine's α cache; loads, SOS flow memory and the round counter are
-// untouched.
+// shape) as the diffusion operator for subsequent rounds; loads, SOS flow
+// memory and the round counter are untouched. The engine reads α through
+// the operator's shard view every step, so no per-arc copying happens here.
 func (c *Continuous) Retarget(op *spectral.Operator) error {
 	if err := retargetCheck(op, len(c.x), len(c.flows)); err != nil {
 		return err
 	}
 	c.op = op
-	if err := op.AlphasInto(c.alpha); err != nil {
-		return err
-	}
 	c.retargetCount++
 	return nil
 }

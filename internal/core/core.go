@@ -40,6 +40,7 @@ import (
 
 	"diffusionlb/internal/graph"
 	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/shard"
 	"diffusionlb/internal/spectral"
 )
 
@@ -85,11 +86,20 @@ type Config struct {
 	// Workers bounds the number of goroutines used per step. 0 or 1 means
 	// sequential. Results are identical for every value.
 	Workers int
+	// Layout optionally shares a prebuilt shard layout across engines on
+	// the same graph (sweep builds one per topology instead of one per
+	// cell). nil builds shard.ForWorkers(Op.Graph(), Workers). A non-nil
+	// layout must partition Op's graph; its shard count is free to differ
+	// from ShardsFor(n, Workers) — results are shard-count-independent.
+	Layout *shard.Layout
 }
 
 func (c Config) validate() error {
 	if c.Op == nil {
 		return fmt.Errorf("%w: nil operator", ErrBadConfig)
+	}
+	if c.Layout != nil && c.Layout.Graph() != c.Op.Graph() {
+		return fmt.Errorf("%w: layout partitions a different graph", ErrBadConfig)
 	}
 	switch c.Kind {
 	case FOS:
@@ -200,6 +210,27 @@ type BetaSetter interface {
 	// SetBeta installs β ∈ (0, 2) for subsequent rounds. FOS processes
 	// accept it too (β is stored for a later switch to SOS).
 	SetBeta(beta float64) error
+}
+
+// Sharded is implemented by processes that run on a shard.Layout — the hook
+// drivers use to route operator-wide work (reweight validation, invariant
+// column sums, conservation reductions) through the same partition the
+// engine steps on, instead of a second single-threaded pass over all arcs.
+type Sharded interface {
+	// ShardLayout returns the layout the process's step path runs on.
+	ShardLayout() *shard.Layout
+	// StepWorkers returns the configured per-step worker bound.
+	StepWorkers() int
+}
+
+// layoutFor resolves a validated Config's shard layout: the shared one when
+// the caller supplied it, otherwise a fresh partition for the requested
+// worker count.
+func layoutFor(cfg Config) *shard.Layout {
+	if cfg.Layout != nil {
+		return cfg.Layout
+	}
+	return shard.ForWorkers(cfg.Op.Graph(), cfg.Workers)
 }
 
 // betaCheck validates the common SetBeta precondition.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"diffusionlb/internal/shard"
 	"diffusionlb/internal/spectral"
 )
 
@@ -20,9 +21,16 @@ import (
 // deviation from the continuous process but is *not* stateless: it must
 // track the continuous trajectory (equivalently the cumulative flows),
 // which is exactly the bookkeeping the paper's framework avoids.
+//
+// The cumulative bookkeeping runs on the same shard layout as the wrapped
+// continuous reference: cumFlows and sent are source-partitioned like the
+// continuous flows, so the whole discretization is one fused pass per
+// shard with preallocated reduction slots.
 type CumulativeDiscrete struct {
 	cont    *Continuous
 	workers int
+	lay     *shard.Layout
+	offsets []int32
 
 	x        []int64   // discrete loads
 	sent     []int64   // cumulative integer flow per arc
@@ -32,9 +40,14 @@ type CumulativeDiscrete struct {
 	minTransient       int64
 	minTransientSet    bool
 	negTransientRounds int
+
+	minT []int64 // per-shard reduction slots
+
+	passFn func(s, lo, hi int)
 }
 
 var _ Process = (*CumulativeDiscrete)(nil)
+var _ Sharded = (*CumulativeDiscrete)(nil)
 
 // NewCumulativeDiscrete builds the [2]-style process. The continuous
 // reference starts from the same initial loads.
@@ -57,58 +70,58 @@ func NewCumulativeDiscrete(cfg Config, initial []int64) (*CumulativeDiscrete, er
 	c := &CumulativeDiscrete{
 		cont:     cont,
 		workers:  cfg.Workers,
+		lay:      cont.lay,
+		offsets:  cfg.Op.Graph().Offsets(),
 		x:        make([]int64, n),
 		sent:     make([]int64, cfg.Op.Graph().NumArcs()),
 		cumFlows: make([]float64, cfg.Op.Graph().NumArcs()),
+		minT:     make([]int64, cont.lay.Shards()),
 	}
+	c.passFn = c.passApply
 	copy(c.x, initial)
 	return c, nil
+}
+
+// passApply advances one shard's cumulative bookkeeping: accumulate the
+// round's continuous flows into Φ, send the rounded difference, apply it.
+func (c *CumulativeDiscrete) passApply(s, lo, hi int) {
+	offsets := c.offsets
+	contFlows := c.cont.flows
+	localMin := int64(math.MaxInt64)
+	for i := lo; i < hi; i++ {
+		var outSum, sentSum int64
+		for a := offsets[i]; a < offsets[i+1]; a++ {
+			c.cumFlows[a] += contFlows[a]
+			// Round half to even keeps the decision antisymmetric:
+			// round(-x) == -round(x) for ties at .5 as well.
+			f := int64(math.RoundToEven(c.cumFlows[a])) - c.sent[a]
+			c.sent[a] += f
+			outSum += f
+			if f > 0 {
+				sentSum += f
+			}
+		}
+		if tr := c.x[i] - sentSum; tr < localMin {
+			localMin = tr
+		}
+		c.x[i] -= outSum
+	}
+	c.minT[s] = localMin
 }
 
 // Step advances the continuous reference one round and sends the rounded
 // cumulative-difference flows.
 func (c *CumulativeDiscrete) Step() {
-	g := graphOf(c.cont.op)
-	n := g.NumNodes()
-	offsets := g.Offsets()
-
 	c.cont.Step()
-	contFlows := c.cont.Flows()
+	c.lay.Run(c.workers, c.passFn)
 
-	chunks := numChunks(n, c.workers)
-	minT := make([]int64, chunks)
-	for i := range minT {
-		minT[i] = math.MaxInt64
-	}
-	parallelFor(n, c.workers, func(chunk, lo, hi int) {
-		localMin := int64(math.MaxInt64)
-		for i := lo; i < hi; i++ {
-			var outSum, sentSum int64
-			for a := offsets[i]; a < offsets[i+1]; a++ {
-				c.cumFlows[a] += contFlows[a]
-				// Round half to even keeps the decision antisymmetric:
-				// round(-x) == -round(x) for ties at .5 as well.
-				f := int64(math.RoundToEven(c.cumFlows[a])) - c.sent[a]
-				c.sent[a] += f
-				outSum += f
-				if f > 0 {
-					sentSum += f
-				}
-			}
-			if tr := c.x[i] - sentSum; tr < localMin {
-				localMin = tr
-			}
-			c.x[i] -= outSum
-		}
-		minT[chunk] = localMin
-	})
 	anyNeg := false
-	for ch := 0; ch < chunks; ch++ {
-		if !c.minTransientSet || minT[ch] < c.minTransient {
-			c.minTransient = minT[ch]
+	for s := 0; s < c.lay.Shards(); s++ {
+		if !c.minTransientSet || c.minT[s] < c.minTransient {
+			c.minTransient = c.minT[s]
 			c.minTransientSet = true
 		}
-		if minT[ch] < 0 {
+		if c.minT[s] < 0 {
 			anyNeg = true
 		}
 	}
@@ -130,6 +143,12 @@ func (c *CumulativeDiscrete) SetKind(k Kind) { c.cont.SetKind(k) }
 // Operator returns the diffusion operator.
 func (c *CumulativeDiscrete) Operator() *spectral.Operator { return c.cont.Operator() }
 
+// ShardLayout implements Sharded.
+func (c *CumulativeDiscrete) ShardLayout() *shard.Layout { return c.lay }
+
+// StepWorkers implements Sharded.
+func (c *CumulativeDiscrete) StepWorkers() int { return c.workers }
+
 // Loads returns the current integer load vector.
 func (c *CumulativeDiscrete) Loads() LoadView { return LoadView{Int: c.x} }
 
@@ -138,6 +157,13 @@ func (c *CumulativeDiscrete) LoadsInt() []int64 { return c.x }
 
 // Reference returns the internally simulated continuous process.
 func (c *CumulativeDiscrete) Reference() *Continuous { return c.cont }
+
+// MemoryFootprint returns the resident bytes of the cumulative bookkeeping
+// plus the wrapped continuous reference.
+func (c *CumulativeDiscrete) MemoryFootprint() int64 {
+	return c.cont.MemoryFootprint() +
+		int64(len(c.x)+len(c.sent)+len(c.cumFlows)+len(c.minT))*8
+}
 
 // MinTransient returns the smallest transient load observed so far.
 func (c *CumulativeDiscrete) MinTransient() float64 {
@@ -185,9 +211,5 @@ func (c *CumulativeDiscrete) Inject(deltas []int64) error {
 
 // TotalLoad returns Σ x_i (conserved exactly).
 func (c *CumulativeDiscrete) TotalLoad() int64 {
-	var s int64
-	for _, v := range c.x {
-		s += v
-	}
-	return s
+	return shard.SumInt64(c.lay, c.workers, c.x)
 }

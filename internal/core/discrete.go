@@ -5,7 +5,9 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/randx"
+	"diffusionlb/internal/shard"
 	"diffusionlb/internal/spectral"
 )
 
@@ -16,6 +18,15 @@ import (
 //
 // The process is stateless in the paper's sense: round t depends only on
 // x_D(t) and the integer flows actually sent in round t−1.
+//
+// Storage is shard-partitioned (internal/shard): the step path runs three
+// passes over contiguous node shards — normalize, fused schedule+round,
+// apply — with per-shard scratch and per-shard reduction slots combined in
+// shard order, so a steady-state round allocates nothing and the results
+// are bit-identical for every worker and shard count. The fused pass needs
+// flow double buffering: rounding writes the mate arc, which may live in
+// another shard whose SOS recurrence still has to read the previous round's
+// flow there.
 type Discrete struct {
 	op      *spectral.Operator
 	kind    Kind
@@ -23,13 +34,14 @@ type Discrete struct {
 	workers int
 	rounder Rounder
 	seed    uint64
-	// alpha is the process's private copy of the operator's per-arc α
-	// coefficients (hot-loop access without re-copying per round); it is
-	// refreshed by Retarget.
-	alpha []float64
+	lay     *shard.Layout
+	// CSR views, fixed for the life of the process (Retarget requires the
+	// same graph shape and the layout pins the graph identity).
+	offsets, arcs, mate []int32
 
 	x         []int64   // loads at the beginning of the current round
 	flows     []int64   // y_D of the last completed round, per arc
+	flowsNext []int64   // y_D(t) being written by the fused pass
 	scheduled []float64 // Ŷ(t) per arc, scratch
 	z         []float64 // normalized loads x_i/s_i, scratch
 	// flowsValid mirrors Continuous: SOS memory validity.
@@ -47,18 +59,46 @@ type Discrete struct {
 	removedTokens      int64 // Σ of negative Inject deltas (departures)
 	retargetCount      int   // number of Retarget calls (speed events)
 
-	// per-worker scratch for compacting a node's positive flows
-	scratchVals [][]float64
-	scratchOut  [][]int64
-	scratchArcs [][]int32
-	// per-worker reusable RNG: the PCG is re-seeded per node from
-	// (seed, round, node), so streams stay deterministic while avoiding a
-	// generator allocation per node per round.
-	scratchPCG []*rand.PCG
-	scratchRNG []*rand.Rand
+	// Per-shard scratch and reduction slots, sized by the layout's shard
+	// count at construction so Step never allocates.
+	sh   []discreteShard
+	minT []int64
+	minE []int64
+	movd []int64
+	msgs []int64
+
+	// Round-scoped parameters the pass methods read; set by Step before the
+	// passes run. Keeping the passes as method values bound once at
+	// construction (instead of closures rebuilt per Step) is what makes the
+	// steady-state step path allocation-free.
+	stepSp      *hetero.Speeds
+	stepAlpha   []float64
+	stepHomog   bool
+	stepSecond  bool
+	stepBeta    float64
+	stepSigma   float64
+	stepRound   uint64
+	stepNeedRNG bool
+
+	passZFn     func(s, lo, hi int)
+	passRoundFn func(s, lo, hi int)
+	passApplyFn func(s, lo, hi int)
+}
+
+// discreteShard is one shard's private scratch: compaction buffers for a
+// node's positive scheduled flows and a reusable RNG. The PCG is re-seeded
+// per node from (seed, round, node), so streams stay deterministic while
+// avoiding a generator allocation per node per round.
+type discreteShard struct {
+	vals []float64
+	out  []int64
+	arcs []int32
+	pcg  *rand.PCG
+	rng  *rand.Rand
 }
 
 var _ Process = (*Discrete)(nil)
+var _ Sharded = (*Discrete)(nil)
 
 // NewDiscrete builds a discrete process from cfg, a rounder (nil means the
 // paper's RandomizedRounder), a master seed for the rounding streams, and
@@ -70,174 +110,183 @@ func NewDiscrete(cfg Config, rounder Rounder, seed uint64, initial []int64) (*Di
 	if rounder == nil {
 		rounder = RandomizedRounder{}
 	}
-	n := cfg.Op.Graph().NumNodes()
+	g := cfg.Op.Graph()
+	n := g.NumNodes()
 	if len(initial) != n {
 		return nil, fmt.Errorf("%w: %d initial loads for %d nodes", ErrBadConfig, len(initial), n)
 	}
-	maxDeg := cfg.Op.Graph().MaxDegree()
-	chunks := numChunks(n, cfg.Workers)
+	maxDeg := g.MaxDegree()
+	lay := layoutFor(cfg)
+	k := lay.Shards()
 	d := &Discrete{
-		op:          cfg.Op,
-		kind:        cfg.Kind,
-		beta:        cfg.Beta,
-		workers:     cfg.Workers,
-		rounder:     rounder,
-		seed:        seed,
-		alpha:       cfg.Op.Alphas(),
-		x:           make([]int64, n),
-		flows:       make([]int64, cfg.Op.Graph().NumArcs()),
-		scheduled:   make([]float64, cfg.Op.Graph().NumArcs()),
-		z:           make([]float64, n),
-		scratchVals: make([][]float64, chunks),
-		scratchOut:  make([][]int64, chunks),
-		scratchArcs: make([][]int32, chunks),
+		op:        cfg.Op,
+		kind:      cfg.Kind,
+		beta:      cfg.Beta,
+		workers:   cfg.Workers,
+		rounder:   rounder,
+		seed:      seed,
+		lay:       lay,
+		offsets:   g.Offsets(),
+		arcs:      g.Arcs(),
+		mate:      g.MateIndex(),
+		x:         make([]int64, n),
+		flows:     make([]int64, g.NumArcs()),
+		flowsNext: make([]int64, g.NumArcs()),
+		scheduled: make([]float64, g.NumArcs()),
+		z:         make([]float64, n),
+		sh:        make([]discreteShard, k),
+		minT:      make([]int64, k),
+		minE:      make([]int64, k),
+		movd:      make([]int64, k),
+		msgs:      make([]int64, k),
 	}
-	d.scratchPCG = make([]*rand.PCG, chunks)
-	d.scratchRNG = make([]*rand.Rand, chunks)
-	for c := 0; c < chunks; c++ {
-		d.scratchVals[c] = make([]float64, maxDeg)
-		d.scratchOut[c] = make([]int64, maxDeg)
-		d.scratchArcs[c] = make([]int32, maxDeg)
-		d.scratchPCG[c] = rand.NewPCG(0, 0)
-		d.scratchRNG[c] = rand.New(d.scratchPCG[c])
+	for s := 0; s < k; s++ {
+		pcg := rand.NewPCG(0, 0)
+		d.sh[s] = discreteShard{
+			vals: make([]float64, maxDeg),
+			out:  make([]int64, maxDeg),
+			arcs: make([]int32, maxDeg),
+			pcg:  pcg,
+			rng:  rand.New(pcg),
+		}
 	}
+	d.passZFn = d.passZ
+	d.passRoundFn = d.passRound
+	d.passApplyFn = d.passApply
 	copy(d.x, initial)
 	return d, nil
 }
 
+// passZ fills the normalized loads z_i = x_i/s_i for one shard.
+func (d *Discrete) passZ(_, lo, hi int) {
+	if d.stepHomog {
+		for i := lo; i < hi; i++ {
+			d.z[i] = float64(d.x[i])
+		}
+		return
+	}
+	sp := d.stepSp
+	for i := lo; i < hi; i++ {
+		d.z[i] = float64(d.x[i]) / sp.Of(i)
+	}
+}
+
+// passRound is the fused schedule+round kernel: for each node it computes
+// the scheduled flows Ŷ of its arcs and immediately rounds them into the
+// next flow buffer. Node i owns arc a=(i→j) iff Ŷ_a > 0, or Ŷ_a == 0 and
+// i < j; the owner writes the integer flow to both a and mate(a). Exact
+// IEEE antisymmetry (Ŷ_mate = −Ŷ_a) makes ownership unique, so every arc of
+// flowsNext is written exactly once per round with no cross-shard races.
+func (d *Discrete) passRound(s, lo, hi int) {
+	offsets, arcs, mate := d.offsets, d.arcs, d.mate
+	alpha := d.stepAlpha
+	prev, next := d.flows, d.flowsNext
+	second, sigma, beta := d.stepSecond, d.stepSigma, d.stepBeta
+	sc := &d.sh[s]
+	vals, out, arcIdx := sc.vals, sc.out, sc.arcs
+	pcg, rng := sc.pcg, sc.rng
+	for i := lo; i < hi; i++ {
+		zi := d.z[i]
+		cnt := 0
+		for a := offsets[i]; a < offsets[i+1]; a++ {
+			grad := alpha[a] * (zi - d.z[arcs[a]])
+			y := grad
+			if second {
+				y = sigma*float64(prev[a]) + beta*grad
+			}
+			d.scheduled[a] = y
+			if y > 0 {
+				vals[cnt] = y
+				out[cnt] = 0
+				arcIdx[cnt] = a
+				cnt++
+			} else if y == 0 && int32(i) < arcs[a] {
+				next[a] = 0
+				next[mate[a]] = 0
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		if d.stepNeedRNG {
+			pcg.Seed(randx.PCGPair3(d.seed, d.stepRound, uint64(i)))
+		}
+		d.rounder.RoundNode(vals[:cnt], out[:cnt], rng)
+		for k := 0; k < cnt; k++ {
+			a := arcIdx[k]
+			next[a] = out[k]
+			next[mate[a]] = -out[k]
+		}
+	}
+}
+
+// passApply applies the round's flows to one shard's loads and records the
+// shard's transient/end-of-round minima and traffic counts in its reduction
+// slots.
+func (d *Discrete) passApply(s, lo, hi int) {
+	offsets := d.offsets
+	flows := d.flows
+	localT, localE := int64(math.MaxInt64), int64(math.MaxInt64)
+	var localMoved, localMsgs int64
+	for i := lo; i < hi; i++ {
+		var outSum, sentSum int64
+		for a := offsets[i]; a < offsets[i+1]; a++ {
+			f := flows[a]
+			outSum += f
+			if f > 0 {
+				sentSum += f
+				localMsgs++
+			}
+		}
+		localMoved += sentSum
+		if tr := d.x[i] - sentSum; tr < localT {
+			localT = tr
+		}
+		nx := d.x[i] - outSum
+		d.x[i] = nx
+		if nx < localE {
+			localE = nx
+		}
+	}
+	d.minT[s] = localT
+	d.minE[s] = localE
+	d.movd[s] = localMoved
+	d.msgs[s] = localMsgs
+}
+
 // Step executes one synchronous discrete round.
 func (d *Discrete) Step() {
-	g := graphOf(d.op)
 	sp := speedsOf(d.op)
-	n := g.NumNodes()
-	offsets, arcs, mate := g.Offsets(), g.Arcs(), g.MateIndex()
-	alpha := d.alpha
+	d.stepSp = sp
+	d.stepHomog = sp.IsHomogeneous()
+	d.stepAlpha = d.op.AlphaView()
+	d.stepSecond = d.kind == SOS && d.flowsValid
+	d.stepBeta = d.beta
+	d.stepSigma = d.beta - 1
+	d.stepRound = uint64(d.round)
+	d.stepNeedRNG = !d.rounder.Deterministic()
 
-	// Phase 0: normalized loads z_i = x_i/s_i.
-	homog := sp.IsHomogeneous()
-	parallelFor(n, d.workers, func(_, lo, hi int) {
-		if homog {
-			for i := lo; i < hi; i++ {
-				d.z[i] = float64(d.x[i])
-			}
-		} else {
-			for i := lo; i < hi; i++ {
-				d.z[i] = float64(d.x[i]) / sp.Of(i)
-			}
-		}
-	})
+	d.lay.Run(d.workers, d.passZFn)
+	d.lay.Run(d.workers, d.passRoundFn)
+	// The fused pass wrote the round's flows into flowsNext; promote them
+	// before applying (SOS reads them as memory next round).
+	d.flows, d.flowsNext = d.flowsNext, d.flows
+	d.lay.Run(d.workers, d.passApplyFn)
 
-	// Phase 1: scheduled flows Ŷ(t) per arc. Antisymmetric by IEEE
-	// arithmetic, so each node fills its own arc range independently.
-	secondOrder := d.kind == SOS && d.flowsValid
-	beta := d.beta
-	sigma := beta - 1
-	parallelFor(n, d.workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			zi := d.z[i]
-			for a := offsets[i]; a < offsets[i+1]; a++ {
-				grad := alpha[a] * (zi - d.z[arcs[a]])
-				if secondOrder {
-					d.scheduled[a] = sigma*float64(d.flows[a]) + beta*grad
-				} else {
-					d.scheduled[a] = grad
-				}
-			}
-		}
-	})
-
-	// Phase 2: rounding. Node i owns arc a=(i→j) iff Ŷ_a > 0, or Ŷ_a == 0
-	// and i < j; the owner writes the integer flow to both a and mate(a),
-	// so every arc is written exactly once and no clearing pass is needed.
-	round := uint64(d.round)
-	seed := d.seed
-	needRNG := !d.rounder.Deterministic()
-	parallelFor(n, d.workers, func(chunk, lo, hi int) {
-		vals := d.scratchVals[chunk]
-		out := d.scratchOut[chunk]
-		arcIdx := d.scratchArcs[chunk]
-		pcg, rng := d.scratchPCG[chunk], d.scratchRNG[chunk]
-		for i := lo; i < hi; i++ {
-			cnt := 0
-			for a := offsets[i]; a < offsets[i+1]; a++ {
-				y := d.scheduled[a]
-				if y > 0 {
-					vals[cnt] = y
-					out[cnt] = 0
-					arcIdx[cnt] = a
-					cnt++
-				} else if y == 0 && int32(i) < arcs[a] {
-					d.flows[a] = 0
-					d.flows[mate[a]] = 0
-				}
-			}
-			if cnt == 0 {
-				continue
-			}
-			if needRNG {
-				pcg.Seed(randx.PCGPair3(seed, round, uint64(i)))
-			}
-			d.rounder.RoundNode(vals[:cnt], out[:cnt], rng)
-			for k := 0; k < cnt; k++ {
-				a := arcIdx[k]
-				d.flows[a] = out[k]
-				d.flows[mate[a]] = -out[k]
-			}
-		}
-	})
-
-	// Phase 3: apply flows; track transient and end-of-round minima plus
-	// traffic (tokens moved, directed edge messages).
-	chunks := numChunks(n, d.workers)
-	minT := make([]int64, chunks)
-	minE := make([]int64, chunks)
-	moved := make([]int64, chunks)
-	msgs := make([]int64, chunks)
-	for c := range minT {
-		minT[c] = math.MaxInt64
-		minE[c] = math.MaxInt64
-	}
-	parallelFor(n, d.workers, func(chunk, lo, hi int) {
-		localT, localE := int64(math.MaxInt64), int64(math.MaxInt64)
-		var localMoved, localMsgs int64
-		for i := lo; i < hi; i++ {
-			var outSum, sentSum int64
-			for a := offsets[i]; a < offsets[i+1]; a++ {
-				f := d.flows[a]
-				outSum += f
-				if f > 0 {
-					sentSum += f
-					localMsgs++
-				}
-			}
-			localMoved += sentSum
-			if tr := d.x[i] - sentSum; tr < localT {
-				localT = tr
-			}
-			nx := d.x[i] - outSum
-			d.x[i] = nx
-			if nx < localE {
-				localE = nx
-			}
-		}
-		minT[chunk] = localT
-		minE[chunk] = localE
-		moved[chunk] = localMoved
-		msgs[chunk] = localMsgs
-	})
+	k := d.lay.Shards()
 	anyNeg := false
-	for c := 0; c < chunks; c++ {
-		d.tokensMoved += moved[c]
-		d.edgeMessages += msgs[c]
-		if !d.minTransientSet || minT[c] < d.minTransient {
-			d.minTransient = minT[c]
+	for s := 0; s < k; s++ {
+		d.tokensMoved += d.movd[s]
+		d.edgeMessages += d.msgs[s]
+		if !d.minTransientSet || d.minT[s] < d.minTransient {
+			d.minTransient = d.minT[s]
 			d.minTransientSet = true
 		}
-		if !d.minEndSet || minE[c] < d.minEndOfRound {
-			d.minEndOfRound = minE[c]
+		if !d.minEndSet || d.minE[s] < d.minEndOfRound {
+			d.minEndOfRound = d.minE[s]
 			d.minEndSet = true
 		}
-		if minT[c] < 0 {
+		if d.minT[s] < 0 {
 			anyNeg = true
 		}
 	}
@@ -270,6 +319,12 @@ func (d *Discrete) SetKind(k Kind) {
 // Operator returns the diffusion operator.
 func (d *Discrete) Operator() *spectral.Operator { return d.op }
 
+// ShardLayout implements Sharded.
+func (d *Discrete) ShardLayout() *shard.Layout { return d.lay }
+
+// StepWorkers implements Sharded.
+func (d *Discrete) StepWorkers() int { return d.workers }
+
 // Loads returns the current integer load vector.
 func (d *Discrete) Loads() LoadView { return LoadView{Int: d.x} }
 
@@ -289,6 +344,22 @@ func (d *Discrete) Rounder() Rounder { return d.rounder }
 
 // Seed returns the master seed of the rounding streams.
 func (d *Discrete) Seed() uint64 { return d.seed }
+
+// MemoryFootprint returns the resident bytes of the process's own arrays
+// (loads, both flow buffers, scheduled flows, normalized loads, per-shard
+// scratch) — the engine share of the bytes/node the scale benchmarks
+// report; graph and operator storage are accounted by their own
+// MemoryFootprint methods.
+func (d *Discrete) MemoryFootprint() int64 {
+	bytes := int64(len(d.x))*8 + int64(len(d.flows)+len(d.flowsNext))*8 +
+		int64(len(d.scheduled))*8 + int64(len(d.z))*8
+	for s := range d.sh {
+		sc := &d.sh[s]
+		bytes += int64(len(sc.vals))*8 + int64(len(sc.out))*8 + int64(len(sc.arcs))*4
+	}
+	bytes += int64(len(d.minT)+len(d.minE)+len(d.movd)+len(d.msgs)) * 8
+	return bytes
+}
 
 // MinTransient returns the smallest transient load x̆ observed so far
 // (+Inf before the first round).
@@ -407,18 +478,17 @@ func (d *Discrete) Restore(cp Checkpoint) error {
 }
 
 // Retarget implements Retargeter: it installs op (over the same graph
-// shape) as the diffusion operator for subsequent rounds and refreshes the
-// engine's α cache. Loads, flow memory, the round counter and the rounding
-// streams are untouched — see the interface contract for why this keeps
-// dynamic-environment runs checkpoint/restore safe.
+// shape) as the diffusion operator for subsequent rounds. The engine reads
+// α through the operator's shard view every step, so no per-arc copying
+// happens here — a speed event is O(1) on the engine side. Loads, flow
+// memory, the round counter and the rounding streams are untouched — see
+// the interface contract for why this keeps dynamic-environment runs
+// checkpoint/restore safe.
 func (d *Discrete) Retarget(op *spectral.Operator) error {
 	if err := retargetCheck(op, len(d.x), len(d.flows)); err != nil {
 		return err
 	}
 	d.op = op
-	if err := op.AlphasInto(d.alpha); err != nil {
-		return err
-	}
 	d.retargetCount++
 	return nil
 }
@@ -478,9 +548,5 @@ func (d *Discrete) Traffic() (tokens, messages int64) {
 
 // TotalLoad returns Σ x_i, which every step conserves exactly.
 func (d *Discrete) TotalLoad() int64 {
-	var s int64
-	for _, v := range d.x {
-		s += v
-	}
-	return s
+	return shard.SumInt64(d.lay, d.workers, d.x)
 }

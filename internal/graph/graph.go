@@ -390,6 +390,13 @@ func (g *Graph) DegreeHistogram() map[int]int {
 	return h
 }
 
+// MemoryFootprint returns the resident bytes of the CSR arrays (offsets,
+// neighbors, mate index) — the per-topology cost the scale benchmarks
+// report as bytes/node.
+func (g *Graph) MemoryFootprint() int64 {
+	return int64(len(g.offsets)+len(g.neighbors)+len(g.mate)) * 4
+}
+
 // AverageDegree returns 2|E|/n (0 for the empty graph).
 func (g *Graph) AverageDegree() float64 {
 	n := g.NumNodes()

@@ -1,0 +1,213 @@
+// Package scalebench measures the shard-partitioned step path at paper
+// scale: node-updates per second, resident bytes per node and allocations
+// per round for FOS and SOS on a 2-d torus and a random-regular graph.
+//
+// It is an experiment driver, not engine code: it reads the wall clock and
+// the allocator counters, so it deliberately sits outside the lbvet
+// nodeterminism scope (the engines it drives remain pure functions of spec
+// and seed — that contract is pinned by the golden equivalence tests, not
+// here).
+package scalebench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/shard"
+	"diffusionlb/internal/spectral"
+)
+
+// Schema identifies the BENCH JSON layout; bump on breaking changes.
+const Schema = "diffusionlb/bench-scale/v1"
+
+// Config sizes one benchmark run.
+type Config struct {
+	// N is the node count. Torus dimensions are the largest w×h split of N
+	// (w ≤ h, both even for wrap edges); the random-regular graph uses N
+	// exactly. Default 1<<20.
+	N int
+	// Degree is the random-regular degree. Default 8.
+	Degree int
+	// Rounds is the number of timed rounds per entry. Default 10.
+	Rounds int
+	// Warmup rounds run before timing starts (the first SOS round is an FOS
+	// round and the first touch of every page is a fault). Default 3.
+	Warmup int
+	// Workers is the per-step worker count. Default 0 (sequential).
+	Workers int
+	// Seed drives graph construction and the rounding streams. Default 1.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 1 << 20
+	}
+	if c.Degree <= 0 {
+		c.Degree = 8
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	} else if c.Warmup == 0 {
+		c.Warmup = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Entry is one (graph, scheme) measurement.
+type Entry struct {
+	Graph  string `json:"graph"`
+	Nodes  int    `json:"nodes"`
+	Arcs   int    `json:"arcs"`
+	Scheme string `json:"scheme"`
+	Engine string `json:"engine"`
+	Rounds int    `json:"rounds"`
+	Shards int    `json:"shards"`
+	// NodeUpdatesPerSec is nodes × rounds / elapsed seconds — the headline
+	// throughput number.
+	NodeUpdatesPerSec float64 `json:"node_updates_per_sec"`
+	// NsPerRound is elapsed nanoseconds per timed round.
+	NsPerRound float64 `json:"ns_per_round"`
+	// BytesPerNode is the resident footprint (graph + operator + engine)
+	// divided by the node count.
+	BytesPerNode float64 `json:"bytes_per_node"`
+	// AllocsPerRound is the allocator Mallocs delta across the timed rounds
+	// divided by the round count; the steady-state contract is 0 for
+	// sequential runs (goroutine spawns are the only multi-worker cost).
+	AllocsPerRound float64 `json:"allocs_per_round"`
+}
+
+// Result is the BENCH JSON document.
+type Result struct {
+	Schema  string  `json:"schema"`
+	N       int     `json:"n"`
+	Workers int     `json:"workers"`
+	Seed    uint64  `json:"seed"`
+	Entries []Entry `json:"entries"`
+}
+
+// torusDims splits n into the most square w×h torus with both sides ≥ 3
+// (so wrap edges are simple); powers of two split exactly.
+func torusDims(n int) (w, h int) {
+	w = 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			w = d
+		}
+	}
+	h = n / w
+	if w < 3 {
+		// Prime or near-prime n: fall back to the largest even square-ish
+		// torus not exceeding n.
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return side, side
+	}
+	return w, h
+}
+
+// Run executes the full benchmark grid: {torus2d, random-regular} ×
+// {FOS, SOS} on the discrete engine with randomized rounding. progress,
+// when non-nil, receives one line per completed stage.
+func Run(cfg Config, progress func(string)) (*Result, error) {
+	cfg = cfg.withDefaults()
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+
+	w, h := torusDims(cfg.N)
+	say("building torus2d:%dx%d", w, h)
+	torus, err := graph.Torus2D(w, h)
+	if err != nil {
+		return nil, fmt.Errorf("scalebench: torus: %w", err)
+	}
+	say("building randreg:%d:d=%d", cfg.N, cfg.Degree)
+	rr, err := graph.RandomRegular(cfg.N, cfg.Degree, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("scalebench: random regular: %w", err)
+	}
+
+	res := &Result{Schema: Schema, N: cfg.N, Workers: cfg.Workers, Seed: cfg.Seed}
+	for _, g := range []*graph.Graph{torus, rr} {
+		for _, kind := range []core.Kind{core.FOS, core.SOS} {
+			say("measuring %s/%s (%d rounds)", g.Name(), kind, cfg.Rounds)
+			e, err := benchOne(g, kind, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Entries = append(res.Entries, e)
+		}
+	}
+	return res, nil
+}
+
+// benchOne measures one (graph, scheme) cell: build the operator and a
+// discrete engine over a spread initial load, warm up, then time Rounds
+// steps around an allocator-counter read.
+func benchOne(g *graph.Graph, kind core.Kind, cfg Config) (Entry, error) {
+	n := g.NumNodes()
+	op, err := spectral.NewOperator(g, hetero.Homogeneous(n), nil)
+	if err != nil {
+		return Entry{}, fmt.Errorf("scalebench: operator: %w", err)
+	}
+	lay := shard.ForWorkers(g, cfg.Workers)
+	// A spread, unbalanced start keeps flows non-trivial for the whole
+	// timed window (a point load would drain to local balance in a few
+	// rounds at small N).
+	x0 := make([]int64, n)
+	for i := range x0 {
+		x0[i] = int64((i*i)%257) * 4
+	}
+	proc, err := core.NewDiscrete(
+		core.Config{Op: op, Kind: kind, Beta: 1.9, Workers: cfg.Workers, Layout: lay},
+		core.RandomizedRounder{}, cfg.Seed, x0)
+	if err != nil {
+		return Entry{}, fmt.Errorf("scalebench: engine: %w", err)
+	}
+
+	for i := 0; i < cfg.Warmup; i++ {
+		proc.Step()
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < cfg.Rounds; i++ {
+		proc.Step()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	bytes := g.MemoryFootprint() + op.MemoryFootprint() + proc.MemoryFootprint()
+	sec := elapsed.Seconds()
+	if sec <= 0 {
+		sec = 1e-9
+	}
+	return Entry{
+		Graph:             g.Name(),
+		Nodes:             n,
+		Arcs:              g.NumArcs(),
+		Scheme:            kind.String(),
+		Engine:            "discrete/randomized",
+		Rounds:            cfg.Rounds,
+		Shards:            lay.Shards(),
+		NodeUpdatesPerSec: float64(n) * float64(cfg.Rounds) / sec,
+		NsPerRound:        float64(elapsed.Nanoseconds()) / float64(cfg.Rounds),
+		BytesPerNode:      float64(bytes) / float64(n),
+		AllocsPerRound:    float64(m1.Mallocs-m0.Mallocs) / float64(cfg.Rounds),
+	}, nil
+}

@@ -1,0 +1,89 @@
+package scalebench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunSmallNProducesFullSchema is the CI smoke for the scale benchmark:
+// a small-N run must produce every (graph, scheme) cell with all three
+// headline metrics populated, and the JSON document must round-trip under
+// the pinned schema tag.
+func TestRunSmallNProducesFullSchema(t *testing.T) {
+	res, err := Run(Config{N: 4096, Degree: 8, Rounds: 3, Warmup: 1, Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != Schema {
+		t.Fatalf("schema %q, want %q", res.Schema, Schema)
+	}
+	if len(res.Entries) != 4 {
+		t.Fatalf("%d entries, want 4 (2 graphs x 2 schemes)", len(res.Entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range res.Entries {
+		seen[e.Graph+"/"+e.Scheme] = true
+		if e.Nodes != 4096 {
+			t.Errorf("%s/%s: %d nodes, want 4096", e.Graph, e.Scheme, e.Nodes)
+		}
+		if e.Arcs <= 0 {
+			t.Errorf("%s/%s: no arcs", e.Graph, e.Scheme)
+		}
+		if e.NodeUpdatesPerSec <= 0 {
+			t.Errorf("%s/%s: node_updates_per_sec = %g", e.Graph, e.Scheme, e.NodeUpdatesPerSec)
+		}
+		if e.NsPerRound <= 0 {
+			t.Errorf("%s/%s: ns_per_round = %g", e.Graph, e.Scheme, e.NsPerRound)
+		}
+		if e.BytesPerNode <= 0 {
+			t.Errorf("%s/%s: bytes_per_node = %g", e.Graph, e.Scheme, e.BytesPerNode)
+		}
+		if e.AllocsPerRound < 0 {
+			t.Errorf("%s/%s: allocs_per_round = %g", e.Graph, e.Scheme, e.AllocsPerRound)
+		}
+		if e.Shards <= 0 {
+			t.Errorf("%s/%s: shards = %d", e.Graph, e.Scheme, e.Shards)
+		}
+	}
+	schemes := []string{"FOS", "SOS"}
+	for _, s := range schemes {
+		found := 0
+		for key := range seen {
+			if key[len(key)-len(s):] == s {
+				found++
+			}
+		}
+		if found != 2 {
+			t.Errorf("scheme %s appears in %d entries, want 2", s, found)
+		}
+	}
+
+	// The document must survive a JSON round-trip unchanged in shape.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Entries) != len(res.Entries) {
+		t.Fatalf("round-trip lost data: schema %q entries %d", back.Schema, len(back.Entries))
+	}
+}
+
+// TestSequentialAllocsPerRoundIsZero pins the acceptance criterion directly
+// at the measurement layer: a sequential steady-state round allocates
+// nothing, so the benchmark's allocs_per_round must report 0.
+func TestSequentialAllocsPerRoundIsZero(t *testing.T) {
+	res, err := Run(Config{N: 4096, Degree: 8, Rounds: 5, Warmup: 2, Workers: 1, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Entries {
+		if e.AllocsPerRound != 0 {
+			t.Errorf("%s/%s: allocs_per_round = %g, want 0 on the sequential path",
+				e.Graph, e.Scheme, e.AllocsPerRound)
+		}
+	}
+}

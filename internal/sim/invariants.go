@@ -6,6 +6,7 @@ import (
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/invariants"
 	"diffusionlb/internal/numeric"
+	"diffusionlb/internal/shard"
 )
 
 // invariantChecker asserts the runtime conservation contract on the main
@@ -28,9 +29,19 @@ import (
 //     not trip the runtime contract;
 //   - column-stochasticity of the operator after every Reweight, within
 //     invariants.StochasticTol.
+//
+// When the process runs on a shard layout (core.Sharded), every full-vector
+// walk — the conservation reductions and the post-reweight column sums —
+// goes through that layout with per-shard partials combined in shard order,
+// so invariant-checked runs at 2²⁰ nodes keep pace with the step path
+// instead of adding single-threaded O(n + |E|) scans per round. The
+// grouping is fixed by the layout, so the float baseline stays bit-stable
+// across worker counts.
 type invariantChecker struct {
 	proc       core.Process
 	guarantor  core.NonNegativeGuarantor // nil when the process cannot certify
+	lay        *shard.Layout             // nil when the process is not Sharded
+	workers    int
 	prevNonNeg bool
 	isInt      bool
 	expInt     int64
@@ -41,15 +52,35 @@ type invariantChecker struct {
 func newInvariantChecker(p core.Process) *invariantChecker {
 	c := &invariantChecker{proc: p}
 	c.guarantor, _ = p.(core.NonNegativeGuarantor)
+	if sh, ok := p.(core.Sharded); ok {
+		c.lay, c.workers = sh.ShardLayout(), sh.StepWorkers()
+	}
 	lv := p.Loads()
 	if lv.Int != nil {
 		c.isInt = true
-		c.expInt = numeric.SumInt64(lv.Int)
+		c.expInt = c.sumInt(lv.Int)
 	} else {
-		c.expFloat = numeric.Sum(lv.Float)
+		c.expFloat = c.sumFloat(lv.Float)
 	}
 	c.refreshNonNeg(lv)
 	return c
+}
+
+// sumInt reduces an integer load vector, through the shard layout when the
+// process has one.
+func (c *invariantChecker) sumInt(x []int64) int64 {
+	if c.lay != nil && c.lay.Nodes() == len(x) {
+		return shard.SumInt64(c.lay, c.workers, x)
+	}
+	return numeric.SumInt64(x)
+}
+
+// sumFloat reduces a float load vector with the layout's fixed grouping.
+func (c *invariantChecker) sumFloat(x []float64) float64 {
+	if c.lay != nil && c.lay.Nodes() == len(x) {
+		return shard.SumFloat64(c.lay, c.workers, x)
+	}
+	return numeric.Sum(x)
 }
 
 func (c *invariantChecker) refreshNonNeg(lv core.LoadView) {
@@ -66,9 +97,9 @@ func (c *invariantChecker) afterStep(round int) {
 	ctx := fmt.Sprintf("sim: after step of round %d", round)
 	lv := c.proc.Loads()
 	if c.isInt {
-		invariants.Must(invariants.ConservedInt64(numeric.SumInt64(lv.Int), c.expInt, ctx))
+		invariants.Must(invariants.ConservedInt64(c.sumInt(lv.Int), c.expInt, ctx))
 	} else {
-		got := numeric.Sum(lv.Float)
+		got := c.sumFloat(lv.Float)
 		invariants.Must(invariants.ConservedFloat64(got, c.expFloat, invariants.ConservationTol, ctx))
 		c.expFloat = got
 	}
@@ -99,14 +130,15 @@ func (c *invariantChecker) afterInject(deltas []int64) {
 }
 
 // afterReweight asserts the reweighted operator is still column-stochastic
-// — the structural property load conservation rests on.
+// — the structural property load conservation rests on. The column sums
+// gather per shard when the process has a layout over the operator's graph.
 func (c *invariantChecker) afterReweight(round int) {
 	op := c.proc.Operator()
 	n := op.Graph().NumNodes()
 	if len(c.cols) != n {
 		c.cols = make([]float64, n)
 	}
-	invariants.Must(op.ColumnSums(c.cols))
+	invariants.Must(op.ColumnSumsPar(c.lay, c.workers, c.cols))
 	invariants.Must(invariants.ColumnStochastic(c.cols, invariants.StochasticTol,
 		fmt.Sprintf("sim: operator after reweight at round %d", round)))
 }

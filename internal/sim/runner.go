@@ -7,6 +7,7 @@ import (
 
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/envdyn"
+	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/invariants"
 	"diffusionlb/internal/metrics"
 	"diffusionlb/internal/scenario"
@@ -333,6 +334,19 @@ type Runner struct {
 	// OnRound, when set, is called after each round (after any lockstep
 	// steps and workload injection), e.g. to dump visualization frames.
 	OnRound func(round int, p core.Process)
+}
+
+// reweightOp applies a speed event to the shared operator, sharding the
+// O(n) diagonal revalidation over the process's own step layout when the
+// process exposes one (core.Sharded) — at 2²⁰ nodes the validation scan is
+// the entire cost of a speed event, since α is speed-independent and the
+// engines read it through the operator view with no per-arc copying. The
+// result is identical either way; only the scan parallelizes.
+func reweightOp(p core.Process, op *spectral.Operator, sp *hetero.Speeds) error {
+	if sh, ok := p.(core.Sharded); ok {
+		return op.ReweightPar(sp, sh.ShardLayout(), sh.StepWorkers())
+	}
+	return op.Reweight(sp)
 }
 
 // workloadLoads adapts a process's load vector to the workload.Loads view.
@@ -676,7 +690,7 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 			}
 			if changed > 0 {
 				op := r.Proc.Operator()
-				if err := op.Reweight(sp); err != nil {
+				if err := reweightOp(r.Proc, op, sp); err != nil {
 					return nil, fmt.Errorf("sim: dynamics %q at round %d: %w", envDyn.Name(), round, err)
 				}
 				for _, rt := range retargeters {

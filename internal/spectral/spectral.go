@@ -27,6 +27,7 @@ import (
 	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/numeric"
 	"diffusionlb/internal/randx"
+	"diffusionlb/internal/shard"
 )
 
 // ErrNoConvergence is returned when power iteration fails to reach the
@@ -175,6 +176,13 @@ func (op *Operator) AlphasInto(dst []float64) error {
 	return nil
 }
 
+// AlphaView exposes the per-arc α coefficients as a read-only view — the
+// zero-copy hot-loop access the engines use. α is a function of the graph
+// alone (an AlphaRule never sees speeds), so the view stays valid across
+// Reweight; callers must not modify it. External callers that cannot
+// guarantee read-only use should take Alphas() instead.
+func (op *Operator) AlphaView() []float64 { return op.alpha }
+
 // Reweight swaps the operator's speed vector in place (nil means
 // homogeneous), revalidating that every diagonal entry of M stays
 // non-negative, and invalidates the cached second eigenvalue — the whole
@@ -207,6 +215,57 @@ func (op *Operator) Reweight(speeds *hetero.Speeds) error {
 	op.lamValid = false
 	op.mu.Unlock()
 	return nil
+}
+
+// ReweightPar is Reweight with the O(n) diagonal revalidation sharded: each
+// shard validates its own node range and records the smallest offending
+// node, and the shard-order combine reports the same first error the
+// sequential scan finds. On error the operator is left unchanged. Like
+// Reweight it must not run concurrently with any other method; lay must
+// partition the operator's graph (a nil or foreign layout falls back to the
+// sequential Reweight).
+func (op *Operator) ReweightPar(speeds *hetero.Speeds, lay *shard.Layout, workers int) error {
+	if lay == nil || lay.Graph() != op.g {
+		return op.Reweight(speeds)
+	}
+	n := op.g.NumNodes()
+	if speeds == nil {
+		speeds = hetero.Homogeneous(n)
+	}
+	if speeds.Len() != n {
+		return fmt.Errorf("spectral: Reweight: %d speeds for %d nodes", speeds.Len(), n)
+	}
+	if speeds == op.speeds {
+		return nil
+	}
+	badNode := make([]int, lay.Shards())
+	badDiag := make([]float64, lay.Shards())
+	lay.Run(workers, func(s, lo, hi int) {
+		badNode[s] = -1
+		for i := lo; i < hi; i++ {
+			if diag := 1 - op.rowAlphaSum[i]/speeds.Of(i); diag < -1e-12 {
+				badNode[s], badDiag[s] = i, diag
+				return
+			}
+		}
+	})
+	for s := 0; s < lay.Shards(); s++ {
+		if badNode[s] >= 0 {
+			return fmt.Errorf("spectral: Reweight: negative diagonal %g at node %d (alpha rule too large for the new speeds)", badDiag[s], badNode[s])
+		}
+	}
+	op.speeds = speeds
+	op.mu.Lock()
+	op.lamValid = false
+	op.mu.Unlock()
+	return nil
+}
+
+// MemoryFootprint returns the resident bytes of the operator's own storage
+// (the per-arc α array and the cached row sums); the graph is accounted
+// separately by graph.Graph.MemoryFootprint, since it is typically shared.
+func (op *Operator) MemoryFootprint() int64 {
+	return int64(len(op.alpha)+len(op.rowAlphaSum)) * 8
 }
 
 // Clone returns an independent operator over the same (immutable) graph
@@ -312,23 +371,53 @@ func (op *Operator) Dense() *numeric.Dense {
 // 1 − Σα/s_j plus the α_ij/s_j contributions of j's neighbors, which
 // cancel when α is symmetric across arc mates — so the sums are an
 // independent runtime check of that symmetry: internal/invariants asserts
-// them after every Reweight. The accumulation iterates arcs in CSR order,
-// matching Dense, so the result is deterministic.
+// them after every Reweight.
+//
+// The accumulation gathers per column: column j adds its neighbors'
+// contributions α_ij/s_j in ascending neighbor order (adjacency lists are
+// sorted), reading each α through the mate index — the same float the old
+// scatter over rows added, in the same i-ascending order, so the result is
+// bit-identical to the historical scatter form while every column is now
+// independent of every other (the property ColumnSumsPar exploits).
 func (op *Operator) ColumnSums(dst []float64) error {
 	n := op.g.NumNodes()
 	if len(dst) != n {
 		return fmt.Errorf("spectral: ColumnSums: %d slots for %d nodes", len(dst), n)
 	}
-	for j := 0; j < n; j++ {
-		dst[j] = 1 - op.rowAlphaSum[j]/op.speeds.Of(j)
-	}
-	offsets, arcs := op.g.Offsets(), op.g.Arcs()
-	for i := 0; i < n; i++ {
-		for a := offsets[i]; a < offsets[i+1]; a++ {
-			j := int(arcs[a])
-			dst[j] += op.alpha[a] / op.speeds.Of(j)
+	op.columnSumsRange(dst, 0, n)
+	return nil
+}
+
+// columnSumsRange fills dst[lo:hi] with the column sums of columns
+// [lo, hi) — the shard kernel behind ColumnSums and ColumnSumsPar.
+func (op *Operator) columnSumsRange(dst []float64, lo, hi int) {
+	offsets, mate := op.g.Offsets(), op.g.MateIndex()
+	for j := lo; j < hi; j++ {
+		sj := op.speeds.Of(j)
+		acc := 1 - op.rowAlphaSum[j]/sj
+		for a := offsets[j]; a < offsets[j+1]; a++ {
+			acc += op.alpha[mate[a]] / sj
 		}
+		dst[j] = acc
 	}
+}
+
+// ColumnSumsPar is ColumnSums over a shard layout: each shard gathers its
+// own columns, so the check parallelizes with no scatter races and no
+// change in the result — every dst[j] is written by exactly one shard with
+// the exact value the sequential form produces. lay must partition the
+// operator's graph.
+func (op *Operator) ColumnSumsPar(lay *shard.Layout, workers int, dst []float64) error {
+	n := op.g.NumNodes()
+	if len(dst) != n {
+		return fmt.Errorf("spectral: ColumnSums: %d slots for %d nodes", len(dst), n)
+	}
+	if lay == nil || lay.Graph() != op.g {
+		return op.ColumnSums(dst)
+	}
+	lay.Run(workers, func(_, lo, hi int) {
+		op.columnSumsRange(dst, lo, hi)
+	})
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"diffusionlb/internal/metrics"
 	"diffusionlb/internal/randx"
 	"diffusionlb/internal/scenario"
+	"diffusionlb/internal/shard"
 	"diffusionlb/internal/sim"
 	"diffusionlb/internal/spectral"
 	"diffusionlb/internal/workload"
@@ -85,6 +86,7 @@ type system struct {
 	g      *graph.Graph
 	sp     *hetero.Speeds
 	op     *spectral.Operator
+	lay    *shard.Layout
 	lambda float64
 	beta   float64
 }
@@ -130,7 +132,11 @@ func buildSystems(ctx context.Context, spec Spec, cells []Cell, workers int) (ma
 		if err != nil {
 			return err
 		}
-		built[i] = &system{g: g, sp: sp, op: op, lambda: lam, beta: beta}
+		// One shard layout per topology, shared by every cell's engines:
+		// the partition depends only on the CSR shape and StepWorkers, so
+		// per-cell clones would all compute the same boundaries anyway.
+		lay := shard.ForWorkers(g, spec.StepWorkers)
+		built[i] = &system{g: g, sp: sp, op: op, lay: lay, lambda: lam, beta: beta}
 		return nil
 	})
 	if err != nil {
@@ -212,7 +218,7 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, []core.SwitchEvent, e
 	if env != nil || scn != nil {
 		op = sys.op.Clone()
 	}
-	cfg := core.Config{Op: op, Kind: kind, Beta: beta, Workers: spec.StepWorkers}
+	cfg := core.Config{Op: op, Kind: kind, Beta: beta, Workers: spec.StepWorkers, Layout: sys.lay}
 
 	var proc core.Process
 	switch c.Rounder {
