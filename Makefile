@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short lint verify-static race fmt-check vet verify fuzz-smoke bench bench-smoke bench-scale clean
+.PHONY: all build test test-short lint lint-canary verify-static race fmt-check vet verify fuzz-smoke bench bench-smoke bench-scale clean
 
 all: build
 
@@ -14,11 +14,19 @@ test-short:
 	$(GO) test -short ./...
 
 # lint runs the lbvet analyzer suite (internal/analysis): nodeterminism,
-# floateq, specroundtrip and goroutineleak — the static half of the
-# determinism and conservation contract (see README "Determinism
-# contract"). Exceptions need a justified //lint:allow.
+# floateq, specroundtrip, goroutineleak, shardsafety, hotalloc and
+# checkpointsync — the static half of the determinism and conservation
+# contract (see README "Determinism contract"). Exceptions need a justified
+# //lint:allow.
 lint:
 	$(GO) run ./cmd/lbvet ./...
+
+# lint-canary proves the suite still catches the defect classes it exists
+# for: it plants a cross-shard write and a hot-path allocation in a scratch
+# copy of the module and requires lint to flag both (see
+# TestSeededDefectCanary).
+lint-canary:
+	$(GO) test -run '^TestSeededDefectCanary$$' ./internal/analysis
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -1,8 +1,9 @@
 // Command lbvet runs the repo's determinism and conservation analyzer
 // suite (internal/analysis) over the whole module: nodeterminism, floateq,
-// specroundtrip and goroutineleak, plus well-formedness of //lint:allow
-// directives. It is the static half of the contract whose runtime half is
-// internal/invariants; make lint wires it into verify and CI.
+// specroundtrip, goroutineleak, shardsafety, hotalloc and checkpointsync,
+// plus well-formedness of //lint:allow and //lbvet: directives. It is the
+// static half of the contract whose runtime half is internal/invariants;
+// make lint wires it into verify and CI.
 //
 // Usage:
 //
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"diffusionlb/internal/analysis"
 	"diffusionlb/internal/analysis/driver"
@@ -47,6 +49,7 @@ func run(arg string) error {
 	if err != nil {
 		return err
 	}
+	begin := time.Now() //lint:allow nodeterminism lint wall-time report, not engine state
 	l, err := driver.NewLoader(root)
 	if err != nil {
 		return err
@@ -55,13 +58,14 @@ func run(arg string) error {
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(begin).Round(time.Millisecond) //lint:allow nodeterminism lint wall-time report, not engine state
 	for _, d := range diags {
 		fmt.Printf("%s: %s: %s\n", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("lbvet: %d packages clean\n", pkgs)
+	fmt.Printf("lbvet: %d packages clean in %s\n", pkgs, elapsed)
 	return nil
 }
 

@@ -77,6 +77,26 @@ func TestSpecRoundtripGoodFixture(t *testing.T) {
 	driver.RunFixture(t, loader(t), fixture("specgood"), analysis.SpecRoundtrip)
 }
 
+// TestShardSafetyFixture pins the ownership shapes the analyzer blesses
+// (node range, arc range, [s] slot, stored-index replay, //lbvet:doublebuffer)
+// and the cross-shard writes it must flag.
+func TestShardSafetyFixture(t *testing.T) {
+	driver.RunFixture(t, loader(t), fixture("shardsafety"), analysis.ShardSafety)
+}
+
+// TestHotAllocFixture pins the allocation catalogue on annotated functions
+// and the two exemptions: unannotated functions and error-terminating paths.
+func TestHotAllocFixture(t *testing.T) {
+	driver.RunFixture(t, loader(t), fixture("hotalloc"), analysis.HotAlloc)
+}
+
+// TestCheckpointSyncFixture pins the both-methods coverage rule on a fixture
+// deliberately split across two files, so it also exercises cross-file type
+// resolution in RunFixture.
+func TestCheckpointSyncFixture(t *testing.T) {
+	driver.RunFixture(t, loader(t), fixture("checkpointsync"), analysis.CheckpointSync)
+}
+
 // TestMalformedAllowDirectives pins two properties of the escape hatch: a
 // directive without a justification is itself reported, and it does not
 // suppress the diagnostic it sits next to.
@@ -104,8 +124,8 @@ func TestSuiteScoping(t *testing.T) {
 	for _, sa := range analysis.Suite() {
 		byName[sa.Name] = sa
 	}
-	if len(byName) != 4 {
-		t.Fatalf("suite has %d analyzers, want 4", len(byName))
+	if len(byName) != 7 {
+		t.Fatalf("suite has %d analyzers, want 7", len(byName))
 	}
 	cases := []struct {
 		analyzer string
@@ -114,13 +134,21 @@ func TestSuiteScoping(t *testing.T) {
 	}{
 		{"nodeterminism", "diffusionlb/internal/core", true},
 		{"nodeterminism", "diffusionlb/internal/experiments", false},
-		{"nodeterminism", "diffusionlb/cmd/lbsim", false},
+		{"nodeterminism", "diffusionlb/cmd/lbsim", true},
+		{"nodeterminism", "diffusionlb/internal/scalebench", true},
+		{"nodeterminism", "diffusionlb/internal/analysis/driver", true},
 		{"goroutineleak", "diffusionlb/internal/sweep", true},
+		{"goroutineleak", "diffusionlb/internal/invariants", true},
 		{"goroutineleak", "diffusionlb/internal/viz", false},
 		{"floateq", "diffusionlb/internal/numeric", false},
 		{"floateq", "diffusionlb/internal/experiments", true},
 		{"specroundtrip", "diffusionlb/internal/workload", true},
 		{"specroundtrip", "diffusionlb/cmd/lbsim", true},
+		{"shardsafety", "diffusionlb/internal/core", true},
+		{"shardsafety", "diffusionlb/internal/spectral", true},
+		{"shardsafety", "diffusionlb/internal/metrics", false},
+		{"hotalloc", "diffusionlb/internal/metrics", true},
+		{"checkpointsync", "diffusionlb/internal/core", true},
 	}
 	for _, c := range cases {
 		sa, ok := byName[c.analyzer]

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"diffusionlb/internal/analysis/driver"
+)
+
+// CheckpointSync keeps engine checkpoints honest. For every struct type
+// that declares both a Checkpoint and a Restore method, each field the type
+// mutates during a run (any write through the receiver outside Checkpoint/
+// Restore themselves) must be touched by BOTH methods — otherwise a
+// checkpoint/restore cycle silently resumes with stale state and the
+// bit-identical-resume contract (checkpoint_test.go's replay pinning)
+// drifts one field at a time as the engines grow.
+//
+// Fields that are genuinely derived — per-round scratch rebuilt by Step
+// before use, or operator state the resuming driver replays — are annotated
+// at their declaration with //lint:allow checkpointsync <why>, which
+// doubles as documentation of why each field may legitimately escape the
+// checkpoint. Constructors are exempt by construction: they build the value
+// through a local, not through a method receiver.
+var CheckpointSync = &driver.Analyzer{
+	Name: "checkpointsync",
+	Doc: "every field a Checkpoint/Restore-carrying type mutates must be covered " +
+		"by both methods or justified with //lint:allow checkpointsync",
+	Run: runCheckpointSync,
+}
+
+// ckptType accumulates the evidence for one Checkpoint/Restore-carrying type.
+type ckptType struct {
+	spec       *ast.TypeSpec
+	structType *ast.StructType
+	checkpoint *ast.FuncDecl
+	restore    *ast.FuncDecl
+	// mutated maps field name -> the first mutating method's name.
+	mutated map[string]string
+	// mutatedPos remembers the first write position per field for stable
+	// fallback reporting.
+	order []string
+}
+
+func runCheckpointSync(pass *driver.Pass) error {
+	typesByName := map[string]*ckptType{}
+	// Pass 1: find struct types and their Checkpoint/Restore/other methods.
+	pass.Inspector().Preorder([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node) {
+		ts := n.(*ast.TypeSpec)
+		if pass.IsTestFile(ts.Pos()) {
+			return
+		}
+		if st, ok := ts.Type.(*ast.StructType); ok {
+			typesByName[ts.Name.Name] = &ckptType{spec: ts, structType: st, mutated: map[string]string{}}
+		}
+	})
+	pass.Inspector().Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Recv == nil || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+			return
+		}
+		ct := typesByName[recvTypeName(fd)]
+		if ct == nil {
+			return
+		}
+		switch fd.Name.Name {
+		case "Checkpoint":
+			if fd.Type.Params.NumFields() == 0 {
+				ct.checkpoint = fd
+				return
+			}
+		case "Restore":
+			ct.restore = fd
+			return
+		}
+		recordFieldWrites(pass, fd, ct)
+	})
+	// Pass 2: for covered types, require both-method coverage of every
+	// mutated field.
+	for _, ct := range typesByName {
+		if ct.checkpoint == nil || ct.restore == nil {
+			continue
+		}
+		inCkpt := fieldsTouched(pass, ct.checkpoint)
+		inRest := fieldsTouched(pass, ct.restore)
+		for _, name := range ct.order {
+			if inCkpt[name] && inRest[name] {
+				continue
+			}
+			missing := "Checkpoint and Restore"
+			switch {
+			case inCkpt[name]:
+				missing = "Restore"
+			case inRest[name]:
+				missing = "Checkpoint"
+			}
+			pass.Reportf(fieldPos(ct, name),
+				"field %s.%s is mutated during the run (by %s) but not covered by %s: a checkpoint/restore cycle resumes with stale state; capture it or justify with //lint:allow checkpointsync <why>",
+				ct.spec.Name.Name, name, ct.mutated[name], missing)
+		}
+	}
+	return nil
+}
+
+// fieldPos locates the declaration of the named field (falling back to the
+// type spec), so //lint:allow sits on the field it documents.
+func fieldPos(ct *ckptType, name string) token.Pos {
+	for _, field := range ct.structType.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				return id.Pos()
+			}
+		}
+	}
+	return ct.spec.Pos()
+}
+
+// recvTypeName returns the receiver's base type name of a method.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// recvVar returns the receiver variable object of a method (nil when the
+// receiver is unnamed).
+func recvVar(pass *driver.Pass, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// recordFieldWrites collects receiver-field mutations in a method body:
+// direct assignment, element assignment, op-assign, inc/dec, copy into, and
+// swap assignments all count.
+func recordFieldWrites(pass *driver.Pass, fd *ast.FuncDecl, ct *ckptType) {
+	recv := recvVar(pass, fd)
+	if recv == nil {
+		return
+	}
+	note := func(name string) {
+		if _, ok := ct.mutated[name]; !ok {
+			ct.mutated[name] = fd.Name.Name
+			ct.order = append(ct.order, name)
+		}
+	}
+	target := func(e ast.Expr) {
+		if name, ok := recvFieldOf(pass, e, recv); ok {
+			note(name)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				target(lhs)
+			}
+		case *ast.IncDecStmt:
+			target(n.X)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Parent() == types.Universe {
+					target(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recvFieldOf reports the field name when e writes through recv: recv.f,
+// recv.f[i], recv.f[i:j] — peeling index and slice layers.
+func recvFieldOf(pass *driver.Pass, e ast.Expr, recv *types.Var) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == types.Object(recv) {
+				return x.Sel.Name, true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// fieldsTouched collects every receiver field referenced anywhere in the
+// method (reads and writes both count as coverage).
+func fieldsTouched(pass *driver.Pass, fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	recv := recvVar(pass, fd)
+	if recv == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == types.Object(recv) {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,407 @@
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is a per-function control-flow graph at statement granularity, the
+// substrate of the dataflow analyzers (shardsafety's write-provenance check,
+// hotalloc's cold-path exemption). It covers the statement forms the engine
+// code uses — if/else, for, range, switch, type switch, select, labeled
+// break/continue, goto, return, panic termination — and deliberately stays a
+// pragmatic subset: nested function literals are opaque single nodes (they
+// get their own CFG when analyzed), and a type switch's per-clause implicit
+// variable is not modeled as a definition.
+type CFG struct {
+	// Fn is the *ast.FuncDecl or *ast.FuncLit the graph was built from.
+	Fn ast.Node
+	// Entry is Blocks[0]; execution starts here.
+	Entry *Block
+	// Exit is the synthetic sink every return (and the fall-off end) feeds.
+	Exit *Block
+	// Blocks lists all blocks in creation order, including unreachable ones
+	// (statements after a return still get definitions recorded).
+	Blocks []*Block
+}
+
+// Block is one straight-line run of statements. Nodes holds the executed
+// statements and, for branch heads, the condition or range expression whose
+// evaluation the block performs.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	// returns records the ReturnStmts ending in this block, and fallsToExit
+	// whether the block reaches Exit by falling off the function end —
+	// together they let hotalloc classify normal vs error-only exits.
+	Returns     []*ast.ReturnStmt
+	FallsToExit bool
+	// Panics marks a block terminated by a builtin panic call.
+	Panics bool
+}
+
+// BuildCFG constructs the CFG of fn (a *ast.FuncDecl or *ast.FuncLit).
+// Functions without a body (externally declared) yield a graph whose entry
+// falls straight through to exit.
+func BuildCFG(fn ast.Node) *CFG {
+	b := &cfgBuilder{cfg: &CFG{Fn: fn}, labels: map[string]*labelTargets{}, labelBlocks: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = &Block{Index: -1}
+	b.cur = b.cfg.Entry
+
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body != nil {
+		b.stmts(body.List)
+	}
+	if b.cur != nil {
+		b.cur.FallsToExit = true
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	for _, g := range b.gotos {
+		if target, ok := b.labelBlocks[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+// labelTargets holds the break/continue destinations a label resolves to.
+type labelTargets struct {
+	brk, cont *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block // nil after a terminating statement (unreachable code starts a fresh block)
+
+	// breaks/conts are the innermost-last stacks of unlabeled targets.
+	breaks, conts []*Block
+	labels        map[string]*labelTargets
+	labelBlocks   map[string]*Block
+	gotos         []pendingGoto
+	// pendingLabel names the label attached to the next loop/switch built.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// use returns the current block, materializing a fresh unreachable one after
+// a terminator so trailing statements still record their definitions.
+func (b *cfgBuilder) use() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) append(n ast.Node) {
+	if n != nil {
+		blk := b.use()
+		blk.Nodes = append(blk.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.buildIf(s)
+	case *ast.ForStmt:
+		b.buildFor(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.buildRange(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.append(s.Init)
+		b.append(s.Tag)
+		b.buildCases(s.Body.List, b.takeLabel(), true)
+	case *ast.TypeSwitchStmt:
+		b.append(s.Init)
+		b.append(s.Assign)
+		b.buildCases(s.Body.List, b.takeLabel(), true)
+	case *ast.SelectStmt:
+		b.buildCases(s.Body.List, b.takeLabel(), false)
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.use(), lb)
+		b.cur = lb
+		b.labelBlocks[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		blk := b.use()
+		blk.Nodes = append(blk.Nodes, s)
+		blk.Returns = append(blk.Returns, s)
+		b.edge(blk, b.cfg.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.buildBranch(s)
+	default:
+		// Assignments, declarations, expression statements, go, defer, send,
+		// incdec, empty: straight-line nodes. A statement that is a builtin
+		// panic call additionally terminates the block.
+		b.append(s)
+		if isPanicStmt(s) {
+			blk := b.use()
+			blk.Panics = true
+			b.edge(blk, b.cfg.Exit)
+			b.cur = nil
+		}
+	}
+}
+
+// takeLabel consumes the label attached to the statement being built, if any.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) buildIf(s *ast.IfStmt) {
+	b.append(s.Init)
+	b.append(s.Cond)
+	head := b.use()
+	join := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(head, then)
+	b.cur = then
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, join)
+	}
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(head, els)
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	} else {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) buildFor(s *ast.ForStmt, label string) {
+	b.append(s.Init)
+	head := b.newBlock()
+	b.edge(b.use(), head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	exit := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, exit)
+	}
+
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		cont = post
+	}
+
+	b.pushTargets(exit, cont, label)
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, cont)
+	}
+	b.popTargets(label, true)
+	b.cur = exit
+}
+
+func (b *cfgBuilder) buildRange(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	b.edge(b.use(), head)
+	// The RangeStmt node in the head stands for the per-iteration key/value
+	// assignment and the range expression evaluation.
+	head.Nodes = append(head.Nodes, s)
+	exit := b.newBlock()
+	b.edge(head, exit)
+
+	b.pushTargets(exit, head, label)
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.popTargets(label, true)
+	b.cur = exit
+}
+
+// buildCases wires switch/type-switch/select clause bodies: each clause is a
+// successor of the head block; bodies flow to the join; fallthrough chains to
+// the next clause. For switches without a default the head also reaches the
+// join directly.
+func (b *cfgBuilder) buildCases(clauses []ast.Stmt, label string, isSwitch bool) {
+	head := b.use()
+	join := b.newBlock()
+
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+	}
+	hasDefault := false
+	b.pushTargets(join, nil, label)
+	for i, clause := range clauses {
+		var body []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				blocks[i].Nodes = append(blocks[i].Nodes, e)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				blocks[i].Nodes = append(blocks[i].Nodes, c.Comm)
+			}
+			body = c.Body
+		}
+		b.cur = blocks[i]
+		// Peel a trailing fallthrough: it transfers to the next clause body.
+		fallsThrough := false
+		if n := len(body); isSwitch && n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.stmts(body)
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(blocks) {
+				b.edge(b.cur, blocks[i+1])
+			} else {
+				b.edge(b.cur, join)
+			}
+		}
+	}
+	b.popTargets(label, false)
+	if !hasDefault || !isSwitch {
+		// A select without default blocks until a comm fires, but for the
+		// purposes of the graph the join is only reachable through a clause;
+		// keep the head→join edge off only when a default guarantees entry.
+		if !hasDefault {
+			b.edge(head, join)
+		}
+	}
+	b.cur = join
+}
+
+// pushTargets registers break/continue destinations. cont is nil for
+// switch/select, whose break target does not shadow the enclosing loop's
+// continue target.
+func (b *cfgBuilder) pushTargets(brk, cont *Block, label string) {
+	b.breaks = append(b.breaks, brk)
+	if cont != nil {
+		b.conts = append(b.conts, cont)
+	}
+	if label != "" {
+		b.labels[label] = &labelTargets{brk: brk, cont: cont}
+	}
+}
+
+func (b *cfgBuilder) popTargets(label string, hadCont bool) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if hadCont {
+		b.conts = b.conts[:len(b.conts)-1]
+	}
+	if label != "" {
+		delete(b.labels, label)
+	}
+}
+
+func (b *cfgBuilder) buildBranch(s *ast.BranchStmt) {
+	blk := b.use()
+	blk.Nodes = append(blk.Nodes, s)
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if t, ok := b.labels[s.Label.Name]; ok {
+				b.edge(blk, t.brk)
+			}
+		} else if n := len(b.breaks); n > 0 {
+			b.edge(blk, b.breaks[n-1])
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if t, ok := b.labels[s.Label.Name]; ok && t.cont != nil {
+				b.edge(blk, t.cont)
+			}
+		} else if n := len(b.conts); n > 0 {
+			b.edge(blk, b.conts[n-1])
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.gotos = append(b.gotos, pendingGoto{blk, s.Label.Name})
+		}
+	case token.FALLTHROUGH:
+		// Handled structurally by buildCases; a stray one falls through to
+		// nothing.
+	}
+	b.cur = nil
+}
+
+// isPanicStmt reports whether s is a statement-level call to builtin panic.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,214 @@
+package driver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks one dependency-free source file,
+// returning what NewReachingDefs needs. Keeping the fixture import-free
+// means these unit tests never touch the Loader or the stdlib closure.
+func typecheckSrc(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return f, info
+}
+
+// findFunc returns the named top-level function declaration.
+func findFunc(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// reaches reports whether to is reachable from from along Succs edges.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGBranchBothArmsReturn(t *testing.T) {
+	f, _ := typecheckSrc(t, `package p
+func f(a int) int {
+	if a > 0 {
+		return 1
+	} else {
+		return 2
+	}
+}`)
+	cfg := BuildCFG(findFunc(t, f, "f"))
+	returning := 0
+	for _, blk := range cfg.Blocks {
+		returning += len(blk.Returns)
+		// Only reachable blocks matter: the builder materializes an empty
+		// unreachable join after the if, which harmlessly falls off the end.
+		if blk.FallsToExit && reaches(cfg.Entry, blk) {
+			t.Errorf("reachable block %d falls to exit; both arms return", blk.Index)
+		}
+	}
+	if returning != 2 {
+		t.Fatalf("found %d returns, want 2", returning)
+	}
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("exit unreachable from entry")
+	}
+	if len(cfg.Entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2 (then/else)", len(cfg.Entry.Succs))
+	}
+}
+
+func TestCFGLoopHasBackEdge(t *testing.T) {
+	f, _ := typecheckSrc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	cfg := BuildCFG(findFunc(t, f, "f"))
+	cyclic := false
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			if s != blk && reaches(s, blk) {
+				cyclic = true
+			}
+		}
+	}
+	if !cyclic {
+		t.Fatal("loop produced no cycle in the CFG")
+	}
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("exit unreachable: loop exit edge missing")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	f, _ := typecheckSrc(t, `package p
+func f(xs []int) int {
+	s := 0
+outer:
+	for i := 0; i < len(xs); i++ {
+		for j := 0; j < i; j++ {
+			if xs[j] < 0 {
+				continue outer
+			}
+			if xs[j] == 0 {
+				break outer
+			}
+			s += xs[j]
+		}
+	}
+	return s
+}`)
+	cfg := BuildCFG(findFunc(t, f, "f"))
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("exit unreachable through labeled break/continue")
+	}
+	// The labeled-branch blocks must not dead-end: every block with nodes
+	// either has a successor or is the exit.
+	for _, blk := range cfg.Blocks {
+		if blk != cfg.Exit && len(blk.Nodes) > 0 && len(blk.Succs) == 0 && !blk.Panics {
+			t.Errorf("block %d dead-ends with %d nodes", blk.Index, len(blk.Nodes))
+		}
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	f, _ := typecheckSrc(t, `package p
+func f(ok bool) {
+	if !ok {
+		panic("invariant")
+	}
+}`)
+	cfg := BuildCFG(findFunc(t, f, "f"))
+	var panicking *Block
+	for _, blk := range cfg.Blocks {
+		if blk.Panics {
+			if panicking != nil {
+				t.Fatal("multiple panicking blocks")
+			}
+			panicking = blk
+		}
+	}
+	if panicking == nil {
+		t.Fatal("no block marked Panics")
+	}
+	for _, s := range panicking.Succs {
+		if s != cfg.Exit {
+			t.Errorf("panicking block flows to block %d, want exit only", s.Index)
+		}
+	}
+	// The fall-off path (ok == true) still reaches exit normally.
+	fallsOff := false
+	for _, blk := range cfg.Blocks {
+		fallsOff = fallsOff || blk.FallsToExit
+	}
+	if !fallsOff {
+		t.Fatal("no block falls to exit; the non-panicking path vanished")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	f, _ := typecheckSrc(t, `package p
+func f(a int) int {
+	s := 0
+	switch a {
+	case 1:
+		s = 1
+		fallthrough
+	case 2:
+		s += 2
+	default:
+		s = 9
+	}
+	return s
+}`)
+	cfg := BuildCFG(findFunc(t, f, "f"))
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("exit unreachable through switch")
+	}
+	// Head must fan out to all three clauses.
+	if got := len(cfg.Entry.Succs); got != 3 {
+		t.Fatalf("switch head has %d successors, want 3 clauses", got)
+	}
+}

@@ -1,0 +1,245 @@
+package driver
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// useOfName returns the n-th (0-based) read of the named identifier inside
+// fn, in source order. Assignment targets are skipped: go/types records the
+// LHS of `x = 2` in Uses, but the dataflow treats it as a definition.
+func useOfName(t *testing.T, info *types.Info, fn ast.Node, name string, n int) *ast.Ident {
+	t.Helper()
+	defLHS := map[*ast.Ident]bool{}
+	ast.Inspect(fn, func(nd ast.Node) bool {
+		if as, ok := nd.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					defLHS[id] = true
+				}
+			}
+		}
+		return true
+	})
+	var found *ast.Ident
+	count := 0
+	ast.Inspect(fn, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok || id.Name != name || defLHS[id] {
+			return true
+		}
+		if _, isUse := info.Uses[id]; !isUse {
+			return true
+		}
+		if count == n && found == nil {
+			found = id
+		}
+		count++
+		return true
+	})
+	if found == nil {
+		t.Fatalf("use #%d of %q not found", n, name)
+	}
+	return found
+}
+
+func reachOf(t *testing.T, src, fnName string) (*ReachingDefs, ast.Node, *types.Info) {
+	t.Helper()
+	f, info := typecheckSrc(t, src)
+	fd := findFunc(t, f, fnName)
+	cfg := BuildCFG(fd)
+	return NewReachingDefs(cfg, info), fd, info
+}
+
+func TestReachingDefsStraightLine(t *testing.T) {
+	reach, fd, info := reachOf(t, `package p
+func f() int {
+	x := 1
+	x = 2
+	return x
+}`, "f")
+	use := useOfName(t, info, fd, "x", 0) // the x in "return x" ("x = 2" is a def)
+	defs := reach.DefsOf(use)
+	if len(defs) != 1 {
+		t.Fatalf("return x sees %d defs, want 1 (the redefinition kills the first)", len(defs))
+	}
+	if as, ok := defs[0].Site.(*ast.AssignStmt); !ok || as.Tok.String() != "=" {
+		t.Fatalf("surviving def site = %T (%v), want the plain assignment", defs[0].Site, defs[0].Site)
+	}
+}
+
+func TestReachingDefsBranchMerge(t *testing.T) {
+	reach, fd, info := reachOf(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`, "f")
+	use := useOfName(t, info, fd, "x", 0)
+	if defs := reach.DefsOf(use); len(defs) != 2 {
+		t.Fatalf("return x after a one-armed if sees %d defs, want 2 (both arms merge)", len(defs))
+	}
+}
+
+func TestReachingDefsLoop(t *testing.T) {
+	reach, fd, info := reachOf(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s = s + i
+	}
+	return s
+}`, "f")
+	// The i in the loop condition sees exactly the init and the post
+	// increment — the property shardsafety's blessing proof rests on.
+	condUse := useOfName(t, info, fd, "i", 0)
+	defs := reach.DefsOf(condUse)
+	if len(defs) != 2 {
+		t.Fatalf("loop condition i sees %d defs, want 2 (init + post)", len(defs))
+	}
+	for _, d := range defs {
+		switch d.Site.(type) {
+		case *ast.AssignStmt, *ast.IncDecStmt:
+		default:
+			t.Errorf("unexpected def site %T for loop variable", d.Site)
+		}
+	}
+	// s after the loop sees both the init and the in-loop redefinition.
+	retUse := useOfName(t, info, fd, "s", 1) // s in "return s" (read 0 is the RHS of "s = s + i")
+	if defs := reach.DefsOf(retUse); len(defs) != 2 {
+		t.Fatalf("return s sees %d defs, want 2", len(defs))
+	}
+}
+
+func TestReachingDefsShortCircuit(t *testing.T) {
+	reach, fd, info := reachOf(t, `package p
+func f(a int) bool {
+	x := 0
+	ok := a > 0 && x > 1
+	x = 2
+	return ok && x > 0
+}`, "f")
+	// The x inside the short-circuit operand of the ok assignment sees only
+	// the initial definition.
+	first := useOfName(t, info, fd, "x", 0)
+	defs := reach.DefsOf(first)
+	if len(defs) != 1 {
+		t.Fatalf("short-circuit operand sees %d defs of x, want 1", len(defs))
+	}
+	if _, entry := defs[0].Site.(*ast.AssignStmt); !entry {
+		t.Fatalf("def site = %T, want the x := 0 assignment", defs[0].Site)
+	}
+	// The x in the return's short-circuit operand sees only x = 2.
+	second := useOfName(t, info, fd, "x", 1)
+	defs = reach.DefsOf(second)
+	if len(defs) != 1 {
+		t.Fatalf("return operand sees %d defs of x, want 1 (x = 2 kills x := 0)", len(defs))
+	}
+}
+
+func TestReachingDefsDefer(t *testing.T) {
+	reach, fd, info := reachOf(t, `package p
+func sink(int) {}
+func f() int {
+	x := 1
+	defer sink(x)
+	x = 2
+	return x
+}`, "f")
+	// The x handed to the deferred call is evaluated at the defer statement,
+	// so it sees only the definition before it.
+	deferUse := useOfName(t, info, fd, "x", 0)
+	defs := reach.DefsOf(deferUse)
+	if len(defs) != 1 {
+		t.Fatalf("deferred argument sees %d defs of x, want 1", len(defs))
+	}
+	if as, ok := defs[0].Site.(*ast.AssignStmt); !ok || as.Tok.String() != ":=" {
+		t.Fatalf("deferred argument's def = %T (%v), want x := 1", defs[0].Site, defs[0].Site)
+	}
+	retUse := useOfName(t, info, fd, "x", 1)
+	if defs := reach.DefsOf(retUse); len(defs) != 1 {
+		t.Fatalf("return x sees %d defs, want 1", len(defs))
+	}
+}
+
+func TestReachingDefsRange(t *testing.T) {
+	reach, fd, info := reachOf(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s = s + v
+	}
+	return s
+}`, "f")
+	// v inside the body sees exactly the per-iteration range definition.
+	vUse := useOfName(t, info, fd, "v", 0)
+	defs := reach.DefsOf(vUse)
+	if len(defs) != 1 {
+		t.Fatalf("body use of v sees %d defs, want 1", len(defs))
+	}
+	if _, ok := defs[0].Site.(*ast.RangeStmt); !ok {
+		t.Fatalf("v's def site = %T, want the RangeStmt", defs[0].Site)
+	}
+}
+
+func TestReachingDefsEntryParams(t *testing.T) {
+	reach, fd, info := reachOf(t, `package p
+func f(a int) int {
+	b := a
+	return b
+}`, "f")
+	aUse := useOfName(t, info, fd, "a", 0)
+	defs := reach.DefsOf(aUse)
+	if len(defs) != 1 || !defs[0].Entry {
+		t.Fatalf("parameter use sees %v, want one entry def", defs)
+	}
+}
+
+// TestReachingDefsCaptureUntracked pins the closure contract: a variable
+// belonging to the enclosing function is untracked in the literal's own
+// analysis even when the literal assigns it — the analyzers treat untracked
+// as "shared, assume the worst".
+func TestReachingDefsCaptureUntracked(t *testing.T) {
+	f, info := typecheckSrc(t, `package p
+func f() func() {
+	n := 0
+	return func() {
+		n++
+	}
+}`)
+	fd := findFunc(t, f, "f")
+	var lit *ast.FuncLit
+	ast.Inspect(fd, func(nd ast.Node) bool {
+		if fl, ok := nd.(*ast.FuncLit); ok && lit == nil {
+			lit = fl
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("no function literal found")
+	}
+	reach := NewReachingDefs(BuildCFG(lit), info)
+	var nVar *types.Var
+	ast.Inspect(fd, func(nd ast.Node) bool {
+		if id, ok := nd.(*ast.Ident); ok && id.Name == "n" {
+			if v, ok := info.Defs[id].(*types.Var); ok && nVar == nil {
+				nVar = v
+			}
+		}
+		return true
+	})
+	if nVar == nil {
+		t.Fatal("variable n not resolved")
+	}
+	if reach.Tracked(nVar) {
+		t.Fatal("captured variable must stay untracked in the literal's analysis")
+	}
+	// And the enclosing function's own analysis does track it.
+	outer := NewReachingDefs(BuildCFG(fd), info)
+	if !outer.Tracked(nVar) {
+		t.Fatal("enclosing function must track its own local")
+	}
+}

@@ -1,0 +1,101 @@
+package driver
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lbvet directives annotate contracts the dataflow analyzers enforce:
+//
+//	//lbvet:hotpath [note]      — on a function declaration's doc comment:
+//	                              the function must be allocation-free
+//	                              (checked by hotalloc).
+//	//lbvet:doublebuffer [note] — on a struct field holding the write half
+//	                              of a double-buffered pair: shardsafety
+//	                              accepts writes through it at any index,
+//	                              because unique ownership is guaranteed by
+//	                              the buffer protocol, not the index range.
+//
+// Unknown //lbvet: directives are reported by CheckDirectives so typos
+// cannot silently drop a contract.
+const directivePrefix = "//lbvet:"
+
+var knownDirectives = map[string]bool{
+	"hotpath":      true,
+	"doublebuffer": true,
+}
+
+// parseDirective returns the directive name ("" when the comment is not an
+// lbvet directive).
+func parseDirective(text string) string {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return ""
+	}
+	name, _, _ := strings.Cut(rest, " ")
+	return strings.TrimSpace(name)
+}
+
+// HasDirective reports whether the comment group carries the named lbvet
+// directive.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if parseDirective(c.Text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldsWithDirective collects the struct-field objects of files that carry
+// the named directive in their doc or trailing line comment.
+func FieldsWithDirective(info *types.Info, files []*ast.File, name string) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !HasDirective(field.Doc, name) && !HasDirective(field.Comment, name) {
+					continue
+				}
+				for _, id := range field.Names {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// CheckDirectives reports unknown //lbvet: directives. Run it once per
+// package alongside CheckAllowDirectives.
+func CheckDirectives(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				if name := parseDirective(c.Text); !knownDirectives[name] {
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "directive",
+						Message:  "unknown //lbvet: directive \"" + name + "\" (known: hotpath, doublebuffer)",
+					})
+				}
+			}
+		}
+	}
+	return diags
+}

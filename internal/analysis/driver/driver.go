@@ -55,8 +55,18 @@ type Pass struct {
 	Pkg        *types.Package
 	TypesInfo  *types.Info
 
+	pkg   *Package
 	diags []Diagnostic
 }
+
+// Inspector returns the analyzed package's shared preorder inspector.
+func (p *Pass) Inspector() *Inspector { return p.pkg.Inspector() }
+
+// FuncCFG returns the package-cached CFG of fn.
+func (p *Pass) FuncCFG(fn ast.Node) *CFG { return p.pkg.FuncCFG(fn) }
+
+// FuncReach returns the package-cached reaching-definitions solution of fn.
+func (p *Pass) FuncReach(fn ast.Node) *ReachingDefs { return p.pkg.FuncReach(fn) }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -82,6 +92,7 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		XTestFiles: pkg.XTestFiles,
 		Pkg:        pkg.Types,
 		TypesInfo:  pkg.TypesInfo,
+		pkg:        pkg,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)

@@ -1,0 +1,50 @@
+package driver
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// Inspector is a cached preorder traversal of a package's files, mirroring
+// golang.org/x/tools/go/ast/inspector: the AST is flattened once and every
+// analyzer filters the shared node list by type instead of re-walking the
+// tree. Build one per package via Package.Inspector (or Pass.Inspector) so
+// the traversal cost is paid once across the whole suite.
+type Inspector struct {
+	nodes []ast.Node
+}
+
+// NewInspector flattens files into a shared preorder node list.
+func NewInspector(files []*ast.File) *Inspector {
+	in := &Inspector{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				in.nodes = append(in.nodes, n)
+			}
+			return true
+		})
+	}
+	return in
+}
+
+// Preorder calls f for every node whose dynamic type matches one of the
+// (typically nil-pointer) exemplars in nodeTypes, in source preorder. An
+// empty nodeTypes matches every node.
+func (in *Inspector) Preorder(nodeTypes []ast.Node, f func(ast.Node)) {
+	if len(nodeTypes) == 0 {
+		for _, n := range in.nodes {
+			f(n)
+		}
+		return
+	}
+	want := make(map[reflect.Type]bool, len(nodeTypes))
+	for _, t := range nodeTypes {
+		want[reflect.TypeOf(t)] = true
+	}
+	for _, n := range in.nodes {
+		if want[reflect.TypeOf(n)] {
+			f(n)
+		}
+	}
+}

@@ -12,7 +12,10 @@ import (
 	"strings"
 )
 
-// Package is one loaded, fully type-checked package.
+// Package is one loaded, fully type-checked package. The inspector, CFGs
+// and reaching-defs solutions are built lazily and cached on the package, so
+// every analyzer in a suite run shares one traversal and one dataflow
+// solution per function instead of recomputing them.
 type Package struct {
 	Dir        string
 	ImportPath string
@@ -21,6 +24,45 @@ type Package struct {
 	XTestFiles []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+
+	insp  *Inspector
+	cfgs  map[ast.Node]*CFG
+	reach map[ast.Node]*ReachingDefs
+}
+
+// Inspector returns the package's cached preorder inspector.
+func (p *Package) Inspector() *Inspector {
+	if p.insp == nil {
+		p.insp = NewInspector(p.Files)
+	}
+	return p.insp
+}
+
+// FuncCFG returns the cached CFG of fn (a *ast.FuncDecl or *ast.FuncLit of
+// this package).
+func (p *Package) FuncCFG(fn ast.Node) *CFG {
+	if p.cfgs == nil {
+		p.cfgs = map[ast.Node]*CFG{}
+	}
+	if c, ok := p.cfgs[fn]; ok {
+		return c
+	}
+	c := BuildCFG(fn)
+	p.cfgs[fn] = c
+	return c
+}
+
+// FuncReach returns the cached reaching-definitions solution of fn.
+func (p *Package) FuncReach(fn ast.Node) *ReachingDefs {
+	if p.reach == nil {
+		p.reach = map[ast.Node]*ReachingDefs{}
+	}
+	if r, ok := p.reach[fn]; ok {
+		return r
+	}
+	r := NewReachingDefs(p.FuncCFG(fn), p.TypesInfo)
+	p.reach[fn] = r
+	return r
 }
 
 // Loader parses and type-checks the packages of one module from source.
@@ -39,6 +81,10 @@ type Loader struct {
 	ctx     build.Context
 	cache   map[string]*types.Package
 	loading map[string]bool
+	// pkgCache memoizes LoadDir results by (dir, includeTests), so a loader
+	// shared across fixture tests, LintModule and the canary type-checks each
+	// target package once.
+	pkgCache map[string]*Package
 }
 
 // NewLoader builds a loader for the module rooted at moduleDir (the
@@ -73,6 +119,7 @@ func NewLoader(moduleDir string) (*Loader, error) {
 		ctx:        ctx,
 		cache:      map[string]*types.Package{},
 		loading:    map[string]bool{},
+		pkgCache:   map[string]*Package{},
 	}, nil
 }
 
@@ -178,6 +225,13 @@ func (l *Loader) ImportPathFor(dir string) string {
 // XTestFiles (syntax only). Target packages are checked strictly: any
 // type error fails the load.
 func (l *Loader) LoadDir(dir string, includeTests bool) (*Package, error) {
+	cacheKey := dir
+	if includeTests {
+		cacheKey += "|tests"
+	}
+	if pkg, ok := l.pkgCache[cacheKey]; ok {
+		return pkg, nil
+	}
 	bp, err := l.ctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("driver: %s: %w", dir, err)
@@ -208,7 +262,7 @@ func (l *Loader) LoadDir(dir string, includeTests bool) (*Package, error) {
 			return nil, err
 		}
 	}
-	return &Package{
+	pkg := &Package{
 		Dir:        dir,
 		ImportPath: importPath,
 		Fset:       l.Fset,
@@ -216,5 +270,7 @@ func (l *Loader) LoadDir(dir string, includeTests bool) (*Package, error) {
 		XTestFiles: xfiles,
 		Types:      tpkg,
 		TypesInfo:  info,
-	}, nil
+	}
+	l.pkgCache[cacheKey] = pkg
+	return pkg, nil
 }

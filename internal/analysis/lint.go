@@ -26,6 +26,7 @@ func LintModule(l *driver.Loader) ([]driver.Diagnostic, int, error) {
 			return nil, 0, err
 		}
 		all = append(all, driver.CheckAllowDirectives(pkg)...)
+		all = append(all, driver.CheckDirectives(pkg)...)
 		for _, sa := range suite {
 			if !sa.AppliesTo(pkg.ImportPath) {
 				continue

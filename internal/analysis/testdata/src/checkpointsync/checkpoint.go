@@ -1,0 +1,34 @@
+package checkpointsync
+
+type goodCp struct {
+	Round int
+	Loads []float64
+}
+
+func (g *good) Checkpoint() goodCp {
+	cp := goodCp{Round: g.round, Loads: make([]float64, len(g.loads))}
+	copy(cp.Loads, g.loads)
+	return cp
+}
+
+func (g *good) Restore(cp goodCp) error {
+	g.round = cp.Round
+	copy(g.loads, cp.Loads)
+	return nil
+}
+
+type badCp struct {
+	Round int
+	Sent  int64
+}
+
+// Checkpoint captures sent but forgets drift entirely.
+func (b *bad) Checkpoint() badCp {
+	return badCp{Round: b.round, Sent: b.sent}
+}
+
+// Restore forgets both drift and sent.
+func (b *bad) Restore(cp badCp) error {
+	b.round = cp.Round
+	return nil
+}

@@ -1,0 +1,44 @@
+// Package checkpointsync is an lbvet analysistest fixture. It is
+// deliberately split across two files — the types and their mutating Step
+// methods live here, the Checkpoint/Restore pairs in checkpoint.go — so the
+// fixture also exercises cross-file type resolution in the driver.
+package checkpointsync
+
+// good is the clean shape: every mutated field is covered by both methods,
+// and the per-round scratch is justified at its declaration.
+type good struct {
+	round   int
+	loads   []float64
+	scratch []float64 //lint:allow checkpointsync per-round scratch, rebuilt by Step before any read
+}
+
+func (g *good) Step() {
+	g.round++
+	for i := range g.scratch {
+		g.scratch[i] = 0
+	}
+	for i := range g.loads {
+		g.loads[i] += g.scratch[i]
+	}
+}
+
+// bad mutates two fields the checkpoint cycle loses.
+type bad struct {
+	round int
+	drift float64 // want `field bad\.drift is mutated during the run \(by Step\) but not covered by Checkpoint and Restore`
+	sent  int64   // want `field bad\.sent is mutated during the run \(by Step\) but not covered by Restore`
+}
+
+func (b *bad) Step() {
+	b.round++
+	b.drift += 0.5
+	b.sent++
+}
+
+// uncovered has mutating methods but no Checkpoint/Restore pair, so no
+// contract binds it.
+type uncovered struct {
+	hits int
+}
+
+func (u *uncovered) Step() { u.hits++ }

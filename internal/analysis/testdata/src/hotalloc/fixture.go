@@ -1,0 +1,116 @@
+// Package hotalloc is an lbvet analysistest fixture: each // want comment
+// pins a diagnostic of the hotalloc analyzer on a //lbvet:hotpath function,
+// and the undecorated declarations pin what must stay clean — including
+// allocation in unannotated functions and on error-terminating paths.
+package hotalloc
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+//lbvet:hotpath fixture
+func hotAppend(xs []int, v int) []int {
+	return append(xs, v) // want `append in //lbvet:hotpath hotAppend`
+}
+
+//lbvet:hotpath fixture
+func hotMake(n int) {
+	buf := make([]float64, n) // want `make in //lbvet:hotpath hotMake`
+	_ = buf
+}
+
+//lbvet:hotpath fixture
+func hotClosure(xs []float64) {
+	f := func(i int) float64 { return xs[i] } // want `closure literal in //lbvet:hotpath hotClosure`
+	_ = f
+}
+
+//lbvet:hotpath fixture
+func hotFmt(v int) {
+	fmt.Println(v) // want `fmt\.Println in //lbvet:hotpath hotFmt`
+}
+
+//lbvet:hotpath fixture
+func hotMapRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration in //lbvet:hotpath hotMapRange`
+		total += v
+	}
+	return total
+}
+
+//lbvet:hotpath fixture
+func hotLiteral() {
+	_ = []int{1, 2, 3} // want `slice literal in //lbvet:hotpath hotLiteral`
+}
+
+//lbvet:hotpath fixture
+func hotBoxArg(v int) {
+	sink(v) // want `int value boxed into interface`
+}
+
+//lbvet:hotpath fixture
+func hotBoxAssign(v float64) {
+	var i any
+	i = v // want `float64 value boxed into interface`
+	_ = i
+}
+
+// hotPointerArg stays clean: pointer-shaped values fill the interface word
+// without a heap box.
+//
+//lbvet:hotpath fixture
+func hotPointerArg(p *int) {
+	sink(p)
+}
+
+// hotGuarded stays clean: the fmt.Errorf sits in a block from which every
+// path terminates in a failure return, so it runs per misconfiguration, not
+// per round.
+//
+//lbvet:hotpath fixture
+func hotGuarded(xs []float64, n int) error {
+	if len(xs) != n {
+		return fmt.Errorf("hotalloc fixture: %d slots for %d nodes", len(xs), n)
+	}
+	for i := range xs {
+		xs[i] = 0
+	}
+	return nil
+}
+
+// hotErrPropagate stays clean: the bare error return is guarded by its own
+// err != nil check.
+//
+//lbvet:hotpath fixture
+func hotErrPropagate(xs []float64, n int) error {
+	if err := validate(xs, n); err != nil {
+		return err
+	}
+	for i := range xs {
+		xs[i] = 1
+	}
+	return nil
+}
+
+func validate(xs []float64, n int) error {
+	if len(xs) != n {
+		return fmt.Errorf("hotalloc fixture: bad shape")
+	}
+	return nil
+}
+
+// hotPanicPath stays clean: the formatting feeds a panic, and the CFG cuts
+// after a panic statement.
+//
+//lbvet:hotpath fixture
+func hotPanicPath(ok bool, i int) {
+	if !ok {
+		panic(fmt.Sprintf("hotalloc fixture: broken invariant at %d", i))
+	}
+}
+
+// coldAppend stays clean: no //lbvet:hotpath annotation, no contract.
+func coldAppend(xs []int) []int {
+	return append(xs, len(xs))
+}

@@ -1,0 +1,132 @@
+// Package shardsafety is an lbvet analysistest fixture: each // want
+// comment pins a diagnostic of the shardsafety analyzer, and the
+// undecorated pass bodies pin the ownership shapes that must stay clean.
+package shardsafety
+
+type engine struct {
+	offsets []int32
+	x       []float64
+	flows   []float64
+	minT    []float64
+	cursor  int
+}
+
+type dbuf struct {
+	//lbvet:doublebuffer exact antisymmetry gives every slot exactly one writer per round
+	next []float64
+	mate []int32
+}
+
+// run stands in for shard.Layout.Run: any func with the (s, lo, hi int)
+// shape is a pass body whether or not it reaches the real scheduler.
+func run(f func(s, lo, hi int)) { f(0, 0, 0) }
+
+// passNodeRange is the canonical clean kernel: every write is indexed by the
+// blessed node-range loop variable or the shard slot.
+func (e *engine) passNodeRange(s, lo, hi int) {
+	local := 0.0
+	for i := lo; i < hi; i++ {
+		e.x[i] = 0
+		local += e.x[i]
+	}
+	e.minT[s] = local
+}
+
+// passArcRange exercises the arc-range blessing: the bounds share the base
+// and the row index is node-range.
+func (e *engine) passArcRange(s, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for a := e.offsets[i]; a < e.offsets[i+1]; a++ {
+			e.flows[a] = 0
+		}
+	}
+}
+
+// passReplay exercises the stored-index replay pattern: indices stored into
+// a local slice were all provably in-range, so reading them back keeps the
+// proof.
+func (e *engine) passReplay(s, lo, hi int) {
+	buf := make([]int, hi-lo)
+	n := 0
+	for i := lo; i < hi; i++ {
+		buf[n] = i
+		n++
+	}
+	for k := 0; k < n; k++ {
+		e.x[buf[k]] = 0
+	}
+}
+
+// passDoubleBuffer writes through a //lbvet:doublebuffer field at an index
+// no range proof covers — the buffer protocol owns the slot.
+func (d *dbuf) passDoubleBuffer(s, lo, hi int) {
+	for a := lo; a < hi; a++ {
+		d.next[d.mate[a]] = 1
+	}
+}
+
+// passConstIndex writes a fixed slot of shared state from every shard.
+func (e *engine) passConstIndex(s, lo, hi int) {
+	e.x[0] = 1 // want `write to shared e\.x is not provably inside this shard's range`
+}
+
+// passSharedIndex indexes shared state by a value loaded from shared state.
+func (e *engine) passSharedIndex(s, lo, hi int) {
+	e.x[e.cursor] = 1 // want `write to shared e\.x is not provably inside this shard's range`
+}
+
+// passTamperedLoop re-defines the blessed loop variable mid-body, breaking
+// the range proof for the write that follows.
+func (e *engine) passTamperedLoop(s, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		i = e.cursor
+		e.x[i] = 1 // want `write to shared e\.x is not provably inside this shard's range`
+	}
+}
+
+// passFieldWrite assigns a shared scalar field from every shard.
+func (e *engine) passFieldWrite(s, lo, hi int) {
+	e.cursor = lo // want `write to shared field e\.cursor from a pass body`
+}
+
+// badCapture accumulates into a variable captured from the enclosing
+// function: every shard's worker races on it.
+func badCapture(e *engine) float64 {
+	total := 0.0
+	run(func(s, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += e.x[i] // want `write to captured variable "total" from a pass body`
+		}
+	})
+	return total
+}
+
+// passCopyBodies pins the copy rule: a whole-slice copy into shared state
+// has no shard bound, the [lo:hi] window does.
+func (e *engine) passCopyBodies(src []float64) {
+	run(func(s, lo, hi int) {
+		copy(e.x[lo:hi], src)
+	})
+	run(func(s, lo, hi int) {
+		copy(e.x, src) // want `copy into shared e\.x from a pass body has no provable shard bound`
+	})
+}
+
+// badGo launches goroutines that capture the loop variable instead of taking
+// it as an argument.
+func badGo(xs []float64, out chan<- float64) {
+	for i := 0; i < len(xs); i++ {
+		go func() {
+			out <- xs[i] // want `loop variable "i" captured by a goroutine launched in the loop`
+		}()
+	}
+}
+
+// goodGo passes iteration state explicitly — the blessed spawn shape.
+func goodGo(xs []float64, out chan<- float64) {
+	for i := 0; i < len(xs); i++ {
+		go func(i int) {
+			out <- xs[i]
+		}(i)
+	}
+}

@@ -111,3 +111,176 @@ func TestRestoreValidation(t *testing.T) {
 		t.Error("invalid kind must be rejected")
 	}
 }
+
+func TestContinuousCheckpointRestoreBitIdentical(t *testing.T) {
+	op := torusOp(t, 12, 12)
+	n := 144
+	x0 := make([]float64, n)
+	x0[0] = float64(n) * 1000
+	cfg := Config{Op: op, Kind: SOS, Beta: 1.85}
+
+	ref, err := NewContinuous(cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(ref, 120)
+
+	first, err := NewContinuous(cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(first, 50)
+	cp := first.Checkpoint()
+	Run(first, 5) // mutating the original must not affect the copy
+
+	second, err := NewContinuous(cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if second.Round() != 50 {
+		t.Fatalf("restored round = %d, want 50", second.Round())
+	}
+	Run(second, 70)
+
+	a, b := ref.LoadsFloat(), second.LoadsFloat()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("resumed run differs at node %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	if ref.MinTransient() != second.MinTransient() {
+		t.Errorf("min transient differs: %g vs %g", ref.MinTransient(), second.MinTransient())
+	}
+	if ref.ConservationError() != second.ConservationError() {
+		t.Errorf("conservation drift differs: %g vs %g", ref.ConservationError(), second.ConservationError())
+	}
+}
+
+func TestContinuousRestoreValidation(t *testing.T) {
+	op := torusOp(t, 4, 4)
+	p, err := NewContinuous(Config{Op: op, Kind: FOS}, make([]float64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restore(ContinuousCheckpoint{Loads: make([]float64, 3)}); err == nil {
+		t.Error("shape mismatch must be rejected")
+	}
+	cp := p.Checkpoint()
+	cp.Kind = Kind(99)
+	if err := p.Restore(cp); err == nil {
+		t.Error("invalid kind must be rejected")
+	}
+	cp = p.Checkpoint()
+	cp.Beta = 7.5
+	if err := p.Restore(cp); err == nil {
+		t.Error("out-of-range beta must be rejected")
+	}
+}
+
+func TestCumulativeCheckpointRestoreBitIdentical(t *testing.T) {
+	op := torusOp(t, 12, 12)
+	n := 144
+	x0, err := metrics.PointLoad(n, int64(n)*1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Op: op, Kind: SOS, Beta: 1.85}
+
+	ref, err := NewCumulativeDiscrete(cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(ref, 120)
+
+	first, err := NewCumulativeDiscrete(cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(first, 50)
+	cp := first.Checkpoint()
+	Run(first, 5)
+
+	second, err := NewCumulativeDiscrete(cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if second.Round() != 50 {
+		t.Fatalf("restored round = %d, want 50", second.Round())
+	}
+	Run(second, 70)
+
+	a, b := ref.LoadsInt(), second.LoadsInt()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("resumed run differs at node %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	ra, rb := ref.Reference().LoadsFloat(), second.Reference().LoadsFloat()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("resumed continuous reference differs at node %d: %g vs %g", i, ra[i], rb[i])
+		}
+	}
+	if ref.MinTransient() != second.MinTransient() {
+		t.Errorf("min transient differs: %g vs %g", ref.MinTransient(), second.MinTransient())
+	}
+}
+
+func TestCumulativeRestoreValidation(t *testing.T) {
+	op := torusOp(t, 4, 4)
+	p, err := NewCumulativeDiscrete(Config{Op: op, Kind: FOS}, make([]int64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restore(CumulativeCheckpoint{Loads: make([]int64, 3)}); err == nil {
+		t.Error("shape mismatch must be rejected")
+	}
+	cp := p.Checkpoint()
+	cp.Cont.Kind = Kind(99)
+	if err := p.Restore(cp); err == nil {
+		t.Error("invalid wrapped kind must be rejected")
+	}
+}
+
+func TestAdaptiveCheckpointRoundTrip(t *testing.T) {
+	op := torusOp(t, 8, 8)
+	x0, err := metrics.PointLoad(64, 64*100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewDiscrete(Config{Op: op, Kind: SOS, Beta: 1.8}, RandomizedRounder{}, 3, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Adapt(p, OneShot(SwitchAtRound{Round: 10}))
+	Run(a, 20)
+	if len(a.Switches()) != 1 {
+		t.Fatalf("switch history = %v, want one event", a.Switches())
+	}
+	cp := a.Checkpoint()
+	Run(a, 5)
+
+	q, err := NewDiscrete(Config{Op: op, Kind: SOS, Beta: 1.8}, RandomizedRounder{}, 3, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Adapt(q, OneShot(SwitchAtRound{Round: 10}))
+	if err := b.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Switches()
+	if len(got) != 1 || got[0] != cp.Switches[0] {
+		t.Fatalf("restored switch history = %v, want %v", got, cp.Switches)
+	}
+	// The restored history is a copy: mutating the restored wrapper must not
+	// write through into the checkpoint.
+	if &got[0] == &cp.Switches[0] {
+		t.Error("Restore must deep-copy the switch history")
+	}
+}

@@ -21,6 +21,7 @@ import (
 // steady-state round allocates nothing. On homogeneous speeds the
 // normalization pass disappears entirely: z is the load vector itself.
 type Continuous struct {
+	//lint:allow checkpointsync operator state is replayed by the resuming driver, see Checkpoint.Retargets
 	op      *spectral.Operator
 	kind    Kind
 	beta    float64
@@ -30,9 +31,9 @@ type Continuous struct {
 	arcs    []int32
 
 	x     []float64 // loads at the beginning of the current round
-	next  []float64 // scratch for x(t+1)
+	next  []float64 //lint:allow checkpointsync scratch for x(t+1), swapped into x at the end of every Step
 	flows []float64 // y(t-1) per arc; valid iff flowsValid
-	z     []float64 // scratch: x_i/s_i
+	z     []float64 //lint:allow checkpointsync scratch x_i/s_i, recomputed by passZ before any read
 	// flowsValid records whether flows holds the previous round's flows;
 	// an SOS round with invalid memory runs the FOS recurrence (this is
 	// exactly the scheme's t=0 rule, and it reapplies after a SetKind).
@@ -45,17 +46,17 @@ type Continuous struct {
 	retargetCount      int
 
 	// Per-shard reduction slots, sized at construction.
-	minT []float64
-	negT []bool
+	minT []float64 //lint:allow checkpointsync per-round reduction slot, overwritten by every Step
+	negT []bool    //lint:allow checkpointsync per-round reduction slot, overwritten by every Step
 
 	// Round-scoped parameters for the pass methods (see Discrete for why
 	// these are fields and the passes are method values bound once).
-	stepSp     *hetero.Speeds
-	stepAlpha  []float64
-	stepZ      []float64 // c.z, or c.x itself on homogeneous speeds
-	stepSecond bool
-	stepBeta   float64
-	stepSigma  float64
+	stepSp     *hetero.Speeds //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepAlpha  []float64      //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepZ      []float64      //lint:allow checkpointsync round-scoped alias of c.z (or c.x on homogeneous speeds)
+	stepSecond bool           //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepBeta   float64        //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepSigma  float64        //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
 
 	passZFn    func(s, lo, hi int)
 	passFlowFn func(s, lo, hi int)
@@ -103,6 +104,8 @@ func NewContinuous(cfg Config, initial []float64) (*Continuous, error) {
 
 // passZ fills the normalized loads z_i = x_i/s_i for one shard
 // (heterogeneous speeds only; homogeneous rounds alias z to x).
+//
+//lbvet:hotpath per-round kernel over every node
 func (c *Continuous) passZ(_, lo, hi int) {
 	sp := c.stepSp
 	for i := lo; i < hi; i++ {
@@ -115,6 +118,8 @@ func (c *Continuous) passZ(_, lo, hi int) {
 // immediately applies them to its load. Flows are source-partitioned, so
 // the fusion introduces no cross-shard hazards: z and x are read-only here
 // and every flow slot has exactly one writer.
+//
+//lbvet:hotpath per-round fused kernel over every arc
 func (c *Continuous) passFlowApply(s, lo, hi int) {
 	offsets, arcs := c.offsets, c.arcs
 	alpha := c.stepAlpha
@@ -147,6 +152,8 @@ func (c *Continuous) passFlowApply(s, lo, hi int) {
 }
 
 // Step executes one synchronous continuous round.
+//
+//lbvet:hotpath runs every round; must stay allocation-free in steady state
 func (c *Continuous) Step() {
 	sp := speedsOf(c.op)
 	c.stepSp = sp
@@ -243,6 +250,8 @@ func (c *Continuous) NegativeTransientRounds() int { return c.negTransientRounds
 // shape) as the diffusion operator for subsequent rounds; loads, SOS flow
 // memory and the round counter are untouched. The engine reads α through
 // the operator's shard view every step, so no per-arc copying happens here.
+//
+//lbvet:hotpath speed events are O(1) on the engine side and may fire every round
 func (c *Continuous) Retarget(op *spectral.Operator) error {
 	if err := retargetCheck(op, len(c.x), len(c.flows)); err != nil {
 		return err
@@ -279,6 +288,75 @@ func (c *Continuous) Inject(deltas []int64) error {
 	for i, dv := range deltas {
 		c.x[i] += float64(dv)
 		c.initialTotal += float64(dv)
+	}
+	return nil
+}
+
+// ContinuousCheckpoint captures the resumable state of a Continuous
+// process: loads, the SOS flow memory, and the diagnostics counters, in the
+// same shape as Discrete's Checkpoint. Operator state is not captured — the
+// resuming driver replays the speed trajectory (see Retargets).
+type ContinuousCheckpoint struct {
+	Round              int
+	Kind               Kind
+	FlowsValid         bool
+	Loads              []float64
+	Flows              []float64
+	MinTransient       float64
+	NegTransientRounds int
+	InitialTotal       float64
+	Retargets          int
+	// Beta is the second-order parameter at the snapshot; Restore ignores a
+	// zero value (older snapshots), keeping the process's current β.
+	Beta float64
+}
+
+// Checkpoint returns a deep copy of the resumable state; Restore on a
+// process over the same graph yields a bit-identical continuation.
+func (c *Continuous) Checkpoint() ContinuousCheckpoint {
+	cp := ContinuousCheckpoint{
+		Round:              c.round,
+		Kind:               c.kind,
+		FlowsValid:         c.flowsValid,
+		Loads:              make([]float64, len(c.x)),
+		Flows:              make([]float64, len(c.flows)),
+		MinTransient:       c.minTransient,
+		NegTransientRounds: c.negTransientRounds,
+		InitialTotal:       c.initialTotal,
+		Retargets:          c.retargetCount,
+		Beta:               c.beta,
+	}
+	copy(cp.Loads, c.x)
+	copy(cp.Flows, c.flows)
+	return cp
+}
+
+// Restore replaces the process state with a checkpoint taken from a process
+// over the same graph.
+func (c *Continuous) Restore(cp ContinuousCheckpoint) error {
+	if len(cp.Loads) != len(c.x) || len(cp.Flows) != len(c.flows) {
+		return fmt.Errorf("%w: checkpoint shape %d/%d does not match process %d/%d",
+			ErrBadConfig, len(cp.Loads), len(cp.Flows), len(c.x), len(c.flows))
+	}
+	switch cp.Kind {
+	case FOS, SOS:
+	default:
+		return fmt.Errorf("%w: checkpoint has invalid kind %d", ErrBadConfig, int(cp.Kind))
+	}
+	c.round = cp.Round
+	c.kind = cp.Kind
+	c.flowsValid = cp.FlowsValid
+	copy(c.x, cp.Loads)
+	copy(c.flows, cp.Flows)
+	c.minTransient = cp.MinTransient
+	c.negTransientRounds = cp.NegTransientRounds
+	c.initialTotal = cp.InitialTotal
+	c.retargetCount = cp.Retargets
+	if cp.Beta != 0 {
+		if err := betaCheck(cp.Beta); err != nil {
+			return err
+		}
+		c.beta = cp.Beta
 	}
 	return nil
 }

@@ -41,7 +41,7 @@ type CumulativeDiscrete struct {
 	minTransientSet    bool
 	negTransientRounds int
 
-	minT []int64 // per-shard reduction slots
+	minT []int64 //lint:allow checkpointsync per-round reduction slot, overwritten by every Step
 
 	passFn func(s, lo, hi int)
 }
@@ -84,6 +84,8 @@ func NewCumulativeDiscrete(cfg Config, initial []int64) (*CumulativeDiscrete, er
 
 // passApply advances one shard's cumulative bookkeeping: accumulate the
 // round's continuous flows into Φ, send the rounded difference, apply it.
+//
+//lbvet:hotpath per-round fused kernel over every node and arc
 func (c *CumulativeDiscrete) passApply(s, lo, hi int) {
 	offsets := c.offsets
 	contFlows := c.cont.flows
@@ -111,6 +113,8 @@ func (c *CumulativeDiscrete) passApply(s, lo, hi int) {
 
 // Step advances the continuous reference one round and sends the rounded
 // cumulative-difference flows.
+//
+//lbvet:hotpath runs every round; must stay allocation-free in steady state
 func (c *CumulativeDiscrete) Step() {
 	c.cont.Step()
 	c.lay.Run(c.workers, c.passFn)
@@ -206,6 +210,59 @@ func (c *CumulativeDiscrete) Inject(deltas []int64) error {
 	for i, dv := range deltas {
 		c.x[i] += dv
 	}
+	return nil
+}
+
+// CumulativeCheckpoint captures the resumable state of a CumulativeDiscrete
+// process: the wrapped continuous reference's checkpoint plus the integer
+// loads and the cumulative per-arc bookkeeping that defines the scheme.
+type CumulativeCheckpoint struct {
+	Cont               ContinuousCheckpoint
+	Round              int
+	Loads              []int64
+	Sent               []int64
+	CumFlows           []float64
+	MinTransient       int64
+	MinTransientSet    bool
+	NegTransientRounds int
+}
+
+// Checkpoint returns a deep copy of the resumable state; Restore on a
+// process over the same graph yields a bit-identical continuation.
+func (c *CumulativeDiscrete) Checkpoint() CumulativeCheckpoint {
+	cp := CumulativeCheckpoint{
+		Cont:               c.cont.Checkpoint(),
+		Round:              c.round,
+		Loads:              make([]int64, len(c.x)),
+		Sent:               make([]int64, len(c.sent)),
+		CumFlows:           make([]float64, len(c.cumFlows)),
+		MinTransient:       c.minTransient,
+		MinTransientSet:    c.minTransientSet,
+		NegTransientRounds: c.negTransientRounds,
+	}
+	copy(cp.Loads, c.x)
+	copy(cp.Sent, c.sent)
+	copy(cp.CumFlows, c.cumFlows)
+	return cp
+}
+
+// Restore replaces the process state with a checkpoint taken from a process
+// over the same graph.
+func (c *CumulativeDiscrete) Restore(cp CumulativeCheckpoint) error {
+	if len(cp.Loads) != len(c.x) || len(cp.Sent) != len(c.sent) || len(cp.CumFlows) != len(c.cumFlows) {
+		return fmt.Errorf("%w: checkpoint shape %d/%d/%d does not match process %d/%d/%d",
+			ErrBadConfig, len(cp.Loads), len(cp.Sent), len(cp.CumFlows), len(c.x), len(c.sent), len(c.cumFlows))
+	}
+	if err := c.cont.Restore(cp.Cont); err != nil {
+		return err
+	}
+	c.round = cp.Round
+	copy(c.x, cp.Loads)
+	copy(c.sent, cp.Sent)
+	copy(c.cumFlows, cp.CumFlows)
+	c.minTransient = cp.MinTransient
+	c.minTransientSet = cp.MinTransientSet
+	c.negTransientRounds = cp.NegTransientRounds
 	return nil
 }
 

@@ -28,6 +28,7 @@ import (
 // another shard whose SOS recurrence still has to read the previous round's
 // flow there.
 type Discrete struct {
+	//lint:allow checkpointsync operator state is replayed by the resuming driver, see Checkpoint.Retargets
 	op      *spectral.Operator
 	kind    Kind
 	beta    float64
@@ -39,11 +40,14 @@ type Discrete struct {
 	// same graph shape and the layout pins the graph identity).
 	offsets, arcs, mate []int32
 
-	x         []int64   // loads at the beginning of the current round
-	flows     []int64   // y_D of the last completed round, per arc
-	flowsNext []int64   // y_D(t) being written by the fused pass
-	scheduled []float64 // Ŷ(t) per arc, scratch
-	z         []float64 // normalized loads x_i/s_i, scratch
+	x     []int64 // loads at the beginning of the current round
+	flows []int64 // y_D of the last completed round, per arc
+	// flowsNext is y_D(t) being written by the fused pass.
+	//lbvet:doublebuffer exact IEEE antisymmetry makes arc ownership unique: the owning node writes both directions of its arcs exactly once per round
+	//lint:allow checkpointsync holds the stale previous buffer at round boundaries; Step promotes it into flows
+	flowsNext []int64
+	scheduled []float64 //lint:allow checkpointsync scratch Ŷ(t) per arc, recomputed by passRound before any read
+	z         []float64 //lint:allow checkpointsync scratch x_i/s_i, recomputed by passZ before any read
 	// flowsValid mirrors Continuous: SOS memory validity.
 	flowsValid bool
 
@@ -62,23 +66,23 @@ type Discrete struct {
 	// Per-shard scratch and reduction slots, sized by the layout's shard
 	// count at construction so Step never allocates.
 	sh   []discreteShard
-	minT []int64
-	minE []int64
-	movd []int64
-	msgs []int64
+	minT []int64 //lint:allow checkpointsync per-round reduction slot, overwritten by every Step
+	minE []int64 //lint:allow checkpointsync per-round reduction slot, overwritten by every Step
+	movd []int64 //lint:allow checkpointsync per-round reduction slot, overwritten by every Step
+	msgs []int64 //lint:allow checkpointsync per-round reduction slot, overwritten by every Step
 
 	// Round-scoped parameters the pass methods read; set by Step before the
 	// passes run. Keeping the passes as method values bound once at
 	// construction (instead of closures rebuilt per Step) is what makes the
 	// steady-state step path allocation-free.
-	stepSp      *hetero.Speeds
-	stepAlpha   []float64
-	stepHomog   bool
-	stepSecond  bool
-	stepBeta    float64
-	stepSigma   float64
-	stepRound   uint64
-	stepNeedRNG bool
+	stepSp      *hetero.Speeds //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepAlpha   []float64      //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepHomog   bool           //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepSecond  bool           //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepBeta    float64        //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepSigma   float64        //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepRound   uint64         //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
+	stepNeedRNG bool           //lint:allow checkpointsync round-scoped parameter, set by Step before the passes run
 
 	passZFn     func(s, lo, hi int)
 	passRoundFn func(s, lo, hi int)
@@ -158,6 +162,8 @@ func NewDiscrete(cfg Config, rounder Rounder, seed uint64, initial []int64) (*Di
 }
 
 // passZ fills the normalized loads z_i = x_i/s_i for one shard.
+//
+//lbvet:hotpath per-round kernel over every node
 func (d *Discrete) passZ(_, lo, hi int) {
 	if d.stepHomog {
 		for i := lo; i < hi; i++ {
@@ -177,6 +183,8 @@ func (d *Discrete) passZ(_, lo, hi int) {
 // i < j; the owner writes the integer flow to both a and mate(a). Exact
 // IEEE antisymmetry (Ŷ_mate = −Ŷ_a) makes ownership unique, so every arc of
 // flowsNext is written exactly once per round with no cross-shard races.
+//
+//lbvet:hotpath per-round fused kernel over every arc
 func (d *Discrete) passRound(s, lo, hi int) {
 	offsets, arcs, mate := d.offsets, d.arcs, d.mate
 	alpha := d.stepAlpha
@@ -223,6 +231,8 @@ func (d *Discrete) passRound(s, lo, hi int) {
 // passApply applies the round's flows to one shard's loads and records the
 // shard's transient/end-of-round minima and traffic counts in its reduction
 // slots.
+//
+//lbvet:hotpath per-round kernel over every node and arc
 func (d *Discrete) passApply(s, lo, hi int) {
 	offsets := d.offsets
 	flows := d.flows
@@ -255,6 +265,8 @@ func (d *Discrete) passApply(s, lo, hi int) {
 }
 
 // Step executes one synchronous discrete round.
+//
+//lbvet:hotpath runs every round; TestStepSteadyStateAllocFree pins 0 allocs
 func (d *Discrete) Step() {
 	sp := speedsOf(d.op)
 	d.stepSp = sp
@@ -484,6 +496,8 @@ func (d *Discrete) Restore(cp Checkpoint) error {
 // memory, the round counter and the rounding streams are untouched — see
 // the interface contract for why this keeps dynamic-environment runs
 // checkpoint/restore safe.
+//
+//lbvet:hotpath speed events are O(1) on the engine side and may fire every round
 func (d *Discrete) Retarget(op *spectral.Operator) error {
 	if err := retargetCheck(op, len(d.x), len(d.flows)); err != nil {
 		return err

@@ -464,6 +464,31 @@ func (a *AdaptiveProcess) Step() {
 	}
 }
 
+// AdaptiveCheckpoint captures the wrapper's own resumable state: the switch
+// history. The wrapped process is checkpointed separately by whoever knows
+// its concrete type (Discrete/Continuous/CumulativeDiscrete all carry their
+// own Checkpoint/Restore pairs).
+type AdaptiveCheckpoint struct {
+	Switches []SwitchEvent
+}
+
+// Checkpoint returns a deep copy of the wrapper's resumable state.
+func (a *AdaptiveProcess) Checkpoint() AdaptiveCheckpoint {
+	cp := AdaptiveCheckpoint{Switches: make([]SwitchEvent, len(a.switches))}
+	copy(cp.Switches, a.switches)
+	return cp
+}
+
+// Restore replaces the switch history with the checkpoint's and resets any
+// per-run policy state (stall ring, hysteresis cooldown anchor): a stateful
+// policy's window refills over the first rounds after the resume, which is
+// the same conservative behavior a fresh run starts with.
+func (a *AdaptiveProcess) Restore(cp AdaptiveCheckpoint) error {
+	a.switches = append(a.switches[:0], cp.Switches...)
+	ResetPolicy(a.policy)
+	return nil
+}
+
 // Switches returns the switch history so far (shared slice; do not mutate).
 func (a *AdaptiveProcess) Switches() []SwitchEvent { return a.switches }
 

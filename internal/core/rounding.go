@@ -35,6 +35,8 @@ type RandomizedRounder struct{}
 var _ Rounder = RandomizedRounder{}
 
 // RoundNode implements Rounder.
+//
+//lbvet:hotpath called once per node per round by the discrete pass
 func (RandomizedRounder) RoundNode(yhat []float64, out []int64, rng *rand.Rand) {
 	var r float64
 	last := -1 // index of the last arc with a positive fractional part
@@ -93,6 +95,8 @@ type FloorRounder struct{}
 var _ Rounder = FloorRounder{}
 
 // RoundNode implements Rounder.
+//
+//lbvet:hotpath called once per node per round by the discrete pass
 func (FloorRounder) RoundNode(yhat []float64, out []int64, _ *rand.Rand) {
 	for k, v := range yhat {
 		out[k] = int64(math.Floor(v))
@@ -113,6 +117,8 @@ type NearestRounder struct{}
 var _ Rounder = NearestRounder{}
 
 // RoundNode implements Rounder.
+//
+//lbvet:hotpath called once per node per round by the discrete pass
 func (NearestRounder) RoundNode(yhat []float64, out []int64, _ *rand.Rand) {
 	for k, v := range yhat {
 		out[k] = int64(math.Round(v))
@@ -136,6 +142,8 @@ type BernoulliRounder struct{}
 var _ Rounder = BernoulliRounder{}
 
 // RoundNode implements Rounder.
+//
+//lbvet:hotpath called once per node per round by the discrete pass
 func (BernoulliRounder) RoundNode(yhat []float64, out []int64, rng *rand.Rand) {
 	for k, v := range yhat {
 		fl := math.Floor(v)

@@ -194,6 +194,8 @@ func (op *Operator) AlphaView() []float64 { return op.alpha }
 // On error the operator is left unchanged. Reweight must not run
 // concurrently with any other method on this operator; drivers apply it
 // between rounds (see the struct's concurrency note).
+//
+//lbvet:hotpath speed events can fire every round; the swap is O(n) with no allocation
 func (op *Operator) Reweight(speeds *hetero.Speeds) error {
 	n := op.g.NumNodes()
 	if speeds == nil {
@@ -224,6 +226,8 @@ func (op *Operator) Reweight(speeds *hetero.Speeds) error {
 // Reweight it must not run concurrently with any other method; lay must
 // partition the operator's graph (a nil or foreign layout falls back to the
 // sequential Reweight).
+//
+//lbvet:hotpath speed events can fire every round; scratch below is per event, not per round
 func (op *Operator) ReweightPar(speeds *hetero.Speeds, lay *shard.Layout, workers int) error {
 	if lay == nil || lay.Graph() != op.g {
 		return op.Reweight(speeds)
@@ -238,8 +242,9 @@ func (op *Operator) ReweightPar(speeds *hetero.Speeds, lay *shard.Layout, worker
 	if speeds == op.speeds {
 		return nil
 	}
-	badNode := make([]int, lay.Shards())
-	badDiag := make([]float64, lay.Shards())
+	badNode := make([]int, lay.Shards())     //lint:allow hotalloc per-speed-event scratch, two small slices per Reweight, not per round
+	badDiag := make([]float64, lay.Shards()) //lint:allow hotalloc per-speed-event scratch, two small slices per Reweight, not per round
+	//lint:allow hotalloc one closure per speed event, not per round
 	lay.Run(workers, func(s, lo, hi int) {
 		badNode[s] = -1
 		for i := lo; i < hi; i++ {
@@ -390,6 +395,8 @@ func (op *Operator) ColumnSums(dst []float64) error {
 
 // columnSumsRange fills dst[lo:hi] with the column sums of columns
 // [lo, hi) — the shard kernel behind ColumnSums and ColumnSumsPar.
+//
+//lbvet:hotpath conservation-check kernel, run per verification round over every arc
 func (op *Operator) columnSumsRange(dst []float64, lo, hi int) {
 	offsets, mate := op.g.Offsets(), op.g.MateIndex()
 	for j := lo; j < hi; j++ {
