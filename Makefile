@@ -64,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzFromSpec$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzFromSpec$$' -fuzztime $(FUZZTIME) ./internal/envdyn
 	$(GO) test -run '^$$' -fuzz '^FuzzFromSpec$$' -fuzztime $(FUZZTIME) ./internal/scenario
+	$(GO) test -run '^$$' -fuzz '^FuzzFromSpec$$' -fuzztime $(FUZZTIME) ./internal/actor
 
 # bench produces real timings; override BENCHTIME (e.g. BENCHTIME=2s) or
 # narrow with standard go test flags for serious measurement runs.
@@ -78,12 +79,13 @@ bench:
 bench-smoke:
 	DIFFUSIONLB_SCALE_N=16384 $(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/...
 
-# bench-scale measures the shard-partitioned step path at paper scale
-# (override BENCH_N, e.g. BENCH_N=4194304) and writes BENCH_7.json:
-# node-updates/sec, bytes/node and allocs/round for FOS and SOS on a 2-d
-# torus and a random-regular graph. See README "Memory layout & scale".
+# bench-scale measures the step path at paper scale (override BENCH_N,
+# e.g. BENCH_N=4194304) and writes BENCH_9.json: node-updates/sec,
+# bytes/node and allocs/round for FOS and SOS on a 2-d torus and a
+# random-regular graph — on the shared-memory engine, the barrier actor
+# runtime and the stale=2 actor runtime. See README "Memory layout & scale".
 BENCH_N ?= 1048576
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_9.json
 bench-scale:
 	$(GO) run ./cmd/lbbench -n $(BENCH_N) -out $(BENCH_OUT)
 

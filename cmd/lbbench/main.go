@@ -4,12 +4,15 @@
 // Usage:
 //
 //	lbbench [-n 1048576] [-degree 8] [-rounds 10] [-warmup 3]
-//	        [-workers 0] [-seed 1] [-out BENCH_7.json]
+//	        [-workers 0] [-actors 4] [-stale 2] [-seed 1] [-out BENCH_9.json]
 //
-// It runs the discrete engine with randomized rounding, FOS and SOS, on a
-// 2-d torus and a random-regular graph of n nodes, and reports node
-// updates per second, resident bytes per node and allocations per round
-// for each cell. -out "" prints the JSON to stdout instead.
+// It runs FOS and SOS with randomized rounding on a 2-d torus and a
+// random-regular graph of n nodes — on the shared-memory discrete engine,
+// the barrier actor runtime (actor:K) and the bounded-staleness actor
+// runtime (actor:K,stale=S) — and reports node updates per second,
+// resident bytes per node and allocations per round for each cell.
+// -actors -1 drops the actor entries; -stale -1 keeps only the barrier
+// actor entry. -out "" prints the JSON to stdout instead.
 package main
 
 import (
@@ -28,14 +31,16 @@ func main() {
 		rounds  = flag.Int("rounds", 10, "timed rounds per cell")
 		warmup  = flag.Int("warmup", 3, "warmup rounds per cell")
 		workers = flag.Int("workers", 0, "per-step workers (0 = sequential)")
+		actors  = flag.Int("actors", 4, "actor count for the message-passing runtime entries (-1 = skip them)")
+		stale   = flag.Int("stale", 2, "staleness bound for the bounded-staleness actor entry (-1 = barrier only)")
 		seed    = flag.Uint64("seed", 1, "graph and rounding seed")
-		out     = flag.String("out", "BENCH_7.json", "output file (empty = stdout)")
+		out     = flag.String("out", "BENCH_9.json", "output file (empty = stdout)")
 	)
 	flag.Parse()
 
 	cfg := scalebench.Config{
 		N: *n, Degree: *degree, Rounds: *rounds, Warmup: *warmup,
-		Workers: *workers, Seed: *seed,
+		Workers: *workers, Actors: *actors, Stale: *stale, Seed: *seed,
 	}
 	res, err := scalebench.Run(cfg, func(msg string) {
 		fmt.Fprintln(os.Stderr, "lbbench:", msg)
@@ -61,7 +66,11 @@ func main() {
 	}
 
 	for _, e := range res.Entries {
-		fmt.Fprintf(os.Stderr, "lbbench: %-24s %-4s %10.0f node-updates/s  %6.1f B/node  %5.1f allocs/round\n",
-			e.Graph, e.Scheme, e.NodeUpdatesPerSec, e.BytesPerNode, e.AllocsPerRound)
+		rt := e.Runtime
+		if rt == "" {
+			rt = "shared"
+		}
+		fmt.Fprintf(os.Stderr, "lbbench: %-24s %-4s %-16s %10.0f node-updates/s  %6.1f B/node  %5.1f allocs/round\n",
+			e.Graph, e.Scheme, rt, e.NodeUpdatesPerSec, e.BytesPerNode, e.AllocsPerRound)
 	}
 }

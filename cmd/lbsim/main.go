@@ -48,8 +48,14 @@
 //	    legacy alias for -policy at:N. -workload, -env, -scenario and
 //	    -policy are also sweep axes in -sweep mode; their lists are
 //	    ';'-separated uniformly, because env and scenario specs contain
-//	    commas. -sweep -format csv -stream streams each aggregated group as
-//	    it completes (byte-identical output, bounded memory).
+//	    commas. -sweep -stream csv|json streams each aggregated group as
+//	    it completes (byte-identical to -format csv/json, bounded memory).
+//	    -runtime actor:K[,stale=S] runs the simulation on the message-
+//	    passing actor runtime: K shard actors exchange boundary flux over
+//	    channels; stale=0 (the default) is the barrier mode, bit-identical
+//	    to the shared-memory engine, while stale=S bounds how many rounds
+//	    old a neighbour's boundary state may be. -runtime is also a sweep
+//	    axis (';'-separated, since actor specs contain commas).
 //
 //	lbsim -graph hypercube:16 -spectrum
 //	    Print n, |E|, d, λ and β_opt for a graph.
@@ -87,6 +93,7 @@ const (
 	policyGrammar   = "policy grammar:   at:ROUND | local:THRESHOLD | stall:WINDOW:FACTOR | adaptive:LO:HI[:COOLDOWN] | never"
 	envGrammar      = "env grammar:      throttle:at=R,frac=F,factor=X[,until=U][,sel=fast|slow|random] | throttle:every=P,dur=D,frac=F,factor=X | boost:<throttle keys> | drain:at=R,frac=F[,ramp=T][,restore=R2[,rramp=T2]] | jitter:sigma=S[,cap=C][,frac=F], joined with '+'"
 	scenarioGrammar = "scenario grammar: drain:at=R,frac=F[,ramp=W][,restore=R2[,rramp=W2]][,sel=fast|slow|random] | correlated:at=R,frac=F,factor=X,load=L[,until=U] | cascade:at=R,waves=K,gap=G,frac=F,factor=X[,load=L][,dur=D][,jitter=J], joined with '+'"
+	runtimeGrammar  = "runtime grammar:  actor:K[,stale=S] (K >= 1 shard actors; S >= 0 staleness bound, 0 = barrier)"
 )
 
 // withGrammar appends the relevant spec grammar to spec-parse errors, so
@@ -133,6 +140,7 @@ func run(args []string) error {
 		graphSpec    = fs.String("graph", "", "graph spec, e.g. torus2d:100x100 (comma-separated list in -sweep mode)")
 		scheme       = fs.String("scheme", "sos", "fos | sos (comma-separated list in -sweep mode)")
 		rounder      = fs.String("rounder", "randomized", "randomized | floor | nearest | bernoulli | continuous | cumulative (comma-separated list in -sweep mode)")
+		runtimeSpec  = fs.String("runtime", "", "execution runtime: actor:K[,stale=S] = message-passing runtime with K shard actors and staleness bound S (empty = shared-memory engine; ';'-separated list in -sweep mode, since actor specs contain commas)")
 		betas        = fs.String("beta", "", "sweep mode: comma-separated SOS beta overrides (0 = beta_opt)")
 		replicates   = fs.Int("replicates", 1, "sweep mode: independently seeded runs per cell")
 		format       = fs.String("format", "table", "sweep mode output: table | csv | json")
@@ -144,7 +152,7 @@ func run(args []string) error {
 		betaReopt    = fs.Float64("betareopt", 0, "re-optimize the SOS beta whenever the total speed drifts by this relative threshold (0 = off; free-form mode, needs -env or -scenario)")
 		policySpec   = fs.String("policy", "", "hybrid switch policy: at:ROUND | local:THRESHOLD | stall:WINDOW:FACTOR | adaptive:LO:HI[:COOLDOWN] | never (empty = never; ';'-separated list in -sweep mode; supersedes -switch)")
 		switchAt     = fs.Int("switch", 0, "switch SOS->FOS at this round (0 = never; legacy alias for -policy at:N)")
-		stream       = fs.Bool("stream", false, "sweep mode with -format csv: stream each aggregated group as it completes instead of holding the whole grid in memory (byte-identical output)")
+		stream       = fs.String("stream", "", "sweep mode: stream each aggregated group as it completes instead of holding the whole grid in memory (csv | json; byte-identical to the -format csv/json output)")
 		every        = fs.Int("every", 0, "recording cadence (0 = auto)")
 		csvPath      = fs.String("csv", "", "write the recorded series to this CSV file")
 		spectrum     = fs.Bool("spectrum", false, "print spectral data for -graph and exit")
@@ -197,6 +205,7 @@ func run(args []string) error {
 			Graphs:   splitList(*graphSpec),
 			Schemes:  splitList(*scheme),
 			Rounders: splitList(*rounder),
+			Runtimes: splitAxisList(*runtimeSpec),
 			Speeds:   splitList(*speedsSpec),
 			// Workload, environment, scenario and policy axis lists split on
 			// ';' uniformly: env and scenario specs always contain commas,
@@ -226,11 +235,18 @@ func run(args []string) error {
 		// never start.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		if *stream {
-			if *format != "csv" {
-				return fmt.Errorf("-stream needs -format csv (streaming emits rows, not tables)")
+		if *stream != "" {
+			if flagWasSet(fs, "format") && *format != *stream {
+				return fmt.Errorf("-stream %s conflicts with -format %s (streaming fixes the format)", *stream, *format)
 			}
-			return withGrammar(sweep.StreamCSV(ctx, spec, sweep.Options{Workers: *workers}, os.Stdout))
+			switch *stream {
+			case "csv":
+				return withGrammar(sweep.StreamCSV(ctx, spec, sweep.Options{Workers: *workers}, os.Stdout))
+			case "json":
+				return withGrammar(sweep.StreamJSON(ctx, spec, sweep.Options{Workers: *workers}, os.Stdout))
+			default:
+				return fmt.Errorf("unknown -stream %q (csv|json)", *stream)
+			}
 		}
 		res, err := sweep.Run(ctx, spec, sweep.Options{Workers: *workers})
 		if err != nil {
@@ -285,6 +301,7 @@ func run(args []string) error {
 			hetero: speeds != nil, workload: *workloadSpec,
 			policy: *policySpec, env: *envSpec,
 			scenario: *scenarioSpec, betaReopt: *betaReopt,
+			runtime: *runtimeSpec,
 		})
 
 	default:
@@ -354,6 +371,7 @@ type freeFormConfig struct {
 	policy                   string
 	env                      string
 	scenario                 string
+	runtime                  string
 	betaReopt                float64
 	rounds                   int
 	avg                      int64
@@ -381,14 +399,27 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 	}
 
 	var proc diffusionlb.Process
-	switch cfg.rounder {
-	case "continuous":
+	switch {
+	case cfg.runtime != "":
+		if cfg.rounder == "continuous" || cfg.rounder == "cumulative" {
+			return fmt.Errorf("-runtime %s cannot run the %q rounder (actor runtimes need a discrete rounder)", cfg.runtime, cfg.rounder)
+		}
+		r, ok := diffusionlb.RounderByName(cfg.rounder)
+		if !ok {
+			return fmt.Errorf("unknown rounder %q", cfg.rounder)
+		}
+		opts, aErr := diffusionlb.ActorFromSpec(cfg.runtime)
+		if aErr != nil {
+			return fmt.Errorf("%w\n%s", aErr, runtimeGrammar)
+		}
+		proc, err = sys.NewActor(kind, r, cfg.seed, x0, opts)
+	case cfg.rounder == "continuous":
 		xf := make([]float64, n)
 		for i, v := range x0 {
 			xf[i] = float64(v)
 		}
 		proc, err = sys.NewContinuous(kind, xf)
-	case "cumulative":
+	case cfg.rounder == "cumulative":
 		proc, err = sys.NewCumulative(kind, x0)
 	default:
 		r, ok := diffusionlb.RounderByName(cfg.rounder)

@@ -316,6 +316,44 @@ func TestSpecErrorsPrintGrammar(t *testing.T) {
 	}
 }
 
+func TestRunFreeFormActorRuntime(t *testing.T) {
+	// Barrier actor mode with a workload and the adaptive policy: events
+	// route through the message-passing runtime.
+	if err := run([]string{"-graph", "torus2d:8x8", "-scheme", "sos",
+		"-runtime", "actor:2", "-workload", "burst:10:3200:0",
+		"-policy", "adaptive:8:64:5", "-rounds", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	// Bounded-staleness mode on a heterogeneous environment timeline.
+	if err := run([]string{"-graph", "torus2d:8x8", "-speeds", "twoclass:0.25:4",
+		"-scheme", "fos", "-runtime", "actor:3,stale=2",
+		"-env", "throttle:at=10,frac=0.125,factor=0.25", "-rounds", "30"}); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed specs teach the grammar; non-discrete rounders are rejected.
+	err := run([]string{"-graph", "cycle:8", "-runtime", "actor:0", "-rounds", "10"})
+	if err == nil || !strings.Contains(err.Error(), "runtime grammar") {
+		t.Fatalf("actor:0 error %v does not show the runtime grammar", err)
+	}
+	if err := run([]string{"-graph", "cycle:8", "-runtime", "actor:2",
+		"-rounder", "continuous", "-rounds", "10"}); err == nil {
+		t.Fatal("-runtime with the continuous rounder should be rejected")
+	}
+}
+
+func TestRunSweepRuntimeAxis(t *testing.T) {
+	// ';'-separated runtime list: shared-memory vs barrier actor vs stale.
+	if err := run([]string{"-sweep", "-graph", "torus2d:6x6",
+		"-scheme", "sos,fos", "-runtime", ";actor:2;actor:2,stale=1",
+		"-rounds", "20", "-every", "10", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", "-graph", "cycle:8",
+		"-runtime", "actor:x", "-rounds", "10", "-format", "csv"}); err == nil {
+		t.Fatal("malformed sweep -runtime should be rejected")
+	}
+}
+
 func TestSplitListOn(t *testing.T) {
 	got := splitListOn("a,b; c,d", ";")
 	if len(got) != 2 || got[0] != "a,b" || got[1] != "c,d" {
@@ -369,16 +407,25 @@ func TestRunSweepScenarioAxis(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Streaming CSV mode over the same grid.
-	if err := run([]string{"-sweep", "-stream", "-graph", "torus2d:6x6",
+	if err := run([]string{"-sweep", "-stream", "csv", "-graph", "torus2d:6x6",
 		"-scheme", "sos", "-speeds", "twoclass:0.25:4",
 		"-scenario", ";drain:at=10,frac=0.125,ramp=4",
 		"-rounds", "25", "-every", "5", "-format", "csv"}); err != nil {
 		t.Fatal(err)
 	}
-	// -stream only emits CSV rows.
-	if err := run([]string{"-sweep", "-stream", "-graph", "cycle:8",
+	// Streaming fixes the format; a conflicting explicit -format is a typo.
+	if err := run([]string{"-sweep", "-stream", "csv", "-graph", "cycle:8",
 		"-rounds", "10", "-format", "table"}); err == nil {
-		t.Fatal("-stream with -format table should be rejected")
+		t.Fatal("-stream csv with -format table should be rejected")
+	}
+	if err := run([]string{"-sweep", "-stream", "yaml", "-graph", "cycle:8",
+		"-rounds", "10"}); err == nil {
+		t.Fatal("-stream yaml should be rejected")
+	}
+	// The JSON streaming sink through the CLI.
+	if err := run([]string{"-sweep", "-stream", "json", "-graph", "cycle:8",
+		"-scheme", "sos", "-rounds", "10", "-every", "5"}); err != nil {
+		t.Fatal(err)
 	}
 	// -betareopt has no sweep axis; silently running every cell with a
 	// stale beta would be exactly the wrong numbers.

@@ -30,6 +30,7 @@ package diffusionlb
 import (
 	"fmt"
 
+	"diffusionlb/internal/actor"
 	"diffusionlb/internal/baselines"
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/envdyn"
@@ -178,6 +179,14 @@ func (s *System) NewCumulative(kind Kind, initial []int64) (*CumulativeDiscrete,
 	return core.NewCumulativeDiscrete(core.Config{Op: s.op, Kind: kind, Beta: s.beta}, initial)
 }
 
+// NewActor builds the message-passing runtime (internal/actor): K shard
+// actors exchanging boundary state over channels, in barrier mode
+// (opts.Stale == 0, bit-identical to NewDiscrete) or bounded-staleness
+// mode, with the paper's β_opt.
+func (s *System) NewActor(kind Kind, rounder Rounder, seed uint64, initial []int64, opts ActorOptions) (*ActorRuntime, error) {
+	return actor.New(s.op, kind, s.beta, rounder, seed, initial, opts)
+}
+
 // --- schemes and processes ---
 
 // Kind selects the diffusion scheme order.
@@ -196,6 +205,15 @@ type Config = core.Config
 
 // Process is the common interface of all balancing engines.
 type Process = core.Process
+
+// ActorRuntime is the shard-actor message-passing runtime.
+type ActorRuntime = actor.Runtime
+
+// ActorOptions configures the actor runtime (actor count, staleness bound).
+type ActorOptions = actor.Options
+
+// ActorFromSpec parses an "actor:K[,stale=S]" runtime spec.
+var ActorFromSpec = actor.FromSpec
 
 // LoadView exposes a process's load vector (Int or Float).
 type LoadView = core.LoadView

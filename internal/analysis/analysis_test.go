@@ -65,6 +65,13 @@ func TestGoroutineLeakFixture(t *testing.T) {
 	driver.RunFixture(t, loader(t), fixture("goroutineleak"), analysis.GoroutineLeak)
 }
 
+// TestGoroutineLeakActorFixture pins the actor-runtime blessing: Run in a
+// blessed package spawns freely (done-channel join), while helpers in the
+// same package stay bound by the contract.
+func TestGoroutineLeakActorFixture(t *testing.T) {
+	driver.RunFixture(t, loader(t), fixture("goroutineleak/actorrun"), analysis.GoroutineLeak)
+}
+
 // TestSpecRoundtripBadFixture is the failing fixture: a parser whose result
 // type lacks Name() in a package with no fuzz target.
 func TestSpecRoundtripBadFixture(t *testing.T) {
@@ -138,8 +145,12 @@ func TestSuiteScoping(t *testing.T) {
 		{"nodeterminism", "diffusionlb/internal/scalebench", true},
 		{"nodeterminism", "diffusionlb/internal/analysis/driver", true},
 		{"goroutineleak", "diffusionlb/internal/sweep", true},
+		{"goroutineleak", "diffusionlb/internal/actor", true},
 		{"goroutineleak", "diffusionlb/internal/invariants", true},
 		{"goroutineleak", "diffusionlb/internal/viz", false},
+		{"nodeterminism", "diffusionlb/internal/actor", true},
+		{"shardsafety", "diffusionlb/internal/actor", true},
+		{"checkpointsync", "diffusionlb/internal/actor", true},
 		{"floateq", "diffusionlb/internal/numeric", false},
 		{"floateq", "diffusionlb/internal/experiments", true},
 		{"specroundtrip", "diffusionlb/internal/workload", true},

@@ -39,6 +39,7 @@ import (
 // shard.Run is reachable.
 var enginePackages = []string{
 	"diffusionlb/internal/shard",
+	"diffusionlb/internal/actor",
 	"diffusionlb/internal/core",
 	"diffusionlb/internal/sim",
 	"diffusionlb/internal/sweep",

@@ -212,6 +212,20 @@ type BetaSetter interface {
 	SetBeta(beta float64) error
 }
 
+// InFlightReporter is implemented by processes whose transport can hold
+// load in flight between rounds — the actor runtime's bounded-staleness
+// mode, where flux debited from a sender may not be credited to the
+// receiver until a later round. Conservation for such processes is
+// Σ loads + InFlightLoad == const at every round boundary (the runtime
+// invariant checker adds the in-flight term to its baseline comparison),
+// and InFlightLoad == 0 at quiescence points — barrier-mode round
+// boundaries, or after the staleness window drains.
+type InFlightReporter interface {
+	// InFlightLoad returns the total load currently held by the transport:
+	// debited from senders, not yet credited to receivers.
+	InFlightLoad() int64
+}
+
 // Sharded is implemented by processes that run on a shard.Layout — the hook
 // drivers use to route operator-wide work (reweight validation, invariant
 // column sums, conservation reductions) through the same partition the
@@ -246,7 +260,7 @@ func retargetCheck(op *spectral.Operator, nodes, arcs int) error {
 	if op == nil {
 		return fmt.Errorf("%w: Retarget: nil operator", ErrBadConfig)
 	}
-	if op.Graph().NumNodes() != nodes || op.Graph().NumArcs() != arcs {
+	if !op.ShapeMatches(nodes, arcs) {
 		return fmt.Errorf("%w: Retarget: operator shape %d nodes/%d arcs does not match process %d/%d",
 			ErrBadConfig, op.Graph().NumNodes(), op.Graph().NumArcs(), nodes, arcs)
 	}

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	"diffusionlb/internal/actor"
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/graph"
 	"diffusionlb/internal/hetero"
@@ -39,6 +40,14 @@ type Config struct {
 	Warmup int
 	// Workers is the per-step worker count. Default 0 (sequential).
 	Workers int
+	// Actors is the actor count for the message-passing runtime entries the
+	// grid grows next to every shared-memory cell: one barrier entry
+	// (actor:K) and, when Stale > 0, one bounded-staleness entry
+	// (actor:K,stale=S). Default 4; negative disables the actor entries.
+	Actors int
+	// Stale is the staleness bound of the bounded-staleness actor entry.
+	// Default 2; negative keeps only the barrier actor entry.
+	Stale int
 	// Seed drives graph construction and the rounding streams. Default 1.
 	Seed uint64
 }
@@ -58,6 +67,16 @@ func (c Config) withDefaults() Config {
 	} else if c.Warmup == 0 {
 		c.Warmup = 3
 	}
+	if c.Actors == 0 {
+		c.Actors = 4
+	} else if c.Actors < 0 {
+		c.Actors = 0
+	}
+	if c.Stale < 0 {
+		c.Stale = 0
+	} else if c.Stale == 0 {
+		c.Stale = 2
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -71,8 +90,11 @@ type Entry struct {
 	Arcs   int    `json:"arcs"`
 	Scheme string `json:"scheme"`
 	Engine string `json:"engine"`
-	Rounds int    `json:"rounds"`
-	Shards int    `json:"shards"`
+	// Runtime is the actor-runtime spec ("actor:K[,stale=S]") for
+	// message-passing entries, empty for the shared-memory engine.
+	Runtime string `json:"runtime,omitempty"`
+	Rounds  int    `json:"rounds"`
+	Shards  int    `json:"shards"`
 	// NodeUpdatesPerSec is nodes × rounds / elapsed seconds — the headline
 	// throughput number.
 	NodeUpdatesPerSec float64 `json:"node_updates_per_sec"`
@@ -118,9 +140,24 @@ func torusDims(n int) (w, h int) {
 	return w, h
 }
 
+// runtimeSpecs lists the execution runtimes the grid measures per
+// (graph, scheme) cell: the shared-memory engine, the barrier actor
+// runtime and — when a staleness bound is configured — the
+// bounded-staleness actor runtime.
+func (c Config) runtimeSpecs() []string {
+	specs := []string{""}
+	if c.Actors > 0 {
+		specs = append(specs, fmt.Sprintf("actor:%d", c.Actors))
+		if c.Stale > 0 {
+			specs = append(specs, fmt.Sprintf("actor:%d,stale=%d", c.Actors, c.Stale))
+		}
+	}
+	return specs
+}
+
 // Run executes the full benchmark grid: {torus2d, random-regular} ×
-// {FOS, SOS} on the discrete engine with randomized rounding. progress,
-// when non-nil, receives one line per completed stage.
+// {FOS, SOS} × {shared-memory, actor barrier, actor stale} with randomized
+// rounding. progress, when non-nil, receives one line per completed stage.
 func Run(cfg Config, progress func(string)) (*Result, error) {
 	cfg = cfg.withDefaults()
 	say := func(format string, args ...any) {
@@ -144,27 +181,39 @@ func Run(cfg Config, progress func(string)) (*Result, error) {
 	res := &Result{Schema: Schema, N: cfg.N, Workers: cfg.Workers, Seed: cfg.Seed}
 	for _, g := range []*graph.Graph{torus, rr} {
 		for _, kind := range []core.Kind{core.FOS, core.SOS} {
-			say("measuring %s/%s (%d rounds)", g.Name(), kind, cfg.Rounds)
-			e, err := benchOne(g, kind, cfg)
-			if err != nil {
-				return nil, err
+			for _, rt := range cfg.runtimeSpecs() {
+				label := rt
+				if label == "" {
+					label = "shared"
+				}
+				say("measuring %s/%s/%s (%d rounds)", g.Name(), kind, label, cfg.Rounds)
+				e, err := benchOne(g, kind, rt, cfg)
+				if err != nil {
+					return nil, err
+				}
+				res.Entries = append(res.Entries, e)
 			}
-			res.Entries = append(res.Entries, e)
 		}
 	}
 	return res, nil
 }
 
-// benchOne measures one (graph, scheme) cell: build the operator and a
-// discrete engine over a spread initial load, warm up, then time Rounds
+// stepper is the slice of the engine surface the timed loop needs.
+type stepper interface {
+	Step()
+	MemoryFootprint() int64
+	ShardLayout() *shard.Layout
+}
+
+// benchOne measures one (graph, scheme, runtime) cell: build the operator
+// and an engine over a spread initial load, warm up, then time Rounds
 // steps around an allocator-counter read.
-func benchOne(g *graph.Graph, kind core.Kind, cfg Config) (Entry, error) {
+func benchOne(g *graph.Graph, kind core.Kind, rtSpec string, cfg Config) (Entry, error) {
 	n := g.NumNodes()
 	op, err := spectral.NewOperator(g, hetero.Homogeneous(n), nil)
 	if err != nil {
 		return Entry{}, fmt.Errorf("scalebench: operator: %w", err)
 	}
-	lay := shard.ForWorkers(g, cfg.Workers)
 	// A spread, unbalanced start keeps flows non-trivial for the whole
 	// timed window (a point load would drain to local balance in a few
 	// rounds at small N).
@@ -172,11 +221,26 @@ func benchOne(g *graph.Graph, kind core.Kind, cfg Config) (Entry, error) {
 	for i := range x0 {
 		x0[i] = int64((i*i)%257) * 4
 	}
-	proc, err := core.NewDiscrete(
-		core.Config{Op: op, Kind: kind, Beta: 1.9, Workers: cfg.Workers, Layout: lay},
-		core.RandomizedRounder{}, cfg.Seed, x0)
-	if err != nil {
-		return Entry{}, fmt.Errorf("scalebench: engine: %w", err)
+	var proc stepper
+	engine := "discrete/randomized"
+	if rtSpec != "" {
+		opts, err := actor.FromSpec(rtSpec)
+		if err != nil {
+			return Entry{}, fmt.Errorf("scalebench: runtime: %w", err)
+		}
+		proc, err = actor.New(op, kind, 1.9, core.RandomizedRounder{}, cfg.Seed, x0, opts)
+		if err != nil {
+			return Entry{}, fmt.Errorf("scalebench: actor runtime: %w", err)
+		}
+		engine = "actor/randomized"
+	} else {
+		lay := shard.ForWorkers(g, cfg.Workers)
+		proc, err = core.NewDiscrete(
+			core.Config{Op: op, Kind: kind, Beta: 1.9, Workers: cfg.Workers, Layout: lay},
+			core.RandomizedRounder{}, cfg.Seed, x0)
+		if err != nil {
+			return Entry{}, fmt.Errorf("scalebench: engine: %w", err)
+		}
 	}
 
 	for i := 0; i < cfg.Warmup; i++ {
@@ -202,9 +266,10 @@ func benchOne(g *graph.Graph, kind core.Kind, cfg Config) (Entry, error) {
 		Nodes:             n,
 		Arcs:              g.NumArcs(),
 		Scheme:            kind.String(),
-		Engine:            "discrete/randomized",
+		Engine:            engine,
+		Runtime:           rtSpec,
 		Rounds:            cfg.Rounds,
-		Shards:            lay.Shards(),
+		Shards:            proc.ShardLayout().Shards(),
 		NodeUpdatesPerSec: float64(n) * float64(cfg.Rounds) / sec,
 		NsPerRound:        float64(elapsed.Nanoseconds()) / float64(cfg.Rounds),
 		BytesPerNode:      float64(bytes) / float64(n),

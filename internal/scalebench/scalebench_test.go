@@ -6,9 +6,9 @@ import (
 )
 
 // TestRunSmallNProducesFullSchema is the CI smoke for the scale benchmark:
-// a small-N run must produce every (graph, scheme) cell with all three
-// headline metrics populated, and the JSON document must round-trip under
-// the pinned schema tag.
+// a small-N run must produce every (graph, scheme, runtime) cell with all
+// three headline metrics populated, and the JSON document must round-trip
+// under the pinned schema tag.
 func TestRunSmallNProducesFullSchema(t *testing.T) {
 	res, err := Run(Config{N: 4096, Degree: 8, Rounds: 3, Warmup: 1, Seed: 7}, nil)
 	if err != nil {
@@ -17,12 +17,20 @@ func TestRunSmallNProducesFullSchema(t *testing.T) {
 	if res.Schema != Schema {
 		t.Fatalf("schema %q, want %q", res.Schema, Schema)
 	}
-	if len(res.Entries) != 4 {
-		t.Fatalf("%d entries, want 4 (2 graphs x 2 schemes)", len(res.Entries))
+	if len(res.Entries) != 12 {
+		t.Fatalf("%d entries, want 12 (2 graphs x 2 schemes x 3 runtimes)", len(res.Entries))
 	}
+	runtimes := map[string]int{}
 	seen := map[string]bool{}
 	for _, e := range res.Entries {
-		seen[e.Graph+"/"+e.Scheme] = true
+		seen[e.Graph+"/"+e.Scheme+"/"+e.Runtime] = true
+		runtimes[e.Runtime]++
+		if e.Runtime == "" && e.Engine != "discrete/randomized" {
+			t.Errorf("%s/%s: shared-memory engine label %q", e.Graph, e.Scheme, e.Engine)
+		}
+		if e.Runtime != "" && e.Engine != "actor/randomized" {
+			t.Errorf("%s/%s/%s: actor engine label %q", e.Graph, e.Scheme, e.Runtime, e.Engine)
+		}
 		if e.Nodes != 4096 {
 			t.Errorf("%s/%s: %d nodes, want 4096", e.Graph, e.Scheme, e.Nodes)
 		}
@@ -45,16 +53,21 @@ func TestRunSmallNProducesFullSchema(t *testing.T) {
 			t.Errorf("%s/%s: shards = %d", e.Graph, e.Scheme, e.Shards)
 		}
 	}
+	for rt, count := range map[string]int{"": 4, "actor:4": 4, "actor:4,stale=2": 4} {
+		if runtimes[rt] != count {
+			t.Errorf("runtime %q appears in %d entries, want %d", rt, runtimes[rt], count)
+		}
+	}
 	schemes := []string{"FOS", "SOS"}
 	for _, s := range schemes {
 		found := 0
-		for key := range seen {
-			if key[len(key)-len(s):] == s {
+		for _, e := range res.Entries {
+			if e.Scheme == s {
 				found++
 			}
 		}
-		if found != 2 {
-			t.Errorf("scheme %s appears in %d entries, want 2", s, found)
+		if found != 6 {
+			t.Errorf("scheme %s appears in %d entries, want 6", s, found)
 		}
 	}
 
@@ -74,16 +87,26 @@ func TestRunSmallNProducesFullSchema(t *testing.T) {
 
 // TestSequentialAllocsPerRoundIsZero pins the acceptance criterion directly
 // at the measurement layer: a sequential steady-state round allocates
-// nothing, so the benchmark's allocs_per_round must report 0.
+// nothing, so the shared-memory rows' allocs_per_round must report 0.
+// Actor rows spawn per-step goroutines, so only the shared-memory engine
+// carries the pin.
 func TestSequentialAllocsPerRoundIsZero(t *testing.T) {
 	res, err := Run(Config{N: 4096, Degree: 8, Rounds: 5, Warmup: 2, Workers: 1, Seed: 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	shared := 0
 	for _, e := range res.Entries {
+		if e.Runtime != "" {
+			continue
+		}
+		shared++
 		if e.AllocsPerRound != 0 {
 			t.Errorf("%s/%s: allocs_per_round = %g, want 0 on the sequential path",
 				e.Graph, e.Scheme, e.AllocsPerRound)
 		}
+	}
+	if shared != 4 {
+		t.Fatalf("%d shared-memory rows, want 4", shared)
 	}
 }

@@ -137,6 +137,15 @@ func (l *Layout) ArcRange(s int) (lo, hi int) {
 	return int(offsets[l.bounds[s]]), int(offsets[l.bounds[s+1]])
 }
 
+// Bounds returns a copy of the layout's node boundaries: len Shards()+1,
+// shard s owning [Bounds[s], Bounds[s+1]). Consumers that persist a
+// partition identity across process lifetimes — the actor runtime's async
+// checkpoints, whose in-flight link state is only meaningful over the same
+// partition — compare bounds instead of holding the graph pointer.
+func (l *Layout) Bounds() []int32 {
+	return append([]int32(nil), l.bounds...)
+}
+
 // ShardOf returns the shard owning node i.
 func (l *Layout) ShardOf(i int) int {
 	s := sort.Search(l.Shards(), func(s int) bool { return int(l.bounds[s+1]) > i })

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"diffusionlb/internal/actor"
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/envdyn"
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/hetero"
+	"diffusionlb/internal/invariants"
+	"diffusionlb/internal/spectral"
+	"diffusionlb/internal/workload"
+)
+
+// newActorProc builds a small actor runtime on a torus for the invariant
+// integration tests.
+func newActorProc(t *testing.T, actors, stale int) (*actor.Runtime, *spectral.Operator, int) {
+	t.Helper()
+	g, err := graph.Torus2D(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1 + float64(i%4)*0.5
+	}
+	sp, err := hetero.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := spectral.NewOperator(g, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := make([]int64, n)
+	for i := range x0 {
+		x0[i] = int64((i * 13) % 101)
+	}
+	a, err := actor.New(op, core.SOS, 1.5, nil, 17, x0, actor.Options{Actors: actors, Stale: stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, op, n
+}
+
+// TestRunnerDrivesActorRuntime: the Runner drives the actor runtime through
+// a dynamic workload and a speed event — under -tags=invariants this routes
+// every round through the conservation checker, whose baseline for an
+// InFlightReporter includes the transport's in-flight load. Both modes run
+// so the barrier path (in-flight identically zero) and the async path
+// (tokens legitimately riding version rings) are covered by race+invariants
+// CI.
+func TestRunnerDrivesActorRuntime(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		stale int
+	}{
+		{"barrier", 0},
+		{"stale=2", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, _, n := newActorProc(t, 3, tc.stale)
+			wl, err := workload.FromSpec("poisson:0.5", n, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dyn, err := envdyn.FromSpec("throttle:at=10,frac=0.125,factor=0.25", n, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := (&Runner{
+				Proc:        a,
+				Workload:    wl,
+				Environment: dyn,
+				Metrics:     append(DynamicMetrics(), EnvironmentMetrics()...),
+			}).Run(40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.SpeedEvents) != 1 {
+				t.Fatalf("SpeedEvents = %v, want exactly the throttle event", res.SpeedEvents)
+			}
+			if a.Round() != 40 {
+				t.Fatalf("runtime completed %d rounds, want 40", a.Round())
+			}
+		})
+	}
+}
+
+// leakyTransport is a stubProc that also claims to be an InFlightReporter:
+// its step hides one token per round in a "transport" but misreports the
+// in-flight total as zero — exactly the bug class the extended conservation
+// check exists to catch.
+type leakyTransport struct {
+	stubProc
+}
+
+func (p *leakyTransport) InFlightLoad() int64 { return 0 }
+
+// honestTransport hides tokens too but reports them, so conservation on
+// Σ loads + in-flight holds.
+type honestTransport struct {
+	stubProc
+	hidden int64
+}
+
+func (p *honestTransport) InFlightLoad() int64 { return p.hidden }
+
+// TestInvariantsUseInFlightLoad: the conservation check must add the
+// reported in-flight load to the round total — an honest transport passes
+// while a misreporting one trips, for the same load trajectory.
+func TestInvariantsUseInFlightLoad(t *testing.T) {
+	if !invariants.Enabled {
+		t.Skip("build without -tags=invariants")
+	}
+	leaky := &leakyTransport{}
+	leaky.x = []int64{5, 5}
+	leaky.step = func(x []int64) { x[0]-- } // token enters the transport, report says 0
+	runExpectingViolation(t, leaky)
+
+	honest := &honestTransport{}
+	honest.x = []int64{5, 5}
+	honest.step = func(x []int64) { x[0]--; honest.hidden++ }
+	r := &Runner{Proc: honest, Metrics: []Metric{TotalLoad()}}
+	if _, err := r.Run(5); err != nil {
+		t.Fatalf("honest transport tripped: %v", err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 type invariantChecker struct {
 	proc       core.Process
 	guarantor  core.NonNegativeGuarantor // nil when the process cannot certify
+	inFlight   core.InFlightReporter     // nil when the transport holds no load
 	lay        *shard.Layout             // nil when the process is not Sharded
 	workers    int
 	prevNonNeg bool
@@ -52,18 +53,31 @@ type invariantChecker struct {
 func newInvariantChecker(p core.Process) *invariantChecker {
 	c := &invariantChecker{proc: p}
 	c.guarantor, _ = p.(core.NonNegativeGuarantor)
+	c.inFlight, _ = p.(core.InFlightReporter)
 	if sh, ok := p.(core.Sharded); ok {
 		c.lay, c.workers = sh.ShardLayout(), sh.StepWorkers()
 	}
 	lv := p.Loads()
 	if lv.Int != nil {
 		c.isInt = true
-		c.expInt = c.sumInt(lv.Int)
+		c.expInt = c.sumInt(lv.Int) + c.inFlightLoad()
 	} else {
-		c.expFloat = c.sumFloat(lv.Float)
+		c.expFloat = c.sumFloat(lv.Float) + float64(c.inFlightLoad())
 	}
 	c.refreshNonNeg(lv)
 	return c
+}
+
+// inFlightLoad returns the transport's in-flight load, zero for processes
+// whose steps move all flux within the round. Conservation for a
+// bounded-staleness transport (core.InFlightReporter) is on
+// Σ loads + in-flight: flux debited from a sender may ride a version ring
+// for up to the staleness bound before the receiver credits it.
+func (c *invariantChecker) inFlightLoad() int64 {
+	if c.inFlight == nil {
+		return 0
+	}
+	return c.inFlight.InFlightLoad()
 }
 
 // sumInt reduces an integer load vector, through the shard layout when the
@@ -97,9 +111,9 @@ func (c *invariantChecker) afterStep(round int) {
 	ctx := fmt.Sprintf("sim: after step of round %d", round)
 	lv := c.proc.Loads()
 	if c.isInt {
-		invariants.Must(invariants.ConservedInt64(c.sumInt(lv.Int), c.expInt, ctx))
+		invariants.Must(invariants.ConservedInt64(c.sumInt(lv.Int)+c.inFlightLoad(), c.expInt, ctx))
 	} else {
-		got := c.sumFloat(lv.Float)
+		got := c.sumFloat(lv.Float) + float64(c.inFlightLoad())
 		invariants.Must(invariants.ConservedFloat64(got, c.expFloat, invariants.ConservationTol, ctx))
 		c.expFloat = got
 	}

@@ -147,6 +147,14 @@ func NewOperator(g *graph.Graph, speeds *hetero.Speeds, rule AlphaRule) (*Operat
 // Graph returns the underlying graph.
 func (op *Operator) Graph() *graph.Graph { return op.g }
 
+// ShapeMatches reports whether the operator covers a graph of exactly the
+// given node and arc counts — the Retarget precondition shared by the
+// shared-memory engines and the actor runtime (a retargeted operator may
+// be a different instance, but must address the same CSR shape).
+func (op *Operator) ShapeMatches(nodes, arcs int) bool {
+	return op.g.NumNodes() == nodes && op.g.NumArcs() == arcs
+}
+
 // Speeds returns the speed assignment.
 func (op *Operator) Speeds() *hetero.Speeds { return op.speeds }
 

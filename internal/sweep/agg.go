@@ -20,12 +20,13 @@ type Result struct {
 	Groups []Group `json:"groups"`
 }
 
-// Group aggregates the replicates of one (graph, scheme, rounder, speeds,
-// workload, environment, scenario, policy, beta) coordinate.
+// Group aggregates the replicates of one (graph, scheme, rounder, runtime,
+// speeds, workload, environment, scenario, policy, beta) coordinate.
 type Group struct {
 	Graph       string  `json:"graph"`
 	Scheme      string  `json:"scheme"`
 	Rounder     string  `json:"rounder"`
+	Runtime     string  `json:"runtime,omitempty"` // actor runtime spec ("" = shared-memory engine)
 	Speeds      string  `json:"speeds,omitempty"`
 	Workload    string  `json:"workload,omitempty"`
 	Environment string  `json:"environment,omitempty"` // envdyn spec ("" = static speeds)
@@ -58,6 +59,9 @@ type AggColumn struct {
 // Label is a compact human-readable identifier for the group.
 func (g Group) Label() string {
 	parts := []string{g.Graph, g.Scheme, g.Rounder}
+	if g.Runtime != "" {
+		parts = append(parts, g.Runtime)
+	}
 	if g.Speeds != "" {
 		parts = append(parts, g.Speeds)
 	}
@@ -105,7 +109,7 @@ func aggregateGroup(spec Spec, c Cell, reps []*sim.Series, switches [][]core.Swi
 		beta = sys.beta
 	}
 	g := Group{
-		Graph: c.Graph, Scheme: c.Scheme, Rounder: c.Rounder,
+		Graph: c.Graph, Scheme: c.Scheme, Rounder: c.Rounder, Runtime: c.Runtime,
 		Speeds: c.Speeds, Workload: c.Workload, Environment: c.Environment,
 		Scenario: c.Scenario, Policy: c.Policy, Beta: beta,
 		Lambda: sys.lambda, Nodes: sys.g.NumNodes(),
@@ -177,7 +181,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // by a round-trip test so the next column addition is a conscious diff
 // (writeGroupCSV indexes records positionally against it).
 var csvHeader = []string{
-	"graph", "scheme", "rounder", "speeds", "workload", "environment", "scenario", "policy",
+	"graph", "scheme", "rounder", "runtime", "speeds", "workload", "environment", "scenario", "policy",
 	"beta", "replicates", "switches", "round", "metric", "mean", "std", "min", "max",
 }
 
@@ -187,23 +191,23 @@ func csvFloat(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
 // writeGroupCSV appends one group's rows to cw; record is a reusable
 // len(csvHeader) scratch slice.
 func writeGroupCSV(cw *csv.Writer, g Group, record []string) error {
-	record[0], record[1], record[2] = g.Graph, g.Scheme, g.Rounder
-	record[3], record[4], record[5], record[6], record[7] = g.Speeds, g.Workload, g.Environment, g.Scenario, g.Policy
-	record[8] = csvFloat(g.Beta)
-	record[9] = strconv.Itoa(g.Replicates)
+	record[0], record[1], record[2], record[3] = g.Graph, g.Scheme, g.Rounder, g.Runtime
+	record[4], record[5], record[6], record[7], record[8] = g.Speeds, g.Workload, g.Environment, g.Scenario, g.Policy
+	record[9] = csvFloat(g.Beta)
+	record[10] = strconv.Itoa(g.Replicates)
 	counts := make([]string, len(g.Switches))
 	for i, n := range g.Switches {
 		counts[i] = strconv.Itoa(n)
 	}
-	record[10] = strings.Join(counts, "|")
+	record[11] = strings.Join(counts, "|")
 	for _, col := range g.Columns {
-		record[12] = col.Name
+		record[13] = col.Name
 		for row, round := range g.Rounds {
-			record[11] = strconv.Itoa(round)
-			record[13] = csvFloat(col.Mean[row])
-			record[14] = csvFloat(col.Std[row])
-			record[15] = csvFloat(col.Min[row])
-			record[16] = csvFloat(col.Max[row])
+			record[12] = strconv.Itoa(round)
+			record[14] = csvFloat(col.Mean[row])
+			record[15] = csvFloat(col.Std[row])
+			record[16] = csvFloat(col.Min[row])
+			record[17] = csvFloat(col.Max[row])
 			if err := cw.Write(record); err != nil {
 				return err
 			}
@@ -215,7 +219,7 @@ func writeGroupCSV(cw *csv.Writer, g Group, record []string) error {
 // WriteCSV writes the result in long form, one row per
 // (group, round, metric):
 //
-//	graph,scheme,rounder,speeds,workload,environment,scenario,policy,beta,replicates,switches,round,metric,mean,std,min,max
+//	graph,scheme,rounder,runtime,speeds,workload,environment,scenario,policy,beta,replicates,switches,round,metric,mean,std,min,max
 //
 // switches is the per-replicate scheme-switch count joined with "|" (empty
 // when no policy is set). Rows go through encoding/csv, so spec fields

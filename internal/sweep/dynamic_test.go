@@ -112,6 +112,7 @@ func TestWriteCSVRoundTripsSpecialFields(t *testing.T) {
 		Graph:       `custom:4,5`,
 		Scheme:      "sos",
 		Rounder:     `say "hi"`,
+		Runtime:     "actor:4,stale=2",
 		Speeds:      "twoclass:0.25:4",
 		Workload:    "poisson:0.5+churn:10,20",
 		Environment: "throttle:at=10,frac=0.25,factor=0.5",
@@ -145,21 +146,22 @@ func TestWriteCSVRoundTripsSpecialFields(t *testing.T) {
 	}
 	first := rows[1]
 	if first[0] != `custom:4,5` || first[2] != `say "hi"` ||
-		first[4] != "poisson:0.5+churn:10,20" ||
-		first[5] != "throttle:at=10,frac=0.25,factor=0.5" ||
-		first[6] != "correlated:at=10,frac=0.25,factor=0.5,load=100" ||
-		first[7] != "adaptive:16:64,100" ||
-		first[12] != "metric,with,commas" {
+		first[3] != "actor:4,stale=2" ||
+		first[5] != "poisson:0.5+churn:10,20" ||
+		first[6] != "throttle:at=10,frac=0.25,factor=0.5" ||
+		first[7] != "correlated:at=10,frac=0.25,factor=0.5,load=100" ||
+		first[8] != "adaptive:16:64,100" ||
+		first[13] != "metric,with,commas" {
 		t.Errorf("fields corrupted in round trip: %v", first)
 	}
-	if first[10] != "1|3" {
-		t.Errorf("switch counts wrong: %v", first[10])
+	if first[11] != "1|3" {
+		t.Errorf("switch counts wrong: %v", first[11])
 	}
-	if first[11] != "0" || rows[2][11] != "10" {
-		t.Errorf("round fields wrong: %v / %v", first[11], rows[2][11])
+	if first[12] != "0" || rows[2][12] != "10" {
+		t.Errorf("round fields wrong: %v / %v", first[12], rows[2][12])
 	}
-	if first[13] != "1" || rows[2][13] != "2" {
-		t.Errorf("mean fields wrong: %v / %v", first[13], rows[2][13])
+	if first[14] != "1" || rows[2][14] != "2" {
+		t.Errorf("mean fields wrong: %v / %v", first[14], rows[2][14])
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"diffusionlb/internal/actor"
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/envdyn"
 	"diffusionlb/internal/graph"
@@ -221,14 +222,26 @@ func runCell(spec Spec, c Cell, sys *system) (*sim.Series, []core.SwitchEvent, e
 	cfg := core.Config{Op: op, Kind: kind, Beta: beta, Workers: spec.StepWorkers, Layout: sys.lay}
 
 	var proc core.Process
-	switch c.Rounder {
-	case "continuous":
+	switch {
+	case c.Runtime != "":
+		// Message-passing runtime; validate() already rejected the
+		// continuous/cumulative rounders on this axis.
+		rounder, ok := core.RounderByName(c.Rounder)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown rounder %q", c.Rounder)
+		}
+		aOpts, aErr := actor.FromSpec(c.Runtime)
+		if aErr != nil {
+			return nil, nil, aErr
+		}
+		proc, err = actor.New(op, kind, beta, rounder, c.Seed, x0, aOpts)
+	case c.Rounder == "continuous":
 		xf := make([]float64, n)
 		for i, v := range x0 {
 			xf[i] = float64(v)
 		}
 		proc, err = core.NewContinuous(cfg, xf)
-	case "cumulative":
+	case c.Rounder == "cumulative":
 		proc, err = core.NewCumulativeDiscrete(cfg, x0)
 	default:
 		rounder, ok := core.RounderByName(c.Rounder)

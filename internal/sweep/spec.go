@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"diffusionlb/internal/actor"
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/envdyn"
 	"diffusionlb/internal/randx"
@@ -24,6 +25,16 @@ type Spec struct {
 	// divisible load) and "cumulative" (the stateful baseline of [2]).
 	// Empty means ["randomized"].
 	Rounders []string `json:"rounders"`
+	// Runtimes lists execution runtimes: the empty string is the
+	// shared-memory engine, "actor:K[,stale=S]" (actor.FromSpec syntax) the
+	// message-passing runtime with K shard actors and staleness bound S.
+	// Empty means [""]. The runtime axis does not enter the cell seed:
+	// barrier-mode actor cells reproduce their shared-memory siblings bit
+	// for bit, and staleness cells differ only by the transport — the
+	// apples-to-apples comparison the discrepancy-vs-staleness experiment
+	// rests on. Actor runtimes need an integer token stream, so non-empty
+	// entries reject the "continuous" and "cumulative" rounders.
+	Runtimes []string `json:"runtimes,omitempty"`
 	// Speeds lists heterogeneous speed specs; the empty string is the
 	// homogeneous network. Empty means [""].
 	Speeds []string `json:"speeds,omitempty"`
@@ -88,6 +99,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Rounders) == 0 {
 		s.Rounders = []string{"randomized"}
 	}
+	if len(s.Runtimes) == 0 {
+		s.Runtimes = []string{""}
+	}
 	if len(s.Speeds) == 0 {
 		s.Speeds = []string{""}
 	}
@@ -149,6 +163,21 @@ func (s Spec) validate() error {
 		if r != "continuous" && r != "cumulative" {
 			if _, ok := core.RounderByName(r); !ok {
 				return fmt.Errorf("sweep: unknown rounder %q", r)
+			}
+		}
+	}
+	for _, rt := range s.Runtimes {
+		if rt == "" {
+			continue
+		}
+		if _, err := actor.FromSpec(rt); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		// The actor runtime moves integer tokens; the idealized and
+		// cumulative baselines have no actor equivalent.
+		for _, r := range s.Rounders {
+			if r == "continuous" || r == "cumulative" {
+				return fmt.Errorf("sweep: runtime %q cannot run the %q rounder (actor runtimes need a discrete rounder)", rt, r)
 			}
 		}
 	}
@@ -228,11 +257,12 @@ type Cell struct {
 	// Group is the index of the aggregation group (all replicates of the
 	// same coordinate share one group).
 	Group int
-	// Graph, Scheme, Rounder, Speeds, Workload, Environment, Scenario,
-	// Policy, Beta, Replicate are the coordinate.
+	// Graph, Scheme, Rounder, Runtime, Speeds, Workload, Environment,
+	// Scenario, Policy, Beta, Replicate are the coordinate.
 	Graph       string
 	Scheme      string
 	Rounder     string
+	Runtime     string
 	Speeds      string
 	Workload    string
 	Environment string
@@ -241,19 +271,22 @@ type Cell struct {
 	Beta        float64
 	Replicate   int
 	// Seed is derived from (BaseSeed, axis indices, replicate) via
-	// randx.Mix, so it depends only on the spec, never on scheduling.
+	// randx.Mix, so it depends only on the spec, never on scheduling. The
+	// runtime index is deliberately absent: cells differing only in runtime
+	// share a seed, so they simulate the same stochastic system under a
+	// different execution strategy.
 	Seed uint64
 
 	graphIdx, speedsIdx int
 }
 
 // Expand enumerates every cell of the sweep in deterministic order:
-// graphs → schemes → rounders → speeds → workloads → environments →
-// scenarios → policies → betas → replicates, with the replicate index
-// innermost so one group occupies a contiguous index range.
+// graphs → schemes → rounders → runtimes → speeds → workloads →
+// environments → scenarios → policies → betas → replicates, with the
+// replicate index innermost so one group occupies a contiguous index range.
 func (s Spec) Expand() []Cell {
 	s = s.withDefaults()
-	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Speeds)*len(s.Workloads)*len(s.Environments)*len(s.Scenarios)*len(s.Policies)*len(s.Betas)*s.Replicates)
+	cells := make([]Cell, 0, len(s.Graphs)*len(s.Schemes)*len(s.Rounders)*len(s.Runtimes)*len(s.Speeds)*len(s.Workloads)*len(s.Environments)*len(s.Scenarios)*len(s.Policies)*len(s.Betas)*s.Replicates)
 	group := 0
 	fosBetas := []float64{0}
 	for gi, g := range s.Graphs {
@@ -263,35 +296,38 @@ func (s Spec) Expand() []Cell {
 				schemeBetas = fosBetas
 			}
 			for ri, rd := range s.Rounders {
-				for pi, sp := range s.Speeds {
-					for wi, wl := range s.Workloads {
-						for ei, env := range s.Environments {
-							for ci, scn := range s.Scenarios {
-								for li, pol := range s.Policies {
-									for bi, beta := range schemeBetas {
-										for rep := 0; rep < s.Replicates; rep++ {
-											cells = append(cells, Cell{
-												Index:       len(cells),
-												Group:       group,
-												Graph:       g,
-												Scheme:      sc,
-												Rounder:     rd,
-												Speeds:      sp,
-												Workload:    wl,
-												Environment: env,
-												Scenario:    scn,
-												Policy:      pol,
-												Beta:        beta,
-												Replicate:   rep,
-												Seed: randx.Mix(s.BaseSeed,
-													uint64(gi), uint64(si), uint64(ri),
-													uint64(pi), uint64(wi), uint64(ei),
-													uint64(ci), uint64(li), uint64(bi), uint64(rep)),
-												graphIdx:  gi,
-												speedsIdx: pi,
-											})
+				for _, rt := range s.Runtimes {
+					for pi, sp := range s.Speeds {
+						for wi, wl := range s.Workloads {
+							for ei, env := range s.Environments {
+								for ci, scn := range s.Scenarios {
+									for li, pol := range s.Policies {
+										for bi, beta := range schemeBetas {
+											for rep := 0; rep < s.Replicates; rep++ {
+												cells = append(cells, Cell{
+													Index:       len(cells),
+													Group:       group,
+													Graph:       g,
+													Scheme:      sc,
+													Rounder:     rd,
+													Runtime:     rt,
+													Speeds:      sp,
+													Workload:    wl,
+													Environment: env,
+													Scenario:    scn,
+													Policy:      pol,
+													Beta:        beta,
+													Replicate:   rep,
+													Seed: randx.Mix(s.BaseSeed,
+														uint64(gi), uint64(si), uint64(ri),
+														uint64(pi), uint64(wi), uint64(ei),
+														uint64(ci), uint64(li), uint64(bi), uint64(rep)),
+													graphIdx:  gi,
+													speedsIdx: pi,
+												})
+											}
+											group++
 										}
-										group++
 									}
 								}
 							}
@@ -314,7 +350,7 @@ func (s Spec) NumCells() int {
 		if kind, err := parseKind(sc); err == nil && kind == core.FOS {
 			nb = 1
 		}
-		perGraph += nb * len(s.Rounders) * len(s.Speeds) * len(s.Workloads) * len(s.Environments) * len(s.Scenarios) * len(s.Policies) * s.Replicates
+		perGraph += nb * len(s.Rounders) * len(s.Runtimes) * len(s.Speeds) * len(s.Workloads) * len(s.Environments) * len(s.Scenarios) * len(s.Policies) * s.Replicates
 	}
 	return len(s.Graphs) * perGraph
 }

@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -25,21 +26,86 @@ func StreamCSV(ctx context.Context, spec Spec, opts Options, w io.Writer) error 
 	if err := spec.validate(); err != nil {
 		return err
 	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	record := make([]string, len(csvHeader))
+	if err := streamGroups(ctx, spec, opts, func(g Group) error {
+		return writeGroupCSV(cw, g, record)
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// StreamJSON is the JSON twin of StreamCSV: it runs the sweep and writes
+// the aggregated result incrementally, byte-identical to
+// Run(...).WriteJSON(w) for every worker count. The document structure
+// (spec first, then the groups array) is reproduced around per-group
+// json.MarshalIndent calls, so each group's bytes are rendered by the same
+// encoder the in-memory writer uses and the whole grid never resides in
+// memory at once.
+func StreamJSON(ctx context.Context, spec Spec, opts Options, w io.Writer) error {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	// The composite document mirrors json.Encoder with SetIndent("", "  ")
+	// applied to Result{Spec, Groups}: nested values are rendered by
+	// MarshalIndent with their resident indentation as the prefix.
+	specJSON, err := json.MarshalIndent(spec, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "{\n  \"spec\": %s,\n  \"groups\": ", specJSON); err != nil {
+		return err
+	}
+	emitted := false
+	if err := streamGroups(ctx, spec, opts, func(g Group) error {
+		sep := ",\n    "
+		if !emitted {
+			sep = "[\n    "
+			emitted = true
+		}
+		groupJSON, err := json.MarshalIndent(g, "    ", "  ")
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+		_, err = w.Write(groupJSON)
+		return err
+	}); err != nil {
+		return err
+	}
+	// A nil Groups slice encodes as null; Run always aggregates at least
+	// one group, but the closer keeps the two writers structurally equal
+	// either way.
+	closer := "\n  ]\n}\n"
+	if !emitted {
+		closer = "null\n}\n"
+	}
+	_, err = io.WriteString(w, closer)
+	return err
+}
+
+// streamGroups expands the (already defaulted and validated) spec, runs
+// every cell on the worker pool and hands each aggregated group to emit in
+// group-index order — the shared engine behind the streaming sinks. emit is
+// never called concurrently; groups finishing ahead of an earlier,
+// still-running one buffer until the gap closes.
+func streamGroups(ctx context.Context, spec Spec, opts Options, emit func(Group) error) error {
 	cells := spec.Expand()
 	systems, err := buildSystems(ctx, spec, cells, opts.Workers)
 	if err != nil {
 		return err
 	}
 
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
-		return err
-	}
-
-	numGroups := len(cells) / spec.Replicates
 	sink := &groupSink{
-		cw:      cw,
-		record:  make([]string, len(csvHeader)),
+		emit:    emit,
 		pending: make(map[int]Group, 4),
 	}
 	// Per-group replicate collection. Replicates of one group occupy a
@@ -50,6 +116,7 @@ func StreamCSV(ctx context.Context, spec Spec, opts Options, w io.Writer) error 
 		switches  [][]core.SwitchEvent
 		remaining int
 	}
+	numGroups := len(cells) / spec.Replicates
 	collecting := make([]collect, numGroups)
 	for i := range collecting {
 		collecting[i] = collect{
@@ -61,7 +128,7 @@ func StreamCSV(ctx context.Context, spec Spec, opts Options, w io.Writer) error 
 	var mu sync.Mutex
 	var done int
 
-	err = Map(ctx, opts.Workers, len(cells), func(ctx context.Context, i int) error {
+	return Map(ctx, opts.Workers, len(cells), func(ctx context.Context, i int) error {
 		c := cells[i]
 		s, sw, err := runCell(spec, c, systems[sysKey{c.graphIdx, c.speedsIdx}])
 		if err != nil {
@@ -81,7 +148,7 @@ func StreamCSV(ctx context.Context, spec Spec, opts Options, w io.Writer) error 
 			if err != nil {
 				return err
 			}
-			if err := sink.emit(c.Group, g); err != nil {
+			if err := sink.push(c.Group, g); err != nil {
 				return err
 			}
 		}
@@ -91,26 +158,21 @@ func StreamCSV(ctx context.Context, spec Spec, opts Options, w io.Writer) error 
 		}
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	cw.Flush()
-	return cw.Error()
 }
 
-// groupSink writes completed groups in group-index order, buffering groups
-// that finish ahead of an earlier, still-running one. Callers serialize
-// access (StreamCSV holds its collection mutex around emit).
+// groupSink delivers completed groups to emit in group-index order,
+// buffering groups that finish ahead of an earlier, still-running one.
+// Callers serialize access (streamGroups holds its collection mutex around
+// push).
 type groupSink struct {
-	cw      *csv.Writer
-	record  []string
+	emit    func(Group) error
 	next    int
 	pending map[int]Group
 }
 
-// emit hands over a completed group; it writes every consecutively
+// push hands over a completed group; it emits every consecutively
 // available group starting at next.
-func (s *groupSink) emit(idx int, g Group) error {
+func (s *groupSink) push(idx int, g Group) error {
 	s.pending[idx] = g
 	for {
 		gg, ok := s.pending[s.next]
@@ -118,7 +180,7 @@ func (s *groupSink) emit(idx int, g Group) error {
 			return nil
 		}
 		delete(s.pending, s.next)
-		if err := writeGroupCSV(s.cw, gg, s.record); err != nil {
+		if err := s.emit(gg); err != nil {
 			return err
 		}
 		s.next++

@@ -60,6 +60,54 @@ func TestStreamCSVByteIdentical(t *testing.T) {
 	}
 }
 
+// TestStreamJSONByteIdentical pins the JSON twin's contract: the streaming
+// sink produces byte-identical output to Run(...).WriteJSON, for every
+// worker count — same indentation, same group order, same trailing newline.
+func TestStreamJSONByteIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	spec := streamSpec()
+	res, err := Run(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		var got bytes.Buffer
+		var cellsDone int
+		err := StreamJSON(context.Background(), spec, Options{
+			Workers: workers,
+			OnCell:  func(done, total int) { cellsDone = done },
+		}, &got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("workers=%d: StreamJSON output differs from WriteJSON (%d vs %d bytes)",
+				workers, got.Len(), want.Len())
+		}
+		if cellsDone != spec.NumCells() {
+			t.Errorf("workers=%d: OnCell reported %d cells, want %d", workers, cellsDone, spec.NumCells())
+		}
+	}
+}
+
+// TestStreamJSONValidates: malformed specs fail before anything is written.
+func TestStreamJSONValidates(t *testing.T) {
+	var buf bytes.Buffer
+	spec := streamSpec()
+	spec.Runtimes = []string{"actor:nope"}
+	if err := StreamJSON(context.Background(), spec, Options{}, &buf); err == nil {
+		t.Error("StreamJSON accepted a malformed runtime spec")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("StreamJSON wrote %d bytes before validation failed", buf.Len())
+	}
+}
+
 // TestStreamCSVValidates: malformed specs fail before anything is written.
 func TestStreamCSVValidates(t *testing.T) {
 	var buf bytes.Buffer
@@ -76,11 +124,11 @@ func TestStreamCSVValidates(t *testing.T) {
 // TestCSVHeaderRoundTrip is the header-constant satellite: every written
 // row has exactly the csvHeader's width, the header parses back to the
 // constant, and the width is pinned so the next column addition is a
-// conscious diff (PR 4 grew it to 16 silently; the scenario column makes
-// it 17).
+// conscious diff (PR 4 grew it to 16 silently; the scenario column made
+// it 17; the runtime column makes it 18).
 func TestCSVHeaderRoundTrip(t *testing.T) {
-	if len(csvHeader) != 17 {
-		t.Fatalf("csvHeader has %d columns, want 17 — update this pin AND the README column list consciously", len(csvHeader))
+	if len(csvHeader) != 18 {
+		t.Fatalf("csvHeader has %d columns, want 18 — update this pin AND the README column list consciously", len(csvHeader))
 	}
 	spec := Spec{
 		Graphs:    []string{"torus2d:8x8"},
@@ -113,7 +161,7 @@ func TestCSVHeaderRoundTrip(t *testing.T) {
 		}
 	}
 	// The scenario spec (commas and all) must survive in its column.
-	if got := rows[1][6]; got != "correlated:at=5,frac=0.25,factor=0.5,load=1000" {
+	if got := rows[1][7]; got != "correlated:at=5,frac=0.25,factor=0.5,load=1000" {
 		t.Errorf("scenario column = %q", got)
 	}
 	if !strings.Contains(text, "ideal_drift") || !strings.Contains(text, "peak_discrepancy") {
