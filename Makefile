@@ -14,10 +14,10 @@ test-short:
 	$(GO) test -short ./...
 
 # lint runs the lbvet analyzer suite (internal/analysis): nodeterminism,
-# floateq, specroundtrip, goroutineleak, shardsafety, hotalloc and
-# checkpointsync — the static half of the determinism and conservation
-# contract (see README "Determinism contract"). Exceptions need a justified
-# //lint:allow.
+# floateq, specroundtrip, goroutineleak, shardsafety, hotalloc,
+# checkpointsync and telemetryread — the static half of the determinism and
+# conservation contract (see README "Determinism contract"). Exceptions
+# need a justified //lint:allow.
 lint:
 	$(GO) run ./cmd/lbvet ./...
 
@@ -80,14 +80,15 @@ bench-smoke:
 	DIFFUSIONLB_SCALE_N=16384 $(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/...
 
 # bench-scale measures the step path at paper scale (override BENCH_N,
-# e.g. BENCH_N=4194304) and writes BENCH_9.json: node-updates/sec,
+# e.g. BENCH_N=4194304) and writes BENCH_10.json: node-updates/sec,
 # bytes/node and allocs/round for FOS and SOS on a 2-d torus and a
 # random-regular graph — on the shared-memory engine, the barrier actor
-# runtime and the stale=2 actor runtime. See README "Memory layout & scale".
+# runtime and the stale=2 actor runtime, each cell the median of 3 repeats
+# with telemetry-off/on twin rows. See README "Memory layout & scale".
 BENCH_N ?= 1048576
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 bench-scale:
-	$(GO) run ./cmd/lbbench -n $(BENCH_N) -out $(BENCH_OUT)
+	$(GO) run ./cmd/lbbench -n $(BENCH_N) -compare-telemetry -out $(BENCH_OUT)
 
 clean:
 	$(GO) clean ./...

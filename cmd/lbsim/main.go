@@ -56,6 +56,12 @@
 //	    to the shared-memory engine, while stale=S bounds how many rounds
 //	    old a neighbour's boundary state may be. -runtime is also a sweep
 //	    axis (';'-separated, since actor specs contain commas).
+//	    -telemetry ADDR serves live observability over HTTP while a
+//	    free-form or -sweep run executes: Prometheus text on /metrics,
+//	    a JSON metrics+trace snapshot on /snapshot and net/http/pprof
+//	    under /debug/pprof/. Telemetry is write-only from the
+//	    simulation's view — trajectories and stdout are bit-identical
+//	    with the flag on or off.
 //
 //	lbsim -graph hypercube:16 -spectrum
 //	    Print n, |E|, d, λ and β_opt for a graph.
@@ -82,6 +88,7 @@ import (
 	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/scenario"
 	"diffusionlb/internal/sweep"
+	"diffusionlb/internal/telemetry"
 	"diffusionlb/internal/workload"
 )
 
@@ -157,9 +164,28 @@ func run(args []string) error {
 		csvPath      = fs.String("csv", "", "write the recorded series to this CSV file")
 		spectrum     = fs.Bool("spectrum", false, "print spectral data for -graph and exit")
 		tableRows    = fs.Int("rows", 21, "max rows in printed tables")
+		telAddr      = fs.String("telemetry", "", "serve live telemetry on this address during free-form and -sweep runs: Prometheus /metrics, JSON /snapshot, /debug/pprof (e.g. :9090 or 127.0.0.1:0); trajectories and stdout are bit-identical with or without it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The telemetry server and its registry/trace are strictly write-only
+	// from the simulation's view: probes record into them and the HTTP
+	// handlers read them, so every run stays bit-identical with the flag on
+	// or off (the differential determinism test pins this). The banner goes
+	// to stderr so stdout stays byte-comparable.
+	var telReg *telemetry.Registry
+	var telTr *telemetry.Trace
+	if *telAddr != "" {
+		telReg = telemetry.NewRegistry()
+		telTr = telemetry.NewTrace(4096)
+		srv, err := telemetry.Serve(*telAddr, telReg, telTr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "lbsim: telemetry on http://"+srv.Addr())
 	}
 
 	switch {
@@ -235,20 +261,24 @@ func run(args []string) error {
 		// never start.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
+		sweepOpts := sweep.Options{Workers: *workers}
+		if telReg != nil {
+			sweepOpts.Telemetry = telemetry.NewSweepProbe(telReg, telTr)
+		}
 		if *stream != "" {
 			if flagWasSet(fs, "format") && *format != *stream {
 				return fmt.Errorf("-stream %s conflicts with -format %s (streaming fixes the format)", *stream, *format)
 			}
 			switch *stream {
 			case "csv":
-				return withGrammar(sweep.StreamCSV(ctx, spec, sweep.Options{Workers: *workers}, os.Stdout))
+				return withGrammar(sweep.StreamCSV(ctx, spec, sweepOpts, os.Stdout))
 			case "json":
-				return withGrammar(sweep.StreamJSON(ctx, spec, sweep.Options{Workers: *workers}, os.Stdout))
+				return withGrammar(sweep.StreamJSON(ctx, spec, sweepOpts, os.Stdout))
 			default:
 				return fmt.Errorf("unknown -stream %q (csv|json)", *stream)
 			}
 		}
-		res, err := sweep.Run(ctx, spec, sweep.Options{Workers: *workers})
+		res, err := sweep.Run(ctx, spec, sweepOpts)
 		if err != nil {
 			return withGrammar(err)
 		}
@@ -302,6 +332,7 @@ func run(args []string) error {
 			policy: *policySpec, env: *envSpec,
 			scenario: *scenarioSpec, betaReopt: *betaReopt,
 			runtime: *runtimeSpec,
+			telReg:  telReg, telTr: telTr,
 		})
 
 	default:
@@ -380,6 +411,8 @@ type freeFormConfig struct {
 	workers                  int
 	tableRows                int
 	hetero                   bool
+	telReg                   *telemetry.Registry
+	telTr                    *telemetry.Trace
 }
 
 func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
@@ -412,7 +445,12 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 		if aErr != nil {
 			return fmt.Errorf("%w\n%s", aErr, runtimeGrammar)
 		}
-		proc, err = sys.NewActor(kind, r, cfg.seed, x0, opts)
+		var rt *diffusionlb.ActorRuntime
+		rt, err = sys.NewActor(kind, r, cfg.seed, x0, opts)
+		if rt != nil && cfg.telReg != nil {
+			rt.SetTelemetry(telemetry.NewActorProbe(cfg.telReg, cfg.telTr, opts.Actors, false))
+		}
+		proc = rt
 	case cfg.rounder == "continuous":
 		xf := make([]float64, n)
 		for i, v := range x0 {
@@ -494,6 +532,9 @@ func freeFormRun(sys *diffusionlb.System, cfg freeFormConfig) error {
 	}
 	runner := &diffusionlb.Runner{Proc: proc, Every: every, Adaptive: policy, Metrics: ms,
 		Workload: wl, Environment: env, Scenario: scn, BetaReopt: reopt}
+	if cfg.telReg != nil {
+		runner.Telemetry = telemetry.NewRunProbe(cfg.telReg, cfg.telTr)
+	}
 	res, err := runner.Run(cfg.rounds)
 	if err != nil {
 		return err

@@ -59,6 +59,7 @@ import (
 	"diffusionlb/internal/randx"
 	"diffusionlb/internal/shard"
 	"diffusionlb/internal/spectral"
+	"diffusionlb/internal/telemetry"
 )
 
 // lagSalt separates the staleness schedule's hash stream from every other
@@ -121,6 +122,14 @@ type Runtime struct {
 	// rebuild closures.
 	stepFn  func(a int)
 	drainFn func(a int)
+
+	// tel, when attached, receives per-actor round latencies, boundary
+	// message counts with realized lags, and the in-flight load gauge.
+	// Write-only: nothing the runtime computes ever depends on it, so
+	// trajectories are bit-identical with or without a probe (pinned by
+	// the differential determinism tests).
+	//lint:allow checkpointsync observability sink, deliberately outside checkpoint state
+	tel *telemetry.ActorProbe
 }
 
 var (
@@ -232,6 +241,7 @@ func (a *actorState) step() {
 	r := a.r
 	t := r.round
 	span := r.stale + 1
+	sw := r.tel.StartActorRound(a.id)
 	a.phaseZ()
 	for _, l := range a.out {
 		for k, i := range l.sendNodes {
@@ -258,6 +268,7 @@ func (a *actorState) step() {
 		}
 		l.sentTotal += tot
 		l.fCh <- fluxMsg{round: t, flux: l.fBuf, total: tot}
+		r.tel.LinkSent(t, l.src, l.dst)
 	}
 	for li, l := range a.in {
 		m := <-l.fCh
@@ -277,8 +288,10 @@ func (a *actorState) step() {
 		if thru > l.applied {
 			l.applied = thru
 		}
+		r.tel.LinkReceived(t, l.dst, l.src, a.lag[li])
 	}
 	a.phaseApply()
+	sw.Stop()
 }
 
 // lagOf draws the link's staleness lag for round t: a deterministic
@@ -487,7 +500,16 @@ func (r *Runtime) Step() {
 		r.flowsValid = true
 	}
 	r.round++
+	if r.tel != nil {
+		r.tel.SetInFlight(float64(r.InFlightLoad()))
+	}
 }
+
+// SetTelemetry attaches (or with nil detaches) an actor probe. The probe
+// is write-only observability state: it never influences the trajectory,
+// so it is deliberately outside checkpoint state and may be attached or
+// swapped at any round boundary.
+func (r *Runtime) SetTelemetry(p *telemetry.ActorProbe) { r.tel = p }
 
 // broadcast appends m to every actor's mailbox and has the actors drain
 // concurrently — the control-plane fan-out every mutation routes through.

@@ -68,6 +68,7 @@ func (r *Runtime) Checkpoint() Checkpoint {
 	}
 	copy(cp.Core.Loads, r.x)
 	copy(cp.Core.Flows, r.netFlow)
+	r.tel.Checkpoint(r.round, len(r.act))
 	if r.stale == 0 {
 		return cp
 	}
@@ -185,5 +186,6 @@ func (r *Runtime) Restore(cp Checkpoint) error {
 			l.appliedTotal = 0
 		}
 	}
+	r.tel.Restore(r.round, len(r.act))
 	return nil
 }

@@ -1,0 +1,148 @@
+package actor_test
+
+import (
+	"testing"
+
+	"diffusionlb/internal/actor"
+	"diffusionlb/internal/core"
+	"diffusionlb/internal/graph"
+	"diffusionlb/internal/spectral"
+	"diffusionlb/internal/telemetry"
+)
+
+// telemetryRuntime builds a small runtime with a live probe attached.
+func telemetryRuntime(t *testing.T, actors, stale int, emitEvents bool) (*actor.Runtime, *telemetry.Registry, *telemetry.Trace) {
+	t.Helper()
+	g, err := graph.Torus2D(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	sp1, _ := goldenSpeeds(t, n)
+	op, err := spectral.NewOperator(g, sp1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := actor.New(op, core.SOS, 1.5, nil, 42, goldenInitial(n), actor.Options{Actors: actors, Stale: stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTrace(1024)
+	rt.SetTelemetry(telemetry.NewActorProbe(reg, tr, actors, emitEvents))
+	return rt, reg, tr
+}
+
+// TestActorStepAllocFreeWithTelemetry pins the acceptance criterion that
+// steady-state Step stays 0 allocs/round with a live registry attached, on
+// the inline single-actor path (multi-actor steps pay the per-round
+// goroutine spawns regardless of telemetry).
+func TestActorStepAllocFreeWithTelemetry(t *testing.T) {
+	rt, _, _ := telemetryRuntime(t, 1, 0, true)
+	rt.Step()
+	rt.Step()
+	if allocs := testing.AllocsPerRun(20, rt.Step); allocs != 0 {
+		t.Errorf("steady-state Step with live telemetry allocates %.1f objects/round, want 0", allocs)
+	}
+}
+
+// TestActorProbeAccounting: message counters, realized-lag histogram and
+// the in-flight gauge reflect the runtime's own accounting.
+func TestActorProbeAccounting(t *testing.T) {
+	const rounds = 10
+	rt, reg, tr := telemetryRuntime(t, 4, 0, true)
+	for i := 0; i < rounds; i++ {
+		rt.Step()
+	}
+	snap := telemetry.TakeSnapshot(reg, tr)
+	var sent, recv float64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "diffusionlb_actor_messages_sent_total":
+			sent = c.Value
+		case "diffusionlb_actor_messages_received_total":
+			recv = c.Value
+		}
+	}
+	if sent == 0 || sent != recv {
+		t.Errorf("sent %v / received %v boundary messages, want equal and nonzero", sent, recv)
+	}
+	var sendEv, recvEv int
+	for _, e := range snap.Events {
+		switch e.Kind {
+		case telemetry.EvActorSend:
+			sendEv++
+		case telemetry.EvActorRecv:
+			recvEv++
+		}
+	}
+	if sendEv == 0 || sendEv != recvEv {
+		t.Errorf("%d send / %d recv trace events, want equal and nonzero", sendEv, recvEv)
+	}
+	for _, h := range snap.Histograms {
+		if h.Name != "diffusionlb_actor_link_lag_rounds" {
+			continue
+		}
+		if h.Count != int64(recv) {
+			t.Errorf("lag histogram has %d observations, want %v", h.Count, recv)
+		}
+		// Barrier mode: every realized lag is 0, so the first bucket holds
+		// every observation.
+		if h.Counts[0] != h.Count {
+			t.Errorf("barrier-mode lag histogram not all-zero: %v", h.Counts)
+		}
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "diffusionlb_actor_inflight_load" && g.Value != 0 {
+			t.Errorf("barrier-mode in-flight gauge = %v, want 0", g.Value)
+		}
+	}
+}
+
+// TestActorProbeStaleLags: under bounded staleness some realized lags are
+// nonzero and the lag histogram sees them.
+func TestActorProbeStaleLags(t *testing.T) {
+	rt, reg, _ := telemetryRuntime(t, 4, 2, false)
+	for i := 0; i < 20; i++ {
+		rt.Step()
+	}
+	snap := telemetry.TakeSnapshot(reg, nil)
+	for _, h := range snap.Histograms {
+		if h.Name != "diffusionlb_actor_link_lag_rounds" {
+			continue
+		}
+		if h.Count == 0 {
+			t.Fatal("lag histogram empty under staleness")
+		}
+		if h.Counts[0] == h.Count {
+			t.Errorf("staleness bound 2 but every realized lag was 0 over 20 rounds: %v", h.Counts)
+		}
+	}
+}
+
+// TestActorCheckpointRestoreEvents: checkpoint/restore emit trace events.
+func TestActorCheckpointRestoreEvents(t *testing.T) {
+	rt, _, tr := telemetryRuntime(t, 2, 0, false)
+	for i := 0; i < 3; i++ {
+		rt.Step()
+	}
+	cp := rt.Checkpoint()
+	if err := rt.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	var cps, rsts int
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case telemetry.EvCheckpoint:
+			cps++
+			if e.Round != 3 || e.A != 2 {
+				t.Errorf("checkpoint event round=%d actors=%d, want 3/2", e.Round, e.A)
+			}
+		case telemetry.EvRestore:
+			rsts++
+		}
+	}
+	if cps != 1 || rsts != 1 {
+		t.Errorf("%d checkpoint / %d restore events, want 1/1", cps, rsts)
+	}
+}

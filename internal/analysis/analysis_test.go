@@ -104,6 +104,14 @@ func TestCheckpointSyncFixture(t *testing.T) {
 	driver.RunFixture(t, loader(t), fixture("checkpointsync"), analysis.CheckpointSync)
 }
 
+// TestTelemetryReadFixture pins the write-only telemetry contract: opaque
+// handles (registration, recording, Stopwatch, probes) stay clean, while
+// any call whose result leaks telemetry state (Value, Seq, Events,
+// TakeSnapshot, the Prometheus writer) is a read-back.
+func TestTelemetryReadFixture(t *testing.T) {
+	driver.RunFixture(t, loader(t), fixture("telemetryread"), analysis.TelemetryRead)
+}
+
 // TestMalformedAllowDirectives pins two properties of the escape hatch: a
 // directive without a justification is itself reported, and it does not
 // suppress the diagnostic it sits next to.
@@ -131,8 +139,8 @@ func TestSuiteScoping(t *testing.T) {
 	for _, sa := range analysis.Suite() {
 		byName[sa.Name] = sa
 	}
-	if len(byName) != 7 {
-		t.Fatalf("suite has %d analyzers, want 7", len(byName))
+	if len(byName) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8", len(byName))
 	}
 	cases := []struct {
 		analyzer string
@@ -160,6 +168,18 @@ func TestSuiteScoping(t *testing.T) {
 		{"shardsafety", "diffusionlb/internal/metrics", false},
 		{"hotalloc", "diffusionlb/internal/metrics", true},
 		{"checkpointsync", "diffusionlb/internal/core", true},
+		// telemetryread binds the engines only; the telemetry package itself
+		// and the wiring layers legitimately read state back (exposition,
+		// benchmark comparisons) — but telemetry does sit inside the
+		// nodeterminism net, with //lint:allow on its clock reads.
+		{"telemetryread", "diffusionlb/internal/core", true},
+		{"telemetryread", "diffusionlb/internal/sim", true},
+		{"telemetryread", "diffusionlb/internal/actor", true},
+		{"telemetryread", "diffusionlb/internal/telemetry", false},
+		{"telemetryread", "diffusionlb/internal/scalebench", false},
+		{"telemetryread", "diffusionlb/cmd/lbsim", false},
+		{"nodeterminism", "diffusionlb/internal/telemetry", true},
+		{"goroutineleak", "diffusionlb/internal/telemetry", true},
 	}
 	for _, c := range cases {
 		sa, ok := byName[c.analyzer]

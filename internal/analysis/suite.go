@@ -1,7 +1,7 @@
 // Package analysis is the lbvet analyzer suite: the static half of the
 // repo's determinism and conservation contract.
 //
-// Seven analyzers cover the contract the pinned tests otherwise only catch
+// Eight analyzers cover the contract the pinned tests otherwise only catch
 // after the fact:
 //
 //   - nodeterminism: no wall-clock reads, no global math/rand draws, no
@@ -18,6 +18,9 @@
 //     error-terminating paths.
 //   - checkpointsync: fields a Checkpoint/Restore-carrying type mutates are
 //     covered by both methods.
+//   - telemetryread: engine code records into telemetry handles but never
+//     reads telemetry state back — trajectories must not depend on
+//     observability.
 //
 // Legitimate exceptions are annotated in-source with
 // "//lint:allow <analyzer> <justification>"; the justification is mandatory.
@@ -51,13 +54,15 @@ var enginePackages = []string{
 }
 
 // determinismExtra widens the nodeterminism/goroutineleak net beyond the
-// engines: the benchmark harness, the runtime-invariant layer, the analysis
-// suite itself (self-clean), and every cmd/ binary. These layers may
-// legitimately read clocks (a benchmark measures wall time) — such reads
-// carry //lint:allow justifications instead of living outside the scope.
+// engines: the benchmark harness, the runtime-invariant layer, the telemetry
+// layer, the analysis suite itself (self-clean), and every cmd/ binary.
+// These layers may legitimately read clocks (a benchmark measures wall time,
+// a round-latency histogram needs time.Since) — such reads carry
+// //lint:allow justifications instead of living outside the scope.
 var determinismExtra = []string{
 	"diffusionlb/internal/scalebench",
 	"diffusionlb/internal/invariants",
+	"diffusionlb/internal/telemetry",
 	"diffusionlb/internal/analysis",
 	"diffusionlb/cmd",
 }
@@ -102,5 +107,8 @@ func Suite() []Scoped {
 		{ShardSafety, inEngine},
 		{HotAlloc, func(string) bool { return true }},
 		{CheckpointSync, func(string) bool { return true }},
+		// telemetryread binds exactly the engines: the telemetry package and
+		// the wiring layers (cmd/, scalebench) are where read-backs belong.
+		{TelemetryRead, inEngine},
 	}
 }

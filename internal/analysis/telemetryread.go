@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"diffusionlb/internal/analysis/driver"
+)
+
+// TelemetryRead enforces the telemetry layer's determinism contract from
+// the consumer side: engine code may *record* into telemetry handles but
+// must never read telemetry state back — a branch on a counter value, a
+// trace sequence number or a snapshot would couple the trajectory to
+// scrape timing and wall-clock latencies, breaking the bit-identical
+// with-and-without-telemetry guarantee the differential tests pin.
+//
+// The rule is type-shaped rather than a name list: a call into the
+// telemetry package is a read-back when it can observe telemetry state —
+// its receiver or a parameter is a telemetry-declared type — and any
+// result leaks readable data (basic values like Counter.Value's int64,
+// structs with exported fields like Event, or foreign types like error).
+// Results that are opaque telemetry handles (types declared in the
+// telemetry package whose structs have no exported fields — *Counter,
+// *Gauge, *Histogram, Stopwatch, the probes) leak nothing, so
+// registration and recording pass, as do pure layout helpers like
+// DurationBuckets that touch no state. Value/Seq/Events/TakeSnapshot and
+// the exposition writers are read-backs and do not belong in engine code.
+var TelemetryRead = &driver.Analyzer{
+	Name: "telemetryread",
+	Doc: "forbid engine code from reading telemetry state back (telemetry is " +
+		"write-only from the simulation's view; trajectories must not depend on it)",
+	Run: runTelemetryRead,
+}
+
+// telemetryPkgPath is the package whose read-backs the contract guards.
+const telemetryPkgPath = "diffusionlb/internal/telemetry"
+
+func runTelemetryRead(pass *driver.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFuncOrMethod(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != telemetryPkgPath {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !observesTelemetryState(sig) {
+				return true
+			}
+			res := sig.Results()
+			for i := 0; i < res.Len(); i++ {
+				if rt := res.At(i).Type(); !opaqueTelemetryType(rt) {
+					pass.Reportf(call.Pos(),
+						"telemetry read-back: %s returns %s in engine code; telemetry is write-only from the simulation's view — record into handles, never branch on what they hold",
+						fn.Name(), rt)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFuncOrMethod resolves a call to the *types.Func it invokes —
+// package-level function or method — or nil. Unlike nodeterminism's
+// calleeFunc it keeps methods: recording methods on telemetry handles are
+// exactly what the contract classifies.
+func calleeFuncOrMethod(pass *driver.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// observesTelemetryState reports whether a call through sig can read
+// telemetry state at all: its receiver or one of its parameters is a
+// telemetry-declared type. Pure helpers (bucket layouts, kind names)
+// touch no state and are exempt regardless of what they return.
+func observesTelemetryState(sig *types.Signature) bool {
+	if recv := sig.Recv(); recv != nil && telemetryDeclared(recv.Type()) {
+		return true
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if telemetryDeclared(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// telemetryDeclared reports whether t (or its pointee) is a named type
+// declared in the telemetry package.
+func telemetryDeclared(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == telemetryPkgPath
+}
+
+// opaqueTelemetryType reports whether t is a telemetry-declared handle an
+// engine caller cannot read anything out of: a named type (or pointer to
+// one) from the telemetry package whose underlying struct has zero
+// exported fields.
+func opaqueTelemetryType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != telemetryPkgPath {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Exported() {
+			return false
+		}
+	}
+	return true
+}

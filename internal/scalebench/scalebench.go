@@ -12,6 +12,7 @@ package scalebench
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"diffusionlb/internal/actor"
@@ -20,10 +21,13 @@ import (
 	"diffusionlb/internal/hetero"
 	"diffusionlb/internal/shard"
 	"diffusionlb/internal/spectral"
+	"diffusionlb/internal/telemetry"
 )
 
 // Schema identifies the BENCH JSON layout; bump on breaking changes.
-const Schema = "diffusionlb/bench-scale/v1"
+// v2 adds the repeats field (each cell is now the median of Repeat
+// independent measurements) and the optional telemetry-on rows.
+const Schema = "diffusionlb/bench-scale/v2"
 
 // Config sizes one benchmark run.
 type Config struct {
@@ -48,6 +52,19 @@ type Config struct {
 	// Stale is the staleness bound of the bounded-staleness actor entry.
 	// Default 2; negative keeps only the barrier actor entry.
 	Stale int
+	// Repeat is how many times each cell is measured; the reported entry is
+	// the median by node-updates/sec. Repeating squeezes out the machine
+	// noise that made single-shot random-regular throughput swing 15-25%
+	// between otherwise identical runs. Default 3; negative means 1.
+	Repeat int
+	// Telemetry adds a telemetry-on twin next to every cell: the same
+	// measurement with a live registry, trace and probes attached, so the
+	// off/on row pairs pin the recording overhead.
+	Telemetry bool
+	// Probe, when non-nil, receives the harness's own live progress
+	// (cells completed/total) — this is lbbench's -telemetry surface, not
+	// part of the measurement.
+	Probe *telemetry.SweepProbe
 	// Seed drives graph construction and the rounding streams. Default 1.
 	Seed uint64
 }
@@ -77,6 +94,11 @@ func (c Config) withDefaults() Config {
 	} else if c.Stale == 0 {
 		c.Stale = 2
 	}
+	if c.Repeat == 0 {
+		c.Repeat = 3
+	} else if c.Repeat < 0 {
+		c.Repeat = 1
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -93,8 +115,11 @@ type Entry struct {
 	// Runtime is the actor-runtime spec ("actor:K[,stale=S]") for
 	// message-passing entries, empty for the shared-memory engine.
 	Runtime string `json:"runtime,omitempty"`
-	Rounds  int    `json:"rounds"`
-	Shards  int    `json:"shards"`
+	// Telemetry marks rows measured with a live registry, trace and probes
+	// attached; the unmarked twin row is the same cell without them.
+	Telemetry bool `json:"telemetry,omitempty"`
+	Rounds    int  `json:"rounds"`
+	Shards    int  `json:"shards"`
 	// NodeUpdatesPerSec is nodes × rounds / elapsed seconds — the headline
 	// throughput number.
 	NodeUpdatesPerSec float64 `json:"node_updates_per_sec"`
@@ -111,9 +136,11 @@ type Entry struct {
 
 // Result is the BENCH JSON document.
 type Result struct {
-	Schema  string  `json:"schema"`
-	N       int     `json:"n"`
-	Workers int     `json:"workers"`
+	Schema  string `json:"schema"`
+	N       int    `json:"n"`
+	Workers int    `json:"workers"`
+	// Repeats is how many measurements each entry is the median of.
+	Repeats int     `json:"repeats"`
 	Seed    uint64  `json:"seed"`
 	Entries []Entry `json:"entries"`
 }
@@ -156,8 +183,10 @@ func (c Config) runtimeSpecs() []string {
 }
 
 // Run executes the full benchmark grid: {torus2d, random-regular} ×
-// {FOS, SOS} × {shared-memory, actor barrier, actor stale} with randomized
-// rounding. progress, when non-nil, receives one line per completed stage.
+// {FOS, SOS} × {shared-memory, actor barrier, actor stale} — with a
+// telemetry-on twin per cell when cfg.Telemetry is set — each cell the
+// median of cfg.Repeat measurements, with randomized rounding. progress,
+// when non-nil, receives one line per completed stage.
 func Run(cfg Config, progress func(string)) (*Result, error) {
 	cfg = cfg.withDefaults()
 	say := func(format string, args ...any) {
@@ -178,24 +207,58 @@ func Run(cfg Config, progress func(string)) (*Result, error) {
 		return nil, fmt.Errorf("scalebench: random regular: %w", err)
 	}
 
-	res := &Result{Schema: Schema, N: cfg.N, Workers: cfg.Workers, Seed: cfg.Seed}
+	telemetryVariants := []bool{false}
+	if cfg.Telemetry {
+		telemetryVariants = append(telemetryVariants, true)
+	}
+	cells := 4 * len(cfg.runtimeSpecs()) * len(telemetryVariants)
+	cfg.Probe.Begin(cells)
+
+	res := &Result{Schema: Schema, N: cfg.N, Workers: cfg.Workers, Repeats: cfg.Repeat, Seed: cfg.Seed}
+	done := 0
 	for _, g := range []*graph.Graph{torus, rr} {
 		for _, kind := range []core.Kind{core.FOS, core.SOS} {
 			for _, rt := range cfg.runtimeSpecs() {
-				label := rt
-				if label == "" {
-					label = "shared"
+				for _, tel := range telemetryVariants {
+					label := rt
+					if label == "" {
+						label = "shared"
+					}
+					if tel {
+						label += "+telemetry"
+					}
+					say("measuring %s/%s/%s (%d rounds x %d repeats)", g.Name(), kind, label, cfg.Rounds, cfg.Repeat)
+					cfg.Probe.CellStart()
+					e, err := benchMedian(g, kind, rt, tel, cfg)
+					if err != nil {
+						return nil, err
+					}
+					res.Entries = append(res.Entries, e)
+					done++
+					cfg.Probe.CellDone(done, cells)
 				}
-				say("measuring %s/%s/%s (%d rounds)", g.Name(), kind, label, cfg.Rounds)
-				e, err := benchOne(g, kind, rt, cfg)
-				if err != nil {
-					return nil, err
-				}
-				res.Entries = append(res.Entries, e)
 			}
 		}
 	}
 	return res, nil
+}
+
+// benchMedian measures one cell cfg.Repeat times and returns the median
+// measurement by node-updates/sec (the whole entry, so its footprint and
+// allocation numbers come from one coherent run).
+func benchMedian(g *graph.Graph, kind core.Kind, rtSpec string, telemetryOn bool, cfg Config) (Entry, error) {
+	entries := make([]Entry, 0, cfg.Repeat)
+	for i := 0; i < cfg.Repeat; i++ {
+		e, err := benchOne(g, kind, rtSpec, telemetryOn, cfg)
+		if err != nil {
+			return Entry{}, err
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].NodeUpdatesPerSec < entries[j].NodeUpdatesPerSec
+	})
+	return entries[len(entries)/2], nil
 }
 
 // stepper is the slice of the engine surface the timed loop needs.
@@ -205,10 +268,17 @@ type stepper interface {
 	ShardLayout() *shard.Layout
 }
 
-// benchOne measures one (graph, scheme, runtime) cell: build the operator
-// and an engine over a spread initial load, warm up, then time Rounds
-// steps around an allocator-counter read.
-func benchOne(g *graph.Graph, kind core.Kind, rtSpec string, cfg Config) (Entry, error) {
+// benchOne measures one (graph, scheme, runtime, telemetry) cell: build
+// the operator and an engine over a spread initial load, warm up, then
+// time Rounds steps around an allocator-counter read. With telemetryOn, a
+// live registry and trace are attached exactly as serving mode wires them:
+// the actor runtime carries a full ActorProbe in its hot path, and the
+// harness records the per-round signals whose cost belongs to the
+// telemetry layer itself (latency stopwatch, counters, gauge stores, trace
+// emit). The O(n) metric scans that feed the Runner's gauge values are the
+// caller's cost, not the layer's, so they stay out of the timed loop and
+// the gauge inputs here are zero.
+func benchOne(g *graph.Graph, kind core.Kind, rtSpec string, telemetryOn bool, cfg Config) (Entry, error) {
 	n := g.NumNodes()
 	op, err := spectral.NewOperator(g, hetero.Homogeneous(n), nil)
 	if err != nil {
@@ -221,6 +291,15 @@ func benchOne(g *graph.Graph, kind core.Kind, rtSpec string, cfg Config) (Entry,
 	for i := range x0 {
 		x0[i] = int64((i*i)%257) * 4
 	}
+	var reg *telemetry.Registry
+	var tr *telemetry.Trace
+	var probe *telemetry.RunProbe
+	if telemetryOn {
+		reg = telemetry.NewRegistry()
+		tr = telemetry.NewTrace(256)
+		probe = telemetry.NewRunProbe(reg, tr)
+	}
+
 	var proc stepper
 	engine := "discrete/randomized"
 	if rtSpec != "" {
@@ -228,10 +307,14 @@ func benchOne(g *graph.Graph, kind core.Kind, rtSpec string, cfg Config) (Entry,
 		if err != nil {
 			return Entry{}, fmt.Errorf("scalebench: runtime: %w", err)
 		}
-		proc, err = actor.New(op, kind, 1.9, core.RandomizedRounder{}, cfg.Seed, x0, opts)
+		rt, err := actor.New(op, kind, 1.9, core.RandomizedRounder{}, cfg.Seed, x0, opts)
 		if err != nil {
 			return Entry{}, fmt.Errorf("scalebench: actor runtime: %w", err)
 		}
+		if telemetryOn {
+			rt.SetTelemetry(telemetry.NewActorProbe(reg, tr, opts.Actors, false))
+		}
+		proc = rt
 		engine = "actor/randomized"
 	} else {
 		lay := shard.ForWorkers(g, cfg.Workers)
@@ -247,11 +330,25 @@ func benchOne(g *graph.Graph, kind core.Kind, rtSpec string, cfg Config) (Entry,
 		proc.Step()
 	}
 
+	// Quiesce the collector before the baseline read: with Repeat > 1 the
+	// previous run's garbage is still being collected, and a background GC
+	// cycle finishing inside the timed window shows up as phantom mallocs
+	// on an otherwise allocation-free path.
+	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now() //lint:allow nodeterminism benchmark harness: wall-clock throughput is the measurement, not engine state
-	for i := 0; i < cfg.Rounds; i++ {
-		proc.Step()
+	if telemetryOn {
+		for i := 0; i < cfg.Rounds; i++ {
+			sw := probe.StartRound()
+			proc.Step()
+			sw.Stop()
+			probe.RoundCompleted(i, 0, 0, 0, 0)
+		}
+	} else {
+		for i := 0; i < cfg.Rounds; i++ {
+			proc.Step()
+		}
 	}
 	elapsed := time.Since(start) //lint:allow nodeterminism benchmark harness: wall-clock throughput is the measurement, not engine state
 	runtime.ReadMemStats(&m1)
@@ -268,6 +365,7 @@ func benchOne(g *graph.Graph, kind core.Kind, rtSpec string, cfg Config) (Entry,
 		Scheme:            kind.String(),
 		Engine:            engine,
 		Runtime:           rtSpec,
+		Telemetry:         telemetryOn,
 		Rounds:            cfg.Rounds,
 		Shards:            proc.ShardLayout().Shards(),
 		NodeUpdatesPerSec: float64(n) * float64(cfg.Rounds) / sec,

@@ -17,6 +17,9 @@ func TestRunSmallNProducesFullSchema(t *testing.T) {
 	if res.Schema != Schema {
 		t.Fatalf("schema %q, want %q", res.Schema, Schema)
 	}
+	if res.Repeats != 3 {
+		t.Fatalf("repeats %d, want the default 3", res.Repeats)
+	}
 	if len(res.Entries) != 12 {
 		t.Fatalf("%d entries, want 12 (2 graphs x 2 schemes x 3 runtimes)", len(res.Entries))
 	}
@@ -90,6 +93,42 @@ func TestRunSmallNProducesFullSchema(t *testing.T) {
 // nothing, so the shared-memory rows' allocs_per_round must report 0.
 // Actor rows spawn per-step goroutines, so only the shared-memory engine
 // carries the pin.
+// TestTelemetryComparisonRows pins the -compare-telemetry grid shape: every
+// cell gets an off/on twin, the on rows are marked, and — because recording
+// into preregistered handles is 0-alloc — the sequential shared-memory on
+// rows still report 0 allocs/round.
+func TestTelemetryComparisonRows(t *testing.T) {
+	res, err := Run(Config{N: 4096, Degree: 8, Rounds: 3, Warmup: 1, Repeat: -1, Seed: 7, Telemetry: true, Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 24 {
+		t.Fatalf("%d entries, want 24 (12 cells x off/on)", len(res.Entries))
+	}
+	byCell := map[string][2]bool{}
+	for _, e := range res.Entries {
+		key := e.Graph + "/" + e.Scheme + "/" + e.Runtime
+		pair := byCell[key]
+		pair[b2i(e.Telemetry)] = true
+		byCell[key] = pair
+		if e.Telemetry && e.Runtime == "" && e.AllocsPerRound != 0 {
+			t.Errorf("%s: telemetry-on shared-memory row allocates %g/round, want 0", key, e.AllocsPerRound)
+		}
+	}
+	for key, pair := range byCell {
+		if !pair[0] || !pair[1] {
+			t.Errorf("cell %s missing its twin: off=%v on=%v", key, pair[0], pair[1])
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func TestSequentialAllocsPerRoundIsZero(t *testing.T) {
 	res, err := Run(Config{N: 4096, Degree: 8, Rounds: 5, Warmup: 2, Workers: 1, Seed: 3}, nil)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"diffusionlb/internal/metrics"
 	"diffusionlb/internal/scenario"
 	"diffusionlb/internal/spectral"
+	"diffusionlb/internal/telemetry"
 	"diffusionlb/internal/workload"
 )
 
@@ -334,6 +335,12 @@ type Runner struct {
 	// OnRound, when set, is called after each round (after any lockstep
 	// steps and workload injection), e.g. to dump visualization frames.
 	OnRound func(round int, p core.Process)
+	// Telemetry, when set, receives per-round gauges (discrepancy,
+	// potential, speed sum, stale-β rounds), a round-latency histogram,
+	// and lifecycle trace events. Recording is strictly write-only: the
+	// run's trajectory is bit-identical with Telemetry set or nil (pinned
+	// by TestTelemetryDifferentialDeterminism).
+	Telemetry *telemetry.RunProbe
 }
 
 // reweightOp applies a speed event to the shared operator, sharding the
@@ -672,6 +679,7 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 		return nil, err
 	}
 	for round := 1; round <= rounds; round++ {
+		sw := r.Telemetry.StartRound()
 		r.Proc.Step()
 		if chk != nil {
 			chk.afterStep(round)
@@ -705,6 +713,7 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 					scChanged = changed
 				} else {
 					res.SpeedEvents = append(res.SpeedEvents, SpeedEvent{Round: round, Nodes: changed, Sum: sp.Sum()})
+					r.Telemetry.Reweight(round, changed, sp.Sum())
 				}
 			}
 		}
@@ -717,6 +726,7 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 			}
 			if ev != nil {
 				res.BetaEvents = append(res.BetaEvents, *ev)
+				r.Telemetry.BetaReopt(round, ev.Beta)
 			}
 			res.StaleBetaRounds = reoptState.Stale
 		}
@@ -750,6 +760,7 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 					Round: round, Nodes: scChanged, Moved: moved,
 					Sum: r.Proc.Operator().Speeds().Sum(),
 				})
+				r.Telemetry.Scenario(round, scChanged, float64(moved))
 			}
 		}
 		if injector != nil {
@@ -768,6 +779,13 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 				if chk != nil {
 					chk.afterInject(deltas)
 				}
+				if r.Telemetry != nil {
+					var net int64
+					for _, d := range deltas {
+						net += d
+					}
+					r.Telemetry.Inject(round, float64(net))
+				}
 			}
 		}
 		// Policy evaluation deliberately follows workload injection above:
@@ -780,10 +798,24 @@ func (r *Runner) Run(rounds int) (*Result, error) {
 				if res.SwitchRound < 0 {
 					res.SwitchRound = round
 				}
+				r.Telemetry.Switch(round, int(ev.To))
 			}
 		}
 		if r.OnRound != nil {
 			r.OnRound(round, r.Proc)
+		}
+		// Per-round telemetry gauges: the O(n) scans are guarded on the
+		// probe so a detached run pays nothing; the values are plain
+		// read-and-record, feeding nothing back into the trajectory.
+		if r.Telemetry != nil {
+			sw.Stop()
+			sp := r.Proc.Operator().Speeds()
+			n := float64(r.Proc.Operator().Graph().NumNodes())
+			disc := intsOrFloats(r.Proc, metrics.Discrepancy[int64], metrics.Discrepancy[float64])
+			pot := intsOrFloats(r.Proc,
+				func(x []int64) float64 { return metrics.Potential(x, sp) / n },
+				func(x []float64) float64 { return metrics.Potential(x, sp) / n })
+			r.Telemetry.RoundCompleted(round, disc, pot, sp.Sum(), float64(res.StaleBetaRounds))
 		}
 		if round%every == 0 || round == rounds {
 			if err := record(round); err != nil {

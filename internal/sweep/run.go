@@ -18,6 +18,7 @@ import (
 	"diffusionlb/internal/shard"
 	"diffusionlb/internal/sim"
 	"diffusionlb/internal/spectral"
+	"diffusionlb/internal/telemetry"
 	"diffusionlb/internal/workload"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	// of completed cells and the total (progress reporting). It may be
 	// called concurrently.
 	OnCell func(done, total int)
+	// Telemetry, when set, receives live sweep progress: total/completed
+	// cell gauges, worker utilization, and — from the streaming sinks —
+	// one trace event per flushed aggregation group. Write-only: sweep
+	// output stays byte-identical with or without a probe.
+	Telemetry *telemetry.SweepProbe
 }
 
 // Run expands the spec, executes every cell on the worker pool and
@@ -59,14 +65,18 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	series := make([]*sim.Series, len(cells))
 	switches := make([][]core.SwitchEvent, len(cells))
 	var done atomic.Int64
+	opts.Telemetry.Begin(len(cells))
 	err = Map(ctx, opts.Workers, len(cells), func(ctx context.Context, i int) error {
+		opts.Telemetry.CellStart()
 		s, sw, err := runCell(spec, cells[i], systems[sysKey{cells[i].graphIdx, cells[i].speedsIdx}])
 		if err != nil {
 			return fmt.Errorf("sweep: cell %d (%s %s %s): %w", i, cells[i].Graph, cells[i].Scheme, cells[i].Rounder, err)
 		}
 		series[i], switches[i] = s, sw
+		n := int(done.Add(1))
+		opts.Telemetry.CellDone(n, len(cells))
 		if opts.OnCell != nil {
-			opts.OnCell(int(done.Add(1)), len(cells))
+			opts.OnCell(n, len(cells))
 		}
 		return nil
 	})

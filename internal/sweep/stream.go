@@ -10,6 +10,7 @@ import (
 
 	"diffusionlb/internal/core"
 	"diffusionlb/internal/sim"
+	"diffusionlb/internal/telemetry"
 )
 
 // StreamCSV runs the sweep like Run but writes the CSV rows incrementally:
@@ -106,8 +107,10 @@ func streamGroups(ctx context.Context, spec Spec, opts Options, emit func(Group)
 
 	sink := &groupSink{
 		emit:    emit,
+		tel:     opts.Telemetry,
 		pending: make(map[int]Group, 4),
 	}
+	opts.Telemetry.Begin(len(cells))
 	// Per-group replicate collection. Replicates of one group occupy a
 	// contiguous cell range, so group g collects cells
 	// [g·R, (g+1)·R); remaining counts down to zero as they finish.
@@ -130,6 +133,7 @@ func streamGroups(ctx context.Context, spec Spec, opts Options, emit func(Group)
 
 	return Map(ctx, opts.Workers, len(cells), func(ctx context.Context, i int) error {
 		c := cells[i]
+		opts.Telemetry.CellStart()
 		s, sw, err := runCell(spec, c, systems[sysKey{c.graphIdx, c.speedsIdx}])
 		if err != nil {
 			return fmt.Errorf("sweep: cell %d (%s %s %s): %w", i, c.Graph, c.Scheme, c.Rounder, err)
@@ -152,8 +156,9 @@ func streamGroups(ctx context.Context, spec Spec, opts Options, emit func(Group)
 				return err
 			}
 		}
+		done++
+		opts.Telemetry.CellDone(done, len(cells))
 		if opts.OnCell != nil {
-			done++
 			opts.OnCell(done, len(cells))
 		}
 		return nil
@@ -166,12 +171,15 @@ func streamGroups(ctx context.Context, spec Spec, opts Options, emit func(Group)
 // push).
 type groupSink struct {
 	emit    func(Group) error
+	tel     *telemetry.SweepProbe
 	next    int
 	pending map[int]Group
 }
 
 // push hands over a completed group; it emits every consecutively
-// available group starting at next.
+// available group starting at next, recording one progress trace event
+// per flushed group — the live signal StreamCSV/StreamJSON previously
+// lacked while a slow cell ran.
 func (s *groupSink) push(idx int, g Group) error {
 	s.pending[idx] = g
 	for {
@@ -183,6 +191,7 @@ func (s *groupSink) push(idx int, g Group) error {
 		if err := s.emit(gg); err != nil {
 			return err
 		}
+		s.tel.GroupFlushed(s.next)
 		s.next++
 	}
 }

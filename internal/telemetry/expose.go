@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Output order is registration order —
+// deterministic, never map iteration — with one TYPE/HELP header per
+// metric family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	var lastFam *family
+	for _, m := range metrics {
+		if m.fam != lastFam {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				m.fam.name, m.fam.help, m.fam.name, m.fam.kind); err != nil {
+				return err
+			}
+			lastFam = m.fam
+		}
+		switch {
+		case m.c != nil:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.fam.name, m.labels, m.c.Value()); err != nil {
+				return err
+			}
+		case m.g != nil:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.fam.name, m.labels,
+				strconv.FormatFloat(m.g.Value(), 'g', -1, 64)); err != nil {
+				return err
+			}
+		case m.h != nil:
+			if err := writePromHistogram(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram handle: cumulative _bucket
+// lines (le is merged into any registered labels), then _sum and _count.
+func writePromHistogram(w io.Writer, m metric) error {
+	cum, sum, count := m.h.snapshot()
+	withLe := func(le string) string {
+		if m.labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return m.labels[:len(m.labels)-1] + `,le="` + le + `"}`
+	}
+	for i, b := range m.h.bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.fam.name, withLe(strconv.FormatFloat(b, 'g', -1, 64)), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.fam.name, withLe("+Inf"), cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+		m.fam.name, m.labels, strconv.FormatFloat(sum, 'g', -1, 64),
+		m.fam.name, m.labels, count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Snapshot is the JSON exposition document: every metric's current value
+// plus the retained trace tail.
+type Snapshot struct {
+	Counters   []SnapshotValue     `json:"counters,omitempty"`
+	Gauges     []SnapshotValue     `json:"gauges,omitempty"`
+	Histograms []SnapshotHistogram `json:"histograms,omitempty"`
+	TraceSeq   uint64              `json:"trace_seq"`
+	Events     []Event             `json:"events,omitempty"`
+}
+
+// SnapshotValue is one counter or gauge sample.
+type SnapshotValue struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// SnapshotHistogram is one histogram sample: cumulative counts per bound.
+type SnapshotHistogram struct {
+	Name   string    `json:"name"`
+	Labels string    `json:"labels,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// TakeSnapshot captures the registry and trace state as one JSON-ready
+// document (read-back; exposition and test territory).
+func TakeSnapshot(r *Registry, t *Trace) Snapshot {
+	var s Snapshot
+	if r != nil {
+		r.mu.Lock()
+		metrics := append([]metric(nil), r.metrics...)
+		r.mu.Unlock()
+		for _, m := range metrics {
+			switch {
+			case m.c != nil:
+				s.Counters = append(s.Counters, SnapshotValue{Name: m.fam.name, Labels: m.labels, Value: float64(m.c.Value())})
+			case m.g != nil:
+				s.Gauges = append(s.Gauges, SnapshotValue{Name: m.fam.name, Labels: m.labels, Value: m.g.Value()})
+			case m.h != nil:
+				cum, sum, count := m.h.snapshot()
+				s.Histograms = append(s.Histograms, SnapshotHistogram{
+					Name: m.fam.name, Labels: m.labels,
+					Bounds: append([]float64(nil), m.h.bounds...),
+					Counts: cum, Sum: sum, Count: count,
+				})
+			}
+		}
+	}
+	if t != nil {
+		s.TraceSeq = t.Seq()
+		s.Events = t.Events()
+	}
+	return s
+}
+
+// Handler returns the exposition mux:
+//
+//	/metrics        Prometheus text format
+//	/snapshot       JSON snapshot (metrics + trace tail)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// Either argument may be nil; the endpoints degrade to empty documents.
+func Handler(r *Registry, t *Trace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(TakeSnapshot(r, t))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "diffusionlb telemetry\n/metrics\n/snapshot\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is an embedded telemetry HTTP server over Handler.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks an ephemeral port) and serves the
+// exposition endpoints in the background until Close.
+func Serve(addr string, r *Registry, t *Trace) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r, t), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	//lint:allow goroutineleak the server goroutine's lifetime is bound to Server.Close, which shuts the listener and unblocks Serve; net/http has no context-serving entry point
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43651" (read-back;
+// wiring-layer territory, not engine code).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func populated() (*Registry, *Trace) {
+	r := NewRegistry()
+	c := r.Counter("diffusionlb_rounds_total", "Completed simulation rounds.")
+	c.Add(7)
+	g := r.Gauge("diffusionlb_discrepancy", "Current max-min load discrepancy.")
+	g.Set(3.5)
+	h := r.Histogram("diffusionlb_round_seconds", "Wall-clock time per round.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+	ha := r.Histogram("diffusionlb_actor_round_seconds", "Per-actor round time.", []float64{0.01}, "actor", "0")
+	ha.Observe(0.002)
+	tr := NewTrace(32)
+	tr.Emit(EvRound, 1, 0, 0, 3.5)
+	tr.Emit(EvInject, 2, 0, 0, 10)
+	return r, tr
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r, _ := populated()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE diffusionlb_rounds_total counter",
+		"diffusionlb_rounds_total 7",
+		"# TYPE diffusionlb_discrepancy gauge",
+		"diffusionlb_discrepancy 3.5",
+		"# TYPE diffusionlb_round_seconds histogram",
+		`diffusionlb_round_seconds_bucket{le="0.001"} 0`,
+		`diffusionlb_round_seconds_bucket{le="0.01"} 1`,
+		`diffusionlb_round_seconds_bucket{le="+Inf"} 2`,
+		"diffusionlb_round_seconds_sum 0.505",
+		"diffusionlb_round_seconds_count 2",
+		`diffusionlb_actor_round_seconds_bucket{actor="0",le="0.01"} 1`,
+		`diffusionlb_actor_round_seconds_count{actor="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic output: a second render must be byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatal("exposition output is not deterministic across renders")
+	}
+}
+
+func TestTakeSnapshot(t *testing.T) {
+	r, tr := populated()
+	s := TakeSnapshot(r, tr)
+	if len(s.Counters) != 1 || s.Counters[0].Value != 7 {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 3.5 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 2 || s.Histograms[0].Count != 2 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	if s.TraceSeq != 2 || len(s.Events) != 2 || s.Events[1].Kind != EvInject {
+		t.Fatalf("trace = seq %d events %+v", s.TraceSeq, s.Events)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"kind":"inject"`) {
+		t.Fatalf("snapshot JSON missing named kind: %s", b)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r, tr := populated()
+	srv, err := Serve("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "diffusionlb_rounds_total 7") {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+	code, body := get("/snapshot")
+	if code != 200 {
+		t.Fatalf("/snapshot: code %d", code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+	if s.TraceSeq != 2 {
+		t.Fatalf("/snapshot trace_seq = %d, want 2", s.TraceSeq)
+	}
+	if code, _ := get("/debug/pprof/heap"); code != 200 {
+		t.Fatalf("/debug/pprof/heap: code %d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("/nope: code %d, want 404", code)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("nil-registry /metrics: code %d", resp.StatusCode)
+	}
+}
